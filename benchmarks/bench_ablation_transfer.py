@@ -1,0 +1,43 @@
+"""Ablation D benchmark: fingerprint transfer across client environments.
+
+DESIGN.md design decision 2.  Figure 2 shows the record-length bands shift
+between Ubuntu and Windows; this ablation quantifies the consequence by
+building the full (trained-on × attacked) transfer matrix over four
+OS × browser environments.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_transfer import reproduce_transfer_ablation
+from repro.experiments.report import format_table
+
+
+def test_fingerprint_transfer_matrix(benchmark):
+    result = run_once(
+        benchmark,
+        reproduce_transfer_ablation,
+        sessions_per_environment=3,
+        training_sessions_per_environment=2,
+        seed=8,
+    )
+
+    print()
+    print(
+        format_table(
+            result.rows(),
+            "Ablation D — JSON identification accuracy when transferring fingerprints",
+        )
+    )
+    print()
+    print(
+        f"mean same-environment accuracy:  {result.mean_diagonal:.3f}\n"
+        f"mean cross-environment accuracy: {result.mean_off_diagonal:.3f}"
+    )
+
+    # Shape: near-perfect on the diagonal, near-zero off it — per-environment
+    # calibration is a requirement of the attack, exactly as Figure 2 implies.
+    assert result.mean_diagonal >= 0.95
+    assert result.mean_off_diagonal <= 0.25
+    assert result.calibration_is_required

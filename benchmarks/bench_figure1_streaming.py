@@ -1,0 +1,31 @@
+"""Figure 1 reproduction benchmark: the Bandersnatch streaming process.
+
+Paper artefact: Figure 1 — the worked example where the viewer keeps the
+default branch at Q1 (one type-1 JSON) and overrides the prefetched default
+at Q2 (a second type-1 followed by a type-2, prefetched chunks discarded).
+
+The benchmark simulates exactly that scenario and prints the protocol-level
+event timeline; the assertions check the message sequence the figure shows.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figure1 import reproduce_figure1
+
+
+def test_figure1_streaming_process(benchmark):
+    result = run_once(benchmark, reproduce_figure1, seed=1)
+
+    print()
+    print("Figure 1 — streaming process walkthrough (default at Q1, non-default at Q2)")
+    print("=" * 76)
+    for kind, detail in result.protocol_events:
+        print(f"  {kind:<22s} {detail}")
+
+    # The paper's sequence: type-1 at Q1, type-1 at Q2, then a type-2 because
+    # the non-default branch was selected and the prefetched default dropped.
+    assert result.state_message_kinds == ["type1", "type1", "type2"]
+    assert result.matches_paper_description()
+    assert result.session.path.default_pattern == (True, False)

@@ -1,0 +1,41 @@
+"""Figure 2 reproduction benchmark: SSL record-length distributions.
+
+Paper artefact: Figure 2 — for (Desktop, Firefox, Ethernet, Ubuntu) and
+(Desktop, Firefox, Ethernet, Windows), the percentage of client packets per
+SSL-record-length bin, split into type-1 JSON / type-2 JSON / others, showing
+that the three categories occupy disjoint length ranges.
+
+The benchmark simulates several sessions per condition, bins client record
+lengths into the paper's exact bin edges and prints both panels.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.features import LABEL_TYPE1, LABEL_TYPE2
+from repro.experiments.conditions import figure2_condition_names
+from repro.experiments.figure2 import reproduce_figure2
+from repro.experiments.report import format_table
+
+
+def test_figure2_record_length_distributions(benchmark):
+    result = run_once(benchmark, reproduce_figure2, sessions_per_condition=4, seed=2)
+
+    names = figure2_condition_names()
+    print()
+    for distribution in result.distributions:
+        title = names[distribution.condition.fingerprint_key]
+        print(format_table(distribution.rows(), f"Figure 2 — SSL record lengths, {title}"))
+        print()
+
+    # The paper's separation claim must hold in both panels: the JSON types
+    # concentrate in their narrow bins and other traffic stays out of them.
+    assert result.separation_holds_everywhere()
+
+    ubuntu = result.panel_for("linux/firefox")
+    assert ubuntu.histogram.dominant_bin(LABEL_TYPE1).label == "2211-2213"
+    assert ubuntu.histogram.dominant_bin(LABEL_TYPE2).label == "2992-3017"
+    windows = result.panel_for("windows/firefox")
+    assert windows.histogram.dominant_bin(LABEL_TYPE1).label == "2341-2343"
+    assert windows.histogram.dominant_bin(LABEL_TYPE2).label == "3118-3147"

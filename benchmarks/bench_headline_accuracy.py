@@ -1,0 +1,47 @@
+"""Headline (Section V) reproduction benchmark: ~96 % worst-case accuracy.
+
+Paper artefact: the Section V result — "encrypted traffic captured during 10
+different viewing sessions ... identify the two types of JSON files with 96%
+accuracy and hence the choices made by the viewers", where 96 % is the worst
+case across operational conditions.
+
+The benchmark trains the attack on a few labelled sessions per environment,
+evaluates 10 held-out sessions under each condition of the evaluation spread,
+and prints per-condition JSON-identification accuracy (the paper's metric),
+the stricter per-choice accuracy, and the worst case.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.headline import PAPER_WORST_CASE_ACCURACY, reproduce_headline
+from repro.experiments.report import format_table
+
+
+def test_headline_worst_case_accuracy(benchmark):
+    result = run_once(
+        benchmark,
+        reproduce_headline,
+        sessions_per_condition=10,
+        training_sessions_per_condition=2,
+        seed=3,
+    )
+
+    print()
+    print(format_table(result.rows(), "Section V — choice recovery across operational conditions"))
+    print()
+    print(
+        f"worst case (reproduced): {result.worst_case_accuracy:.4f}  "
+        f"worst case (paper): {PAPER_WORST_CASE_ACCURACY:.2f}  "
+        f"gap: {result.worst_case_gap:.4f}"
+    )
+
+    # Shape checks: the best conditions are essentially perfect, the worst
+    # case sits near the paper's 96 %, and the aggregate stays high.
+    best = max(entry.json_identification_accuracy for entry in result.per_condition)
+    assert best >= 0.99
+    assert 0.90 <= result.worst_case_accuracy <= 1.0
+    assert result.worst_case_gap <= 0.06
+    assert result.aggregate_json_identification_accuracy >= 0.96
+    assert result.aggregate_choice_accuracy >= 0.85

@@ -1,0 +1,108 @@
+"""Engineering benchmarks: simulator, capture and attack throughput.
+
+These are not paper artefacts; they quantify the cost of the reproduction
+pipeline itself (how long one simulated viewing session takes, how fast the
+dataset generator is, how many records per second the attack classifies, and
+the pcap round-trip cost), so regressions in the substrate are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.profiles import figure2_conditions
+from repro.client.viewer import ViewerBehavior
+from repro.core.features import extract_client_records
+from repro.core.pipeline import WhiteMirrorAttack
+from repro.dataset.iitm import IITMBandersnatchDataset
+from repro.streaming.session import SessionConfig, simulate_session
+
+
+@pytest.fixture(scope="module")
+def ubuntu_condition():
+    return figure2_conditions()[0]
+
+
+@pytest.fixture(scope="module")
+def behavior():
+    return ViewerBehavior("20-25", "undisclosed", "undisclosed", "happy")
+
+
+@pytest.fixture(scope="module")
+def reference_session(study_graph, ubuntu_condition, behavior):
+    return simulate_session(study_graph, ubuntu_condition, behavior, seed=900)
+
+
+@pytest.fixture(scope="module")
+def trained_attack(study_graph, ubuntu_condition, behavior):
+    attack = WhiteMirrorAttack(graph=study_graph)
+    attack.train(
+        [
+            simulate_session(study_graph, ubuntu_condition, behavior, seed=910 + index)
+            for index in range(2)
+        ]
+    )
+    return attack
+
+
+def test_session_simulation_throughput(benchmark, study_graph, ubuntu_condition, behavior):
+    """Wall-clock cost of simulating one full interactive viewing session."""
+    result = benchmark.pedantic(
+        simulate_session,
+        args=(study_graph, ubuntu_condition, behavior),
+        kwargs={"seed": 901},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.path.choice_count == 10
+    assert result.trace.packet_count > 1000
+
+
+def test_dataset_generation_throughput(benchmark):
+    """Wall-clock cost of generating a 5-viewer slice of the dataset."""
+    dataset = benchmark.pedantic(
+        IITMBandersnatchDataset.generate,
+        kwargs={
+            "viewer_count": 5,
+            "seed": 11,
+            "config": SessionConfig(cross_traffic_enabled=False),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert len(dataset) == 5
+
+
+def test_feature_extraction_throughput(benchmark, reference_session):
+    """Records/second through client-record extraction."""
+    records = benchmark(
+        extract_client_records,
+        reference_session.trace,
+        server_ip=reference_session.trace.server_ip,
+    )
+    assert len(records) > 100
+
+
+def test_attack_classification_throughput(benchmark, trained_attack, reference_session):
+    """End-to-end attack latency on one captured session."""
+    result = benchmark(trained_attack.attack_session, reference_session)
+    assert result.inferred.choice_count >= 9
+
+
+def test_pcap_round_trip_throughput(benchmark, tmp_path, reference_session):
+    """Cost of persisting and re-parsing one session capture."""
+    from repro.net.capture import CapturedTrace
+
+    path = tmp_path / "bench.pcap"
+
+    def round_trip() -> int:
+        reference_session.trace.to_pcap(path)
+        restored = CapturedTrace.from_pcap(
+            path,
+            client_ip=reference_session.trace.client_ip,
+            server_ip=reference_session.trace.server_ip,
+        )
+        return restored.packet_count
+
+    count = benchmark.pedantic(round_trip, rounds=2, iterations=1)
+    assert count == reference_session.trace.packet_count

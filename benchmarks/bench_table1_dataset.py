@@ -1,0 +1,35 @@
+"""Table I reproduction benchmark: the IITM-Bandersnatch attribute space.
+
+Paper artefact: Table I ("Attributes of the IITM-Bandersnatch Dataset") —
+the operational and behavioural attribute domains of the 100-viewer dataset.
+
+This benchmark generates the full 100-viewer synthetic population, prints the
+reproduced table plus the observed marginal counts, and checks that every
+attribute value of the paper's grid is represented.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.report import format_table
+from repro.experiments.table1 import reproduce_table1
+
+
+def test_table1_attribute_space(benchmark):
+    result = run_once(benchmark, reproduce_table1, viewer_count=100, seed=0)
+
+    print()
+    print(format_table(result.rows, "Table I — IITM-Bandersnatch dataset attributes"))
+    marginal_rows = [
+        {"attribute": attribute, "value": value, "viewers": count}
+        for attribute, counts in sorted(result.observed_marginals.items())
+        for value, count in sorted(counts.items())
+    ]
+    print()
+    print(format_table(marginal_rows, "Observed attribute marginals (100 synthetic viewers)"))
+
+    # Paper: two blocks, nine attribute rows, 100 viewers, full diversity.
+    assert result.attribute_count == 9
+    assert result.viewer_count == 100
+    assert result.full_grid_covered()

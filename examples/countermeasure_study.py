@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Evaluate the countermeasures the paper sketches (and their residual leakage).
+
+Section VI of the paper suggests splitting or compressing the state-report
+JSON so its record length stops being distinctive, and warns that timing side
+channels may survive.  This example:
+
+1. simulates training and victim sessions under one condition;
+2. sweeps the defence suite (padding to a multiple, padding to a constant,
+   splitting, compression) against an *adaptive* attacker that re-trains on
+   defended traffic;
+3. prints, for every defence, the attack's residual accuracy, the byte
+   overhead, and what a record-length-blind timing attacker can still learn.
+
+Run with ``python examples/countermeasure_study.py``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.defense_ablation import reproduce_defense_ablation
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    print("running the defence sweep (adaptive attacker, 4 training / 4 victim sessions)...")
+    result = reproduce_defense_ablation(train_count=4, test_count=4, seed=5)
+
+    print()
+    print(format_table(result.rows(), f"Countermeasures under {result.condition_key}"))
+
+    print()
+    best = result.best_defense
+    print(f"undefended choice accuracy : {result.undefended_accuracy:.2f}")
+    print(f"strongest defence          : {best.defense_name}")
+    print(f"  residual choice accuracy : {best.choice_accuracy:.2f}")
+    print(f"  bytes added per session  : {best.mean_overhead_bytes_per_session:.0f}")
+    print(f"  timing question recall   : {best.timing_question_recall:.2f}")
+
+    print()
+    if result.timing_channel_survives:
+        print(
+            "Even under the strongest record-length defence, the timing-only "
+            "attacker still locates most choice questions from request/response "
+            "behaviour — exactly the residual channel the paper warns about."
+        )
+    else:
+        print("The timing channel did not survive in this configuration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 2: the SSL record-length side-channel, condition by condition.
+
+The heart of the paper is the observation that the client's type-1 and type-2
+state reports occupy narrow, stable SSL-record-length bands that never collide
+with other client traffic — and that the bands shift with the client
+environment (Ubuntu vs Windows) while staying equally separable.
+
+This example simulates sessions under both Figure 2 conditions, prints the
+per-bin percentage tables (the numbers behind the paper's bar charts) using
+the paper's exact bin edges, and then prints a simple ASCII rendering of each
+panel.
+
+Run with ``python examples/record_length_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.conditions import figure2_condition_names
+from repro.experiments.figure2 import reproduce_figure2
+from repro.experiments.report import format_table
+
+
+def _ascii_bar(percentage: float, width: int = 30) -> str:
+    filled = int(round(percentage / 100.0 * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    print("simulating viewing sessions under both Figure 2 conditions...")
+    result = reproduce_figure2(sessions_per_condition=4, seed=2)
+    names = figure2_condition_names()
+
+    for distribution in result.distributions:
+        title = names[distribution.condition.fingerprint_key]
+        print()
+        print(format_table(distribution.rows(), f"Figure 2 — {title}"))
+        print()
+        for category in ("type1", "type2", "other"):
+            print(f"  {category:>6s} |", end="")
+            for row in distribution.rows():
+                percentage = float(row[category])
+                marker = "#" if percentage >= 50 else ("+" if percentage > 0 else ".")
+                print(f" {marker:^11s}", end="")
+            print()
+        print("         |", end="")
+        for row in distribution.rows():
+            print(f" {row['bin']:^11s}", end="")
+        print()
+        print(
+            "  separation holds:"
+            f" {'YES' if distribution.separation_holds() else 'NO'}"
+            f" ({distribution.records_observed} client records observed)"
+        )
+
+    print()
+    print(
+        "Both panels keep the three categories in disjoint length ranges, so a "
+        "passive observer can label every state report from its record length alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

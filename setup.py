@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e . --no-use-pep517``) on
+machines without the ``wheel`` package (e.g. offline evaluation containers).
+"""
+
+from setuptools import setup
+
+setup()

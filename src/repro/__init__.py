@@ -1,0 +1,81 @@
+"""White Mirror reproduction library.
+
+This package reproduces the system described in *"White Mirror: Leaking
+Sensitive Information from Interactive Netflix Movies using Encrypted Traffic
+Analysis"* (Mitra et al., 2019): an end-to-end pipeline that
+
+1. simulates interactive (Bandersnatch-style) Netflix streaming sessions down
+   to TLS records and captured packets (:mod:`repro.narrative`,
+   :mod:`repro.media`, :mod:`repro.client`, :mod:`repro.tls`, :mod:`repro.net`,
+   :mod:`repro.streaming`),
+2. generates an IITM-Bandersnatch-style dataset of ``{encrypted trace,
+   ground-truth choices}`` points (:mod:`repro.dataset`),
+3. mounts the paper's passive traffic-analysis attack that recovers viewer
+   choices from client-side SSL record lengths (:mod:`repro.core`), and
+4. evaluates baselines, countermeasures and the paper's tables and figures
+   (:mod:`repro.baselines`, :mod:`repro.defenses`, :mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import quick_attack_demo
+>>> outcome = quick_attack_demo(seed=7)
+>>> outcome["choice_accuracy"] >= 0.9
+True
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from repro.core.pipeline import WhiteMirrorAttack
+from repro.dataset.iitm import IITMBandersnatchDataset
+from repro.narrative.bandersnatch import build_bandersnatch_script
+from repro.streaming.session import SessionConfig, simulate_session
+
+__all__ = [
+    "__version__",
+    "WhiteMirrorAttack",
+    "IITMBandersnatchDataset",
+    "build_bandersnatch_script",
+    "SessionConfig",
+    "simulate_session",
+    "quick_attack_demo",
+]
+
+
+def quick_attack_demo(seed: int = 7, sessions: int = 3) -> dict[str, object]:
+    """Tiny end-to-end demo: simulate, train, attack, score.
+
+    Returns a dictionary with the recovered pattern of the last victim
+    session, the ground truth and the aggregate choice accuracy.  Used by the
+    README quickstart and the package doctests; for anything serious use
+    :class:`repro.core.pipeline.WhiteMirrorAttack` directly.
+    """
+    from repro.client.profiles import figure2_conditions
+    from repro.client.viewer import ViewerBehavior
+    from repro.core.evaluation import aggregate_choice_accuracy
+    from repro.utils.rng import derive_seed
+
+    graph = build_bandersnatch_script(
+        trunk_segment_minutes=1.5, branch_segment_minutes=1.0, ending_minutes=2.0
+    )
+    condition, _windows = figure2_conditions()
+    behavior = ViewerBehavior("20-25", "undisclosed", "undisclosed", "happy")
+    train = [
+        simulate_session(graph, condition, behavior, seed=derive_seed(seed, "train", i))
+        for i in range(2)
+    ]
+    victims = [
+        simulate_session(graph, condition, behavior, seed=derive_seed(seed, "victim", i))
+        for i in range(sessions)
+    ]
+    attack = WhiteMirrorAttack(graph=graph)
+    attack.train(train)
+    evaluations = attack.evaluate_sessions(victims)
+    last = attack.attack_session(victims[-1])
+    return {
+        "choice_accuracy": aggregate_choice_accuracy(evaluations),
+        "recovered_pattern": last.recovered_pattern,
+        "ground_truth_pattern": victims[-1].ground_truth_pattern,
+        "sessions_evaluated": len(victims),
+    }

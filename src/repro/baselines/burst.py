@@ -1,0 +1,104 @@
+"""Burst-pattern fingerprinting (Schuster et al. style baseline).
+
+"Beauty and the Burst" fingerprints encrypted video streams by the sizes of
+the on/off download bursts an ABR player produces.  The burst sizes reflect
+the per-chunk byte counts at the selected quality; for two branches of the
+same interactive title encoded at the same ladder rung and similar duration,
+the burst-size distributions largely coincide, so the classifier hovers near
+chance on the intra-video branch task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import AttackError
+from repro.ml.knn import KNearestNeighbors
+from repro.net.capture import CapturedTrace
+
+
+@dataclass(frozen=True)
+class BurstSequence:
+    """Sizes (bytes) of consecutive downlink bursts in a trace slice."""
+
+    burst_sizes: tuple[float, ...]
+    gap_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.gap_seconds <= 0:
+            raise AttackError("burst gap must be positive")
+        if not self.burst_sizes:
+            raise AttackError("a burst sequence needs at least one burst")
+
+    def feature_vector(self) -> np.ndarray:
+        """Coarse summary features: count, total, mean, max, std of burst sizes."""
+        sizes = np.asarray(self.burst_sizes, dtype=float)
+        return np.asarray(
+            [
+                float(sizes.size),
+                float(sizes.sum()),
+                float(sizes.mean()),
+                float(sizes.max()),
+                float(sizes.std()),
+            ]
+        )
+
+
+def extract_bursts(
+    trace: CapturedTrace,
+    gap_seconds: float = 0.5,
+    start: float | None = None,
+    end: float | None = None,
+) -> BurstSequence:
+    """Group downlink packets into bursts separated by idle gaps."""
+    packets = [
+        p
+        for p in trace.server_packets()
+        if (start is None or p.timestamp >= start) and (end is None or p.timestamp <= end)
+    ]
+    if not packets:
+        return BurstSequence(burst_sizes=(0.0,), gap_seconds=gap_seconds)
+    packets.sort(key=lambda p: p.timestamp)
+    bursts: list[float] = []
+    current = 0.0
+    last_time = packets[0].timestamp
+    for packet in packets:
+        if packet.timestamp - last_time > gap_seconds and current > 0:
+            bursts.append(current)
+            current = 0.0
+        current += packet.wire_length
+        last_time = packet.timestamp
+    if current > 0:
+        bursts.append(current)
+    if not bursts:
+        bursts = [0.0]
+    return BurstSequence(burst_sizes=tuple(bursts), gap_seconds=gap_seconds)
+
+
+class BurstFingerprinter:
+    """k-NN over burst summary features."""
+
+    def __init__(self, k: int = 3) -> None:
+        self._knn = KNearestNeighbors(k=k)
+        self._trained = False
+
+    def fit(
+        self, sequences: Sequence[BurstSequence], labels: Sequence[object]
+    ) -> "BurstFingerprinter":
+        """Train on labelled burst sequences."""
+        if len(sequences) != len(labels):
+            raise AttackError("sequences and labels differ in length")
+        features = np.vstack([sequence.feature_vector() for sequence in sequences])
+        self._knn.fit(features, list(labels))
+        self._trained = True
+        return self
+
+    def predict(self, sequences: Sequence[BurstSequence]) -> list[object]:
+        """Predict a label per burst sequence."""
+        if not self._trained:
+            raise AttackError("BurstFingerprinter must be fitted first")
+        features = np.vstack([sequence.feature_vector() for sequence in sequences])
+        return list(self._knn.predict(features))

@@ -1,0 +1,179 @@
+"""Head-to-head comparison: inter-video baselines vs. the White Mirror attack.
+
+The task is the one interactive movies pose: at every choice point, decide
+whether the viewer streamed the default or the non-default branch.  Baselines
+get the downlink traffic of the window following the decision; the White
+Mirror attack gets the client-side record lengths.  The paper's Section II
+argument predicts the baselines stay near chance while the record-length
+side-channel is nearly perfect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.bitrate import BitrateFingerprinter, BitrateProfile, profile_from_trace
+from repro.baselines.burst import BurstFingerprinter, BurstSequence, extract_bursts
+from repro.core.pipeline import WhiteMirrorAttack
+from repro.exceptions import AttackError
+from repro.ml.metrics import accuracy_score
+from repro.streaming.events import EventKind
+from repro.streaming.session import SessionResult
+
+
+@dataclass(frozen=True)
+class BranchClassificationTask:
+    """One (choice point, branch ground truth, observation window) instance."""
+
+    session_id: str
+    question_id: str
+    window_start: float
+    window_end: float
+    took_default: bool
+
+    def __post_init__(self) -> None:
+        if self.window_end <= self.window_start:
+            raise AttackError("observation window must have positive duration")
+
+
+def build_branch_tasks(
+    sessions: Sequence[SessionResult], window_seconds: float = 30.0
+) -> list[BranchClassificationTask]:
+    """One task per answered question across the sessions.
+
+    The window starts at the moment the choice was made (taken from the
+    session event log, which a controlled experiment has access to) and spans
+    the subsequent branch streaming.
+    """
+    if window_seconds <= 0:
+        raise AttackError("window must be positive")
+    tasks: list[BranchClassificationTask] = []
+    for session in sessions:
+        choice_events = [
+            event for event in session.events if event.kind is EventKind.CHOICE_MADE
+        ]
+        for event in choice_events:
+            tasks.append(
+                BranchClassificationTask(
+                    session_id=session.session_id,
+                    question_id=str(event.details["question_id"]),
+                    window_start=event.timestamp,
+                    window_end=event.timestamp + window_seconds,
+                    took_default=bool(event.details["took_default"]),
+                )
+            )
+    if not tasks:
+        raise AttackError("no answered questions found in the supplied sessions")
+    return tasks
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Accuracies of every technique on the branch-identification task."""
+
+    bitrate_baseline_accuracy: float
+    burst_baseline_accuracy: float
+    white_mirror_accuracy: float
+    task_count: int
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Rows for the comparison table of the benchmark report."""
+        return [
+            {
+                "technique": "bitrate profile (Reed & Kranch style)",
+                "feature": "windowed downlink throughput",
+                "accuracy": round(self.bitrate_baseline_accuracy, 4),
+            },
+            {
+                "technique": "burst pattern (Schuster et al. style)",
+                "feature": "downlink burst sizes",
+                "accuracy": round(self.burst_baseline_accuracy, 4),
+            },
+            {
+                "technique": "White Mirror (this paper)",
+                "feature": "client SSL record lengths",
+                "accuracy": round(self.white_mirror_accuracy, 4),
+            },
+        ]
+
+    @property
+    def advantage(self) -> float:
+        """White Mirror accuracy minus the best baseline accuracy."""
+        return self.white_mirror_accuracy - max(
+            self.bitrate_baseline_accuracy, self.burst_baseline_accuracy
+        )
+
+
+def _session_lookup(sessions: Sequence[SessionResult]) -> dict[str, SessionResult]:
+    return {session.session_id: session for session in sessions}
+
+
+def run_comparison(
+    train_sessions: Sequence[SessionResult],
+    test_sessions: Sequence[SessionResult],
+    graph,
+    window_seconds: float = 30.0,
+) -> ComparisonResult:
+    """Train every technique on one set of sessions and score on another."""
+    if not train_sessions or not test_sessions:
+        raise AttackError("both training and test session sets must be non-empty")
+    train_tasks = build_branch_tasks(train_sessions, window_seconds)
+    test_tasks = build_branch_tasks(test_sessions, window_seconds)
+    train_by_id = _session_lookup(train_sessions)
+    test_by_id = _session_lookup(test_sessions)
+
+    # -- bitrate baseline ----------------------------------------------------
+    def _profiles(tasks, sessions_by_id) -> tuple[list[BitrateProfile], list[bool]]:
+        profiles: list[BitrateProfile] = []
+        labels: list[bool] = []
+        for task in tasks:
+            session = sessions_by_id[task.session_id]
+            profiles.append(
+                profile_from_trace(
+                    session.trace, start=task.window_start, end=task.window_end
+                )
+            )
+            labels.append(task.took_default)
+        return profiles, labels
+
+    bitrate = BitrateFingerprinter()
+    train_profiles, train_labels = _profiles(train_tasks, train_by_id)
+    test_profiles, test_labels = _profiles(test_tasks, test_by_id)
+    bitrate.fit(train_profiles, train_labels)
+    bitrate_accuracy = accuracy_score(test_labels, bitrate.predict(test_profiles))
+
+    # -- burst baseline --------------------------------------------------------
+    def _bursts(tasks, sessions_by_id) -> tuple[list[BurstSequence], list[bool]]:
+        sequences: list[BurstSequence] = []
+        labels: list[bool] = []
+        for task in tasks:
+            session = sessions_by_id[task.session_id]
+            sequences.append(
+                extract_bursts(
+                    session.trace, start=task.window_start, end=task.window_end
+                )
+            )
+            labels.append(task.took_default)
+        return sequences, labels
+
+    burst = BurstFingerprinter()
+    train_bursts, train_burst_labels = _bursts(train_tasks, train_by_id)
+    test_bursts, test_burst_labels = _bursts(test_tasks, test_by_id)
+    burst.fit(train_bursts, train_burst_labels)
+    burst_accuracy = accuracy_score(test_burst_labels, burst.predict(test_bursts))
+
+    # -- White Mirror ------------------------------------------------------------
+    attack = WhiteMirrorAttack(graph=graph)
+    attack.train(list(train_sessions))
+    evaluations = attack.evaluate_sessions(list(test_sessions))
+    total = sum(e.ground_truth_choices for e in evaluations)
+    correct = sum(e.correct_choices for e in evaluations)
+    white_mirror_accuracy = correct / total if total else 0.0
+
+    return ComparisonResult(
+        bitrate_baseline_accuracy=float(bitrate_accuracy),
+        burst_baseline_accuracy=float(burst_accuracy),
+        white_mirror_accuracy=float(white_mirror_accuracy),
+        task_count=len(test_tasks),
+    )

@@ -1,0 +1,19 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main workflows without
+writing any Python:
+
+* ``generate-dataset`` — build a synthetic IITM-Bandersnatch dataset
+  (metadata + per-viewer pcaps) under a directory;
+* ``train`` — learn record-length fingerprints from the labelled half of a
+  saved dataset and write them to a JSON library file;
+* ``attack`` — run the White Mirror attack on a pcap file (or on every victim
+  of a saved dataset) using a fingerprint library;
+* ``reproduce`` — run the paper-reproduction experiments (Table I, Figures 1
+  and 2, the Section V headline, and the ablations) and print the report;
+* ``inspect`` — summarise a pcap: flows, volumes, and client record lengths.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,222 @@
+"""Implementations of the CLI sub-commands."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.core.features import extract_client_records
+from repro.core.fingerprint import FingerprintLibrary
+from repro.core.inference import infer_choices
+from repro.core.pipeline import WhiteMirrorAttack
+from repro.dataset.collection import default_study_script
+from repro.dataset.format import load_dataset_metadata
+from repro.dataset.iitm import IITMBandersnatchDataset
+from repro.exceptions import ReproError
+from repro.experiments.report import format_table
+from repro.net.capture import CapturedTrace
+from repro.net.packet import Direction
+from repro.streaming.session import SessionConfig
+from repro.utils.stats import summarize
+
+
+def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
+    """``repro generate-dataset``: build and persist a synthetic dataset."""
+    config = SessionConfig(cross_traffic_enabled=not arguments.no_cross_traffic)
+    print(f"generating {arguments.viewers} viewers (seed {arguments.seed})...")
+    dataset = IITMBandersnatchDataset.generate(
+        viewer_count=arguments.viewers,
+        seed=arguments.seed,
+        config=config,
+        progress=lambda done, total: print(f"  {done}/{total} sessions", end="\r"),
+    )
+    print()
+    metadata_path = dataset.save(arguments.output, write_pcaps=not arguments.no_pcaps)
+    summary = dataset.summary()
+    print(f"wrote {metadata_path}")
+    print(
+        f"viewers={summary.viewer_count} conditions={summary.distinct_conditions} "
+        f"choices={summary.total_choices} packets={summary.total_packets}"
+    )
+    return 0
+
+
+def _split_dataset_entries(metadata: dict, train_fraction: float) -> tuple[list[dict], list[dict]]:
+    entries = list(metadata["entries"])
+    if not 0.0 < train_fraction < 1.0:
+        raise ReproError("train fraction must be in (0, 1)")
+    split_point = max(1, int(round(len(entries) * train_fraction)))
+    split_point = min(split_point, len(entries) - 1) if len(entries) > 1 else 1
+    return entries[:split_point], entries[split_point:]
+
+
+def cmd_train(arguments: argparse.Namespace) -> int:
+    """``repro train``: learn fingerprints from a saved dataset's pcaps.
+
+    The ground-truth labels needed for training do not live in the pcaps (by
+    design), so training re-simulates the calibration viewers' sessions from
+    the dataset metadata — exactly what the researcher who generated the
+    dataset can do, and what a real attacker does by recording their own
+    sessions.
+    """
+    directory = Path(arguments.dataset)
+    metadata = load_dataset_metadata(directory)
+    dataset = IITMBandersnatchDataset.generate(
+        viewer_count=int(metadata["viewer_count"]),
+        seed=_dataset_seed_from_metadata(metadata),
+        config=SessionConfig(cross_traffic_enabled=True),
+    )
+    train_points, _ = dataset.train_test_split(test_fraction=1.0 - arguments.train_fraction)
+    attack = WhiteMirrorAttack(graph=dataset.graph, band_margin=arguments.margin)
+    attack.train([point.session for point in train_points])
+    attack.library.save(arguments.output)
+    rows = [
+        {
+            "environment": key,
+            "type1_band": f"{attack.library.get(key).type1_band.low}-{attack.library.get(key).type1_band.high}",
+            "type2_band": f"{attack.library.get(key).type2_band.low}-{attack.library.get(key).type2_band.high}",
+            "training_records": attack.library.get(key).training_records,
+        }
+        for key in sorted(attack.library.condition_keys)
+    ]
+    print(format_table(rows, "Learned fingerprints"))
+    print(f"wrote {arguments.output}")
+    return 0
+
+
+def _dataset_seed_from_metadata(metadata: dict) -> int:
+    """Seed the dataset was generated from (stored by ``generate-dataset``)."""
+    if "seed" not in metadata:
+        raise ReproError(
+            "dataset metadata does not record its generation seed; "
+            "re-run `repro generate-dataset` (or pass the labelled sessions "
+            "to WhiteMirrorAttack.train directly)"
+        )
+    return int(metadata["seed"])
+
+
+def cmd_attack(arguments: argparse.Namespace) -> int:
+    """``repro attack``: recover choices from a single pcap."""
+    library = FingerprintLibrary.load(arguments.fingerprints)
+    trace = CapturedTrace.from_pcap(
+        arguments.pcap,
+        client_ip=arguments.client_ip,
+        server_ip=arguments.server_ip or "0.0.0.0",
+    )
+    records = extract_client_records(trace, server_ip=arguments.server_ip)
+    fingerprint = library.get(arguments.environment)
+    labels = fingerprint.classify(records)
+    inferred = infer_choices(records, labels)
+    graph = default_study_script()
+    rows = []
+    for event in inferred.events:
+        rows.append(
+            {
+                "question": event.index + 1,
+                "shown_at_s": round(event.question_shown_at, 2),
+                "choice": "default" if event.took_default else "NON-DEFAULT",
+            }
+        )
+    print(format_table(rows, f"Recovered choices ({arguments.environment})"))
+    if inferred.choice_count:
+        from repro.core.inference import reconstruct_path
+        from repro.core.profiling import profile_from_path
+
+        path = reconstruct_path(graph, inferred)
+        profile = profile_from_path(path)
+        trait_rows = [
+            {"trait": trait, "revealed_value": label}
+            for trait, label in profile.as_dict().items()
+        ]
+        print()
+        print(format_table(trait_rows, "Behavioural profile implied by the recovered path"))
+    return 0
+
+
+def cmd_inspect(arguments: argparse.Namespace) -> int:
+    """``repro inspect``: summarise a capture file."""
+    trace = CapturedTrace.from_pcap(
+        arguments.pcap, client_ip=arguments.client_ip, server_ip="0.0.0.0"
+    )
+    table = trace.flow_table()
+    flow_rows = []
+    for flow in table.flows:
+        flow_rows.append(
+            {
+                "flow": flow.five_tuple.key,
+                "packets": flow.packet_count(),
+                "uplink_bytes": flow.payload_bytes(Direction.CLIENT_TO_SERVER),
+                "downlink_bytes": flow.payload_bytes(Direction.SERVER_TO_CLIENT),
+            }
+        )
+    print(format_table(flow_rows, f"Flows in {arguments.pcap}"))
+    records = extract_client_records(trace)
+    lengths = [record.wire_length for record in records]
+    stats = summarize(lengths)
+    print()
+    print(f"client TLS records on the largest flow: {len(records)}")
+    print(
+        f"record lengths: min={stats.minimum:.0f} median={stats.median:.0f} "
+        f"p95={stats.p95:.0f} max={stats.maximum:.0f}"
+    )
+    return 0
+
+
+def cmd_reproduce(arguments: argparse.Namespace) -> int:
+    """``repro reproduce``: run the paper-reproduction experiments."""
+    from repro.experiments import (
+        reproduce_baseline_comparison,
+        reproduce_defense_ablation,
+        reproduce_figure1,
+        reproduce_figure2,
+        reproduce_headline,
+        reproduce_table1,
+    )
+    from repro.experiments.conditions import figure2_condition_names
+
+    chosen = arguments.experiment
+    quick = arguments.quick
+
+    if chosen in ("all", "table1"):
+        result = reproduce_table1(viewer_count=20 if quick else 100)
+        print(format_table(result.rows, "Table I — IITM-Bandersnatch attributes"))
+        print()
+    if chosen in ("all", "figure1"):
+        result = reproduce_figure1()
+        print("Figure 1 — streaming process walkthrough")
+        print("=" * 41)
+        for kind, detail in result.protocol_events:
+            print(f"  {kind:<22s} {detail}")
+        print(f"matches the paper's description: {result.matches_paper_description()}")
+        print()
+    if chosen in ("all", "figure2"):
+        result = reproduce_figure2(sessions_per_condition=1 if quick else 4)
+        names = figure2_condition_names()
+        for distribution in result.distributions:
+            title = names[distribution.condition.fingerprint_key]
+            print(format_table(distribution.rows(), f"Figure 2 — {title}"))
+            print()
+    if chosen in ("all", "headline"):
+        result = reproduce_headline(
+            sessions_per_condition=2 if quick else 10,
+            training_sessions_per_condition=1 if quick else 2,
+        )
+        print(format_table(result.rows(), "Section V — choice recovery accuracy"))
+        print(
+            f"worst case: {result.worst_case_accuracy:.4f} "
+            f"(paper: {result.paper_worst_case_accuracy:.2f})"
+        )
+        print()
+    if chosen in ("all", "baselines"):
+        result = reproduce_baseline_comparison(
+            train_count=2 if quick else 6, test_count=2 if quick else 6
+        )
+        print(format_table(result.rows(), "Ablation A — baselines vs White Mirror"))
+        print()
+    if chosen in ("all", "defenses"):
+        result = reproduce_defense_ablation(
+            train_count=2 if quick else 4, test_count=2 if quick else 4
+        )
+        print(format_table(result.rows(), "Ablation B — countermeasures"))
+        print()
+    return 0

@@ -1,0 +1,108 @@
+"""Argument parsing and dispatch for the ``python -m repro`` command."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro import __version__
+from repro.cli import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "White Mirror reproduction: simulate interactive-streaming traffic, "
+            "build the IITM-Bandersnatch-style dataset, and run the record-length "
+            "traffic-analysis attack."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate-dataset",
+        help="generate a synthetic dataset (metadata.json + per-viewer pcaps)",
+    )
+    generate.add_argument("output", help="directory to write the dataset into")
+    generate.add_argument("--viewers", type=int, default=20, help="number of viewers (default 20)")
+    generate.add_argument("--seed", type=int, default=0, help="dataset seed (default 0)")
+    generate.add_argument(
+        "--no-pcaps", action="store_true", help="write only metadata, skip the pcap files"
+    )
+    generate.add_argument(
+        "--no-cross-traffic", action="store_true", help="disable background cross traffic"
+    )
+    generate.set_defaults(handler=commands.cmd_generate_dataset)
+
+    train = subparsers.add_parser(
+        "train",
+        help="learn record-length fingerprints from a saved dataset",
+    )
+    train.add_argument("dataset", help="dataset directory written by generate-dataset")
+    train.add_argument("output", help="path of the fingerprint library JSON to write")
+    train.add_argument(
+        "--train-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of viewers used for calibration (default 0.5)",
+    )
+    train.add_argument("--margin", type=int, default=8, help="band widening margin in bytes")
+    train.set_defaults(handler=commands.cmd_train)
+
+    attack = subparsers.add_parser(
+        "attack",
+        help="run the attack on a pcap file using a fingerprint library",
+    )
+    attack.add_argument("pcap", help="capture file of the victim session")
+    attack.add_argument("fingerprints", help="fingerprint library JSON written by 'train'")
+    attack.add_argument(
+        "--environment",
+        required=True,
+        help="victim environment key, e.g. linux/firefox",
+    )
+    attack.add_argument("--client-ip", default="192.168.1.23", help="viewer's IP in the capture")
+    attack.add_argument("--server-ip", default=None, help="streaming server IP (default: largest flow)")
+    attack.set_defaults(handler=commands.cmd_attack)
+
+    reproduce = subparsers.add_parser(
+        "reproduce",
+        help="run the paper-reproduction experiments and print the report",
+    )
+    reproduce.add_argument(
+        "--experiment",
+        choices=["all", "table1", "figure1", "figure2", "headline", "baselines", "defenses"],
+        default="all",
+        help="which artefact to reproduce (default: all)",
+    )
+    reproduce.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced session counts for a fast smoke run",
+    )
+    reproduce.set_defaults(handler=commands.cmd_reproduce)
+
+    inspect = subparsers.add_parser(
+        "inspect",
+        help="summarise a pcap: flows, volumes and client record lengths",
+    )
+    inspect.add_argument("pcap", help="capture file to inspect")
+    inspect.add_argument("--client-ip", default="192.168.1.23", help="viewer's IP in the capture")
+    inspect.set_defaults(handler=commands.cmd_inspect)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handler: Callable[[argparse.Namespace], int] = arguments.handler
+    try:
+        return handler(arguments)
+    except Exception as error:  # noqa: BLE001 - the CLI boundary reports, not raises
+        print(f"error: {error}", file=sys.stderr)
+        return 1

@@ -1,0 +1,156 @@
+"""Construction of the client's state-reporting JSON messages.
+
+The interactive player reports its progress to the service over the same TLS
+connection that carries everything else.  Two message kinds matter for the
+side-channel (the paper's "type-1" and "type-2" JSON files):
+
+* **type-1** — sent when a choice question appears on screen ("the viewer has
+  reached Q_i");
+* **type-2** — sent additionally when the viewer selects the *non-default*
+  option, telling the service to stop prefetching the default branch and to
+  start serving the alternative.
+
+The exact JSON schema Netflix uses is irrelevant to the attack; what matters
+is that each message's plaintext size is almost constant for a given client
+environment (same cookies, same player build, same headers) and that the two
+kinds differ in size.  :func:`build_type1_message` and
+:func:`build_type2_message` therefore synthesise a realistic JSON body and
+then pad or trim the serialized form to the calibrated size for the client
+profile, with a small per-message jitter reflecting variable-length fields
+such as timestamps and sequence numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.client.profiles import ClientProfile
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomSource
+
+JSON_TYPE_1 = "type1"
+JSON_TYPE_2 = "type2"
+
+_PADDING_FIELD = "pad"
+
+
+@dataclass(frozen=True)
+class StateMessage:
+    """A state-report ready to be handed to the TLS session.
+
+    Attributes
+    ----------
+    kind:
+        ``"type1"`` or ``"type2"``.
+    question_id:
+        The question this report refers to.
+    payload:
+        The serialized (plaintext) JSON body, already sized for the client
+        profile.
+    timestamp_seconds:
+        Session-relative send time.
+    """
+
+    kind: str
+    question_id: str
+    payload: bytes
+    timestamp_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in (JSON_TYPE_1, JSON_TYPE_2):
+            raise ConfigurationError(f"unknown state message kind {self.kind!r}")
+        if not self.payload:
+            raise ConfigurationError("state message payload must be non-empty")
+        if self.timestamp_seconds < 0:
+            raise ConfigurationError("state message timestamp must be non-negative")
+
+    @property
+    def size_bytes(self) -> int:
+        """Plaintext size of the serialized message."""
+        return len(self.payload)
+
+
+def _base_document(kind: str, question_id: str, session_token: str) -> dict[str, object]:
+    """The semantic content of a state report (before size shaping)."""
+    document: dict[str, object] = {
+        "messageKind": kind,
+        "questionId": question_id,
+        "sessionToken": session_token,
+        "player": {
+            "state": "choicePointReached" if kind == JSON_TYPE_1 else "branchOverride",
+            "interactive": True,
+        },
+    }
+    if kind == JSON_TYPE_2:
+        document["override"] = {
+            "discardPrefetched": True,
+            "requestedBranch": "non-default",
+        }
+    return document
+
+
+def _shape_to_size(document: dict[str, object], target_size: int) -> bytes:
+    """Serialize ``document`` and pad/trim it to exactly ``target_size`` bytes.
+
+    Real clients reach near-constant sizes because the bulky parts (auth
+    cookies, device descriptors) are constant per environment; we reproduce
+    the effect by filling a dedicated padding field.
+    """
+    document = dict(document)
+    document[_PADDING_FIELD] = ""
+    minimal = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    if target_size < len(minimal):
+        raise ConfigurationError(
+            f"target size {target_size} is smaller than the minimal message "
+            f"({len(minimal)} bytes)"
+        )
+    padding = target_size - len(minimal)
+    document[_PADDING_FIELD] = "x" * padding
+    payload = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    if len(payload) != target_size:
+        raise ConfigurationError(
+            f"internal error: shaped payload is {len(payload)} bytes, "
+            f"expected {target_size}"
+        )
+    return payload
+
+
+def build_type1_message(
+    profile: ClientProfile,
+    question_id: str,
+    timestamp_seconds: float,
+    rng: RandomSource,
+    session_token: str = "session",
+) -> StateMessage:
+    """Build the "question reached" report sized for ``profile``."""
+    size = rng.jittered(profile.type1_payload_bytes, profile.type1_payload_jitter)
+    payload = _shape_to_size(
+        _base_document(JSON_TYPE_1, question_id, session_token), size
+    )
+    return StateMessage(
+        kind=JSON_TYPE_1,
+        question_id=question_id,
+        payload=payload,
+        timestamp_seconds=timestamp_seconds,
+    )
+
+
+def build_type2_message(
+    profile: ClientProfile,
+    question_id: str,
+    timestamp_seconds: float,
+    rng: RandomSource,
+    session_token: str = "session",
+) -> StateMessage:
+    """Build the "non-default branch selected" report sized for ``profile``."""
+    size = rng.jittered(profile.type2_payload_bytes, profile.type2_payload_jitter)
+    payload = _shape_to_size(
+        _base_document(JSON_TYPE_2, question_id, session_token), size
+    )
+    return StateMessage(
+        kind=JSON_TYPE_2,
+        question_id=question_id,
+        payload=payload,
+        timestamp_seconds=timestamp_seconds,
+    )

@@ -1,0 +1,130 @@
+"""Viewer behaviour: how a synthetic viewer answers the on-screen questions.
+
+The IITM-Bandersnatch dataset records behavioural attributes of each viewer
+(age group, gender, political alignment, state of mind — Table I).  To make
+the synthetic dataset useful for the same downstream purpose the paper
+envisages (behavioural studies), choices are *not* uniform coin flips: each
+behavioural attribute nudges the probability of taking the default branch at
+questions probing related traits, so the ground-truth choices correlate with
+the stored attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.narrative.bandersnatch import BANDERSNATCH_CHOICE_LABELS, canonical_question_id
+from repro.narrative.choices import ChoicePoint
+from repro.utils.rng import RandomSource
+from repro.utils.validation import ensure_in, ensure_probability
+
+AGE_GROUPS: tuple[str, ...] = ("<20", "20-25", "25-30", ">30")
+GENDERS: tuple[str, ...] = ("male", "female", "undisclosed")
+POLITICAL_ALIGNMENTS: tuple[str, ...] = ("liberal", "centrist", "communist", "undisclosed")
+STATES_OF_MIND: tuple[str, ...] = ("happy", "stressed", "sad", "undisclosed")
+
+
+@dataclass(frozen=True)
+class ViewerBehavior:
+    """Behavioural attributes of one viewer (the Table I behavioural block)."""
+
+    age_group: str
+    gender: str
+    political_alignment: str
+    state_of_mind: str
+
+    def __post_init__(self) -> None:
+        ensure_in(self.age_group, AGE_GROUPS, "age_group")
+        ensure_in(self.gender, GENDERS, "gender")
+        ensure_in(self.political_alignment, POLITICAL_ALIGNMENTS, "political_alignment")
+        ensure_in(self.state_of_mind, STATES_OF_MIND, "state_of_mind")
+
+    def as_dict(self) -> dict[str, str]:
+        """Plain dictionary form used in dataset metadata."""
+        return {
+            "age_group": self.age_group,
+            "gender": self.gender,
+            "political_alignment": self.political_alignment,
+            "state_of_mind": self.state_of_mind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, str]) -> "ViewerBehavior":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            age_group=data["age_group"],
+            gender=data["gender"],
+            political_alignment=data["political_alignment"],
+            state_of_mind=data["state_of_mind"],
+        )
+
+
+class ViewerChoiceModel:
+    """Behaviour-conditioned probability of taking the default branch.
+
+    Parameters
+    ----------
+    behavior:
+        The viewer's behavioural attributes.
+    base_default_probability:
+        Probability of taking the default branch at a question with no
+        behavioural signal attached (0.5 keeps the dataset balanced).
+    """
+
+    #: trait probed by a question -> attribute, value, shift applied to the
+    #: default-branch probability when the viewer has that value.
+    _TRAIT_SHIFTS: dict[str, list[tuple[str, str, float]]] = {
+        "risk_taking": [("age_group", "<20", -0.15), ("age_group", ">30", +0.15)],
+        "aggression": [("state_of_mind", "stressed", -0.20), ("state_of_mind", "happy", +0.10)],
+        "violence": [("state_of_mind", "stressed", -0.15), ("state_of_mind", "sad", -0.05)],
+        "compliance": [
+            ("political_alignment", "communist", -0.10),
+            ("political_alignment", "centrist", +0.10),
+        ],
+        "conformity": [("political_alignment", "liberal", -0.10)],
+        "openness": [("age_group", "20-25", -0.10), ("age_group", ">30", +0.10)],
+        "fatalism": [("state_of_mind", "sad", +0.15)],
+    }
+
+    def __init__(
+        self, behavior: ViewerBehavior, base_default_probability: float = 0.5
+    ) -> None:
+        ensure_probability(base_default_probability, "base_default_probability")
+        self._behavior = behavior
+        self._base = base_default_probability
+
+    @property
+    def behavior(self) -> ViewerBehavior:
+        """The behavioural attributes driving this model."""
+        return self._behavior
+
+    def default_probability(self, question_id: str) -> float:
+        """Probability this viewer takes the default branch at ``question_id``."""
+        canonical = canonical_question_id(question_id)
+        trait = None
+        if canonical in BANDERSNATCH_CHOICE_LABELS:
+            trait = BANDERSNATCH_CHOICE_LABELS[canonical][0]
+        probability = self._base
+        attributes = self._behavior.as_dict()
+        for attribute, value, shift in self._TRAIT_SHIFTS.get(trait, []):
+            key = attribute if attribute in attributes else None
+            if key is not None and attributes[key] == value:
+                probability += shift
+        return float(min(0.95, max(0.05, probability)))
+
+    def decide(self, choice_point: ChoicePoint, rng: RandomSource) -> bool:
+        """Return ``True`` if the viewer takes the default branch at this question."""
+        return rng.bernoulli(self.default_probability(choice_point.question_id))
+
+    def decision_delay(self, choice_point: ChoicePoint, rng: RandomSource) -> float:
+        """Seconds the viewer takes to decide (never exceeding the timeout)."""
+        if choice_point.timeout_seconds <= 0:
+            raise ConfigurationError("choice point timeout must be positive")
+        mean_delay = 0.45 * choice_point.timeout_seconds
+        return rng.truncated_normal(
+            mean=mean_delay,
+            std=0.2 * choice_point.timeout_seconds,
+            low=0.5,
+            high=choice_point.timeout_seconds - 0.25,
+        )

@@ -1,0 +1,65 @@
+"""The White Mirror attack: recovering viewer choices from encrypted traffic.
+
+This is the paper's contribution.  Given a captured trace of an interactive
+viewing session, the attack
+
+1. finds the streaming connection and extracts the *SSL record lengths of
+   client packets* — the side-channel (:mod:`repro.core.features`);
+2. classifies each client record as a type-1 state report, a type-2 state
+   report or "other" using per-condition record-length band fingerprints
+   learned from labelled training sessions (:mod:`repro.core.fingerprint`,
+   :mod:`repro.core.classifier`);
+3. turns the classified event sequence into the viewer's choice sequence —
+   every type-1 is a question reached, a following type-2 means the
+   non-default branch was picked (:mod:`repro.core.inference`);
+4. optionally maps the recovered choices onto behavioural trait hints
+   (:mod:`repro.core.profiling`).
+
+:class:`repro.core.pipeline.WhiteMirrorAttack` wires the steps together, and
+:mod:`repro.core.evaluation` scores recovered choices against ground truth.
+"""
+
+from repro.core.features import (
+    ClientRecord,
+    LABEL_OTHER,
+    LABEL_TYPE1,
+    LABEL_TYPE2,
+    extract_client_records,
+    record_length_series,
+)
+from repro.core.fingerprint import LengthBand, RecordLengthFingerprint, FingerprintLibrary
+from repro.core.classifier import RecordTypeClassifier, MLRecordClassifier
+from repro.core.inference import ChoiceEvent, InferredChoices, infer_choices, reconstruct_path
+from repro.core.profiling import TraitEstimate, BehavioralProfile, profile_from_choices
+from repro.core.pipeline import AttackResult, WhiteMirrorAttack
+from repro.core.evaluation import (
+    AttackEvaluation,
+    evaluate_attack_result,
+    evaluate_record_classification,
+)
+
+__all__ = [
+    "ClientRecord",
+    "LABEL_OTHER",
+    "LABEL_TYPE1",
+    "LABEL_TYPE2",
+    "extract_client_records",
+    "record_length_series",
+    "LengthBand",
+    "RecordLengthFingerprint",
+    "FingerprintLibrary",
+    "RecordTypeClassifier",
+    "MLRecordClassifier",
+    "ChoiceEvent",
+    "InferredChoices",
+    "infer_choices",
+    "reconstruct_path",
+    "TraitEstimate",
+    "BehavioralProfile",
+    "profile_from_choices",
+    "AttackResult",
+    "WhiteMirrorAttack",
+    "AttackEvaluation",
+    "evaluate_attack_result",
+    "evaluate_record_classification",
+]

@@ -1,0 +1,221 @@
+"""Feature extraction: client-side SSL record lengths from a captured trace.
+
+The extractor works exactly the way a passive observer has to:
+
+* pick the streaming connection out of the capture (by server endpoint if
+  known, otherwise the flow carrying by far the most downlink bytes);
+* follow the client-to-server TCP byte stream in sequence order, ignoring
+  retransmitted duplicates;
+* walk the TLS record headers inside that stream (they are cleartext) and
+  note, for every record, its wire length, its content type and the capture
+  timestamp of the segment that completed it.
+
+Ground-truth labels are attached *only* when the trace still carries the
+simulator's annotations (in-memory traces used for training and evaluation);
+traces loaded back from pcap yield unlabelled records, as real captures would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import AttackError
+from repro.net.capture import CapturedTrace
+from repro.net.endpoints import FiveTuple
+from repro.net.flow import Flow, FlowTable
+from repro.net.packet import Direction, Packet
+from repro.tls.records import (
+    MAX_CIPHERTEXT_LENGTH,
+    RECORD_HEADER_LENGTH,
+    ContentType,
+)
+
+LABEL_TYPE1 = "type1"
+LABEL_TYPE2 = "type2"
+LABEL_OTHER = "other"
+
+_HEADER = RECORD_HEADER_LENGTH
+
+
+@dataclass(frozen=True)
+class ClientRecord:
+    """One client-to-server TLS record as seen by the observer."""
+
+    timestamp: float
+    wire_length: int
+    content_type: int
+    label: str | None = None
+    question_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.wire_length <= RECORD_HEADER_LENGTH:
+            raise AttackError(
+                f"record wire length must exceed the header, got {self.wire_length}"
+            )
+
+    @property
+    def is_application_data(self) -> bool:
+        """Whether the record carries application data (what the attack inspects)."""
+        return self.content_type == int(ContentType.APPLICATION_DATA)
+
+    @property
+    def payload_length(self) -> int:
+        """The record's length field (ciphertext bytes)."""
+        return self.wire_length - RECORD_HEADER_LENGTH
+
+
+def _label_from_annotations(packet: Packet) -> tuple[str | None, str | None]:
+    kind = packet.annotations.get("kind")
+    if kind is None:
+        return None, None
+    question = packet.annotations.get("question_id")
+    if kind == LABEL_TYPE1:
+        return LABEL_TYPE1, question
+    if kind == LABEL_TYPE2:
+        return LABEL_TYPE2, question
+    return LABEL_OTHER, question
+
+
+def select_streaming_flow(
+    trace: CapturedTrace, server_ip: str | None = None, server_port: int = 443
+) -> Flow:
+    """Find the connection that carries the streaming session.
+
+    When the server address is known (the observer can resolve the CDN names
+    Netflix uses), the flow is selected by endpoint; otherwise the heuristic
+    is the flow with the most downlink payload bytes, which in any real
+    viewing session is the video connection by orders of magnitude.
+    """
+    table: FlowTable = trace.flow_table()
+    if server_ip is not None:
+        for flow in table.flows:
+            server = flow.five_tuple.server
+            if server.ip == server_ip and server.port == server_port:
+                return flow
+        raise AttackError(f"no flow to {server_ip}:{server_port} in the trace")
+    return table.largest_flow()
+
+
+def extract_client_records(
+    trace: CapturedTrace,
+    server_ip: str | None = None,
+    application_data_only: bool = True,
+    flow: Flow | None = None,
+) -> list[ClientRecord]:
+    """Extract the client-side TLS records of the streaming connection.
+
+    Parameters
+    ----------
+    trace:
+        The captured session.
+    server_ip:
+        Optional known server address used to pick the right flow.
+    application_data_only:
+        Drop handshake/CCS/alert records (the observer can always identify
+        them from the cleartext content-type byte).
+    flow:
+        Pre-selected flow; skips flow selection when provided.
+    """
+    flow = flow or select_streaming_flow(trace, server_ip)
+    packets = [
+        packet
+        for packet in flow.client_packets()
+        if packet.payload and not packet.is_retransmission
+    ]
+    # Order by sequence number (capture order can interleave retransmissions),
+    # drop duplicate segments the way any TCP reassembler does.
+    packets.sort(key=lambda packet: (packet.sequence_number, packet.timestamp))
+    seen_sequences: set[int] = set()
+    records: list[ClientRecord] = []
+    buffer = bytearray()
+    # Parser state for the record currently being assembled.
+    pending_label: str | None = None
+    pending_question: str | None = None
+    pending_content: int | None = None
+    pending_needed = 0
+    expected_sequence: int | None = None
+
+    def _reset_parser() -> None:
+        nonlocal pending_label, pending_question, pending_content, pending_needed
+        buffer.clear()
+        pending_label = None
+        pending_question = None
+        pending_content = None
+        pending_needed = 0
+
+    for packet in packets:
+        if packet.sequence_number in seen_sequences:
+            continue
+        seen_sequences.add(packet.sequence_number)
+        if expected_sequence is not None and packet.sequence_number > expected_sequence:
+            # Bytes are missing from the capture (packets the observer never
+            # saw).  Whatever record was mid-assembly cannot be completed and
+            # the framing of the buffered tail is unreliable, so resynchronise
+            # at the gap: real capture tooling does the same.
+            _reset_parser()
+        expected_sequence = packet.sequence_number + len(packet.payload)
+        buffer.extend(packet.payload)
+        label, question = _label_from_annotations(packet)
+        if pending_needed == 0:
+            pending_label, pending_question = label, question
+        # Consume as many complete records as the buffer now holds.
+        while True:
+            if pending_needed == 0:
+                if len(buffer) < _HEADER:
+                    break
+                content_type = buffer[0]
+                length = int.from_bytes(buffer[3:5], "big")
+                if length == 0 or length > MAX_CIPHERTEXT_LENGTH:
+                    # The stream lost framing (e.g. a capture gap landed inside
+                    # a record header).  Drop the unparseable tail and wait for
+                    # the next gap to resynchronise rather than aborting the
+                    # whole extraction.
+                    _reset_parser()
+                    break
+                pending_content = content_type
+                pending_needed = _HEADER + length
+                if pending_label is None:
+                    pending_label, pending_question = label, question
+            if len(buffer) < pending_needed:
+                break
+            records.append(
+                ClientRecord(
+                    timestamp=packet.timestamp,
+                    wire_length=pending_needed,
+                    content_type=int(pending_content or 0),
+                    label=pending_label,
+                    question_id=pending_question,
+                )
+            )
+            del buffer[:pending_needed]
+            pending_needed = 0
+            pending_label, pending_question = label, question
+    if application_data_only:
+        records = [record for record in records if record.is_application_data]
+    if not records:
+        raise AttackError("no client-side TLS records found in the trace")
+    return records
+
+
+def record_length_series(records: Sequence[ClientRecord]) -> list[int]:
+    """The wire lengths of a record sequence (the raw side-channel series)."""
+    return [record.wire_length for record in records]
+
+
+def labelled_lengths(
+    records: Sequence[ClientRecord],
+) -> tuple[list[int], list[str]]:
+    """Split labelled records into (lengths, labels) for classifier training.
+
+    Raises when any record is unlabelled — training data must come from
+    annotated (simulated or self-collected) sessions.
+    """
+    lengths: list[int] = []
+    labels: list[str] = []
+    for record in records:
+        if record.label is None:
+            raise AttackError("cannot build training data from unlabelled records")
+        lengths.append(record.wire_length)
+        labels.append(record.label)
+    return lengths, labels

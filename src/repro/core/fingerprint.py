@@ -1,0 +1,216 @@
+"""Record-length band fingerprints.
+
+The paper's observation (Figure 2) is that, under a fixed client environment,
+the type-1 and type-2 state reports occupy narrow, non-overlapping bands of
+SSL record lengths that are disjoint from (almost all) other client records.
+A :class:`RecordLengthFingerprint` stores those two bands for one environment;
+a :class:`FingerprintLibrary` holds one fingerprint per environment
+(OS × browser) and is what the attacker trains during their controlled
+viewing sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.features import ClientRecord, LABEL_OTHER, LABEL_TYPE1, LABEL_TYPE2
+from repro.exceptions import FingerprintError
+
+
+@dataclass(frozen=True)
+class LengthBand:
+    """A closed byte-length interval."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low <= 0 or self.high <= 0:
+            raise FingerprintError("band bounds must be positive")
+        if self.low > self.high:
+            raise FingerprintError(f"band lower bound {self.low} exceeds {self.high}")
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` lies inside the band (inclusive)."""
+        return self.low <= value <= self.high
+
+    def widened(self, margin: int) -> "LengthBand":
+        """A copy widened by ``margin`` bytes on each side."""
+        if margin < 0:
+            raise FingerprintError("margin must be non-negative")
+        return LengthBand(low=max(1, self.low - margin), high=self.high + margin)
+
+    def overlaps(self, other: "LengthBand") -> bool:
+        """Whether two bands share any length."""
+        return self.low <= other.high and other.low <= self.high
+
+    @property
+    def width(self) -> int:
+        """Number of distinct lengths the band covers."""
+        return self.high - self.low + 1
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-friendly form."""
+        return {"low": self.low, "high": self.high}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "LengthBand":
+        """Inverse of :meth:`as_dict`."""
+        return cls(low=int(data["low"]), high=int(data["high"]))
+
+    @classmethod
+    def from_values(cls, values: Sequence[int], margin: int = 0) -> "LengthBand":
+        """The tightest band containing every value, widened by ``margin``."""
+        if not values:
+            raise FingerprintError("cannot build a band from no values")
+        return cls(low=min(values), high=max(values)).widened(margin)
+
+
+@dataclass(frozen=True)
+class RecordLengthFingerprint:
+    """The type-1/type-2 bands for one client environment."""
+
+    condition_key: str
+    type1_band: LengthBand
+    type2_band: LengthBand
+    training_records: int
+
+    def __post_init__(self) -> None:
+        if not self.condition_key:
+            raise FingerprintError("fingerprint needs a condition key")
+        if self.training_records <= 0:
+            raise FingerprintError("fingerprint must be built from at least one record")
+        if self.type1_band.overlaps(self.type2_band):
+            raise FingerprintError(
+                "type-1 and type-2 bands overlap; the side-channel is not "
+                "separable for this environment"
+            )
+
+    def classify_length(self, wire_length: int) -> str:
+        """Assign one record length to ``type1``, ``type2`` or ``other``."""
+        if self.type1_band.contains(wire_length):
+            return LABEL_TYPE1
+        if self.type2_band.contains(wire_length):
+            return LABEL_TYPE2
+        return LABEL_OTHER
+
+    def classify(self, records: Iterable[ClientRecord]) -> list[str]:
+        """Classify a sequence of client records by their wire lengths."""
+        return [self.classify_length(record.wire_length) for record in records]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly form."""
+        return {
+            "condition_key": self.condition_key,
+            "type1_band": self.type1_band.as_dict(),
+            "type2_band": self.type2_band.as_dict(),
+            "training_records": self.training_records,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RecordLengthFingerprint":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            condition_key=str(data["condition_key"]),
+            type1_band=LengthBand.from_dict(data["type1_band"]),  # type: ignore[arg-type]
+            type2_band=LengthBand.from_dict(data["type2_band"]),  # type: ignore[arg-type]
+            training_records=int(data["training_records"]),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def learn(
+        cls,
+        condition_key: str,
+        records: Sequence[ClientRecord],
+        margin: int = 2,
+    ) -> "RecordLengthFingerprint":
+        """Learn the bands from labelled training records of one environment."""
+        type1_lengths = [r.wire_length for r in records if r.label == LABEL_TYPE1]
+        type2_lengths = [r.wire_length for r in records if r.label == LABEL_TYPE2]
+        if not type1_lengths:
+            raise FingerprintError(
+                f"no labelled type-1 records for environment {condition_key!r}"
+            )
+        if not type2_lengths:
+            raise FingerprintError(
+                f"no labelled type-2 records for environment {condition_key!r}"
+            )
+        return cls(
+            condition_key=condition_key,
+            type1_band=LengthBand.from_values(type1_lengths, margin),
+            type2_band=LengthBand.from_values(type2_lengths, margin),
+            training_records=len(records),
+        )
+
+
+class FingerprintLibrary:
+    """Per-environment fingerprints, keyed by the condition's fingerprint key."""
+
+    def __init__(self) -> None:
+        self._fingerprints: dict[str, RecordLengthFingerprint] = {}
+
+    @property
+    def condition_keys(self) -> tuple[str, ...]:
+        """All environments the library covers."""
+        return tuple(self._fingerprints.keys())
+
+    def add(self, fingerprint: RecordLengthFingerprint) -> None:
+        """Insert or replace the fingerprint for one environment."""
+        self._fingerprints[fingerprint.condition_key] = fingerprint
+
+    def get(self, condition_key: str) -> RecordLengthFingerprint:
+        """Look up the fingerprint for an environment."""
+        try:
+            return self._fingerprints[condition_key]
+        except KeyError:
+            raise FingerprintError(
+                f"no fingerprint trained for environment {condition_key!r}; "
+                f"known environments: {sorted(self._fingerprints)}"
+            ) from None
+
+    def __contains__(self, condition_key: object) -> bool:
+        return condition_key in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    def learn(
+        self,
+        condition_key: str,
+        records: Sequence[ClientRecord],
+        margin: int = 2,
+    ) -> RecordLengthFingerprint:
+        """Learn and store the fingerprint for one environment."""
+        fingerprint = RecordLengthFingerprint.learn(condition_key, records, margin)
+        self.add(fingerprint)
+        return fingerprint
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly form of the whole library."""
+        return {
+            key: fingerprint.as_dict() for key, fingerprint in self._fingerprints.items()
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Mapping[str, object]]) -> "FingerprintLibrary":
+        """Inverse of :meth:`as_dict`."""
+        library = cls()
+        for fingerprint_data in data.values():
+            library.add(RecordLengthFingerprint.from_dict(fingerprint_data))
+        return library
+
+    def save(self, path: str | Path) -> None:
+        """Persist the library as JSON."""
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FingerprintLibrary":
+        """Load a library previously written by :meth:`save`."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise FingerprintError(f"cannot load fingerprint library: {error}") from error
+        return cls.from_dict(data)

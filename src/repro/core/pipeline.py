@@ -1,0 +1,175 @@
+"""The end-to-end eavesdropper pipeline.
+
+:class:`WhiteMirrorAttack` is the library's headline public API.  The attacker
+
+1. **trains** on viewing sessions they performed themselves (so the choices —
+   the labels — are known) under each client environment they want to cover;
+2. **attacks** a victim's captured trace: extract client records, classify
+   them with the environment's fingerprint, decode the choice sequence and,
+   if the story graph is known, reconstruct the exact path and a behavioural
+   profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.classifier import MLRecordClassifier, RecordTypeClassifier
+from repro.core.evaluation import AttackEvaluation, evaluate_attack_result
+from repro.core.features import ClientRecord, extract_client_records
+from repro.core.fingerprint import FingerprintLibrary
+from repro.core.inference import InferredChoices, infer_choices, reconstruct_path
+from repro.core.profiling import BehavioralProfile, profile_from_path
+from repro.exceptions import AttackError
+from repro.narrative.graph import StoryGraph
+from repro.narrative.path import ViewingPath
+from repro.net.capture import CapturedTrace
+from repro.streaming.session import SessionResult
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """What the attack recovered from one victim trace."""
+
+    condition_key: str
+    records: tuple[ClientRecord, ...]
+    predicted_labels: tuple[str, ...]
+    inferred: InferredChoices
+    reconstructed_path: ViewingPath | None
+    profile: BehavioralProfile | None
+
+    @property
+    def recovered_pattern(self) -> tuple[bool, ...]:
+        """The recovered default/non-default pattern."""
+        return self.inferred.default_pattern
+
+    def evaluate_against(self, result: SessionResult) -> AttackEvaluation:
+        """Score this attack result against the session's ground truth."""
+        return evaluate_attack_result(
+            records=self.records,
+            predicted_labels=self.predicted_labels,
+            inferred=self.inferred,
+            ground_truth_path=result.path,
+        )
+
+
+class WhiteMirrorAttack:
+    """Passive traffic-analysis attack on interactive viewing sessions.
+
+    Parameters
+    ----------
+    graph:
+        The interactive title's story graph, if known to the attacker (it is
+        public information — anyone can map it by watching the title).  When
+        provided, attacks also reconstruct the concrete path and behavioural
+        profile; without it only the default/non-default pattern is recovered.
+    band_margin:
+        Widening applied to learned record-length bands, absorbing a little
+        jitter unseen in training.  The default (8 bytes) comfortably covers
+        the residual variability of the state reports even when only a couple
+        of labelled sessions are available for an environment, while staying
+        far from the nearest "other" traffic band (100+ bytes away).
+    """
+
+    def __init__(self, graph: StoryGraph | None = None, band_margin: int = 8) -> None:
+        if band_margin < 0:
+            raise AttackError("band margin must be non-negative")
+        self._graph = graph
+        self._margin = band_margin
+        self._library = FingerprintLibrary()
+
+    # -- training ------------------------------------------------------------
+
+    @property
+    def library(self) -> FingerprintLibrary:
+        """The per-environment fingerprints learned so far."""
+        return self._library
+
+    @property
+    def classifier(self) -> RecordTypeClassifier:
+        """A band classifier over the current fingerprint library."""
+        return RecordTypeClassifier(self._library)
+
+    def train(self, sessions: Iterable[SessionResult]) -> FingerprintLibrary:
+        """Learn fingerprints from labelled (self-collected) sessions.
+
+        Sessions are grouped by their condition's fingerprint key (operating
+        system × browser); each group must contain at least one type-1 and
+        one type-2 record.
+        """
+        grouped: dict[str, list[ClientRecord]] = {}
+        for session in sessions:
+            key = session.condition.fingerprint_key
+            records = extract_client_records(
+                session.trace, server_ip=session.trace.server_ip
+            )
+            grouped.setdefault(key, []).extend(records)
+        if not grouped:
+            raise AttackError("no training sessions supplied")
+        for key, records in grouped.items():
+            self._library.learn(key, records, margin=self._margin)
+        return self._library
+
+    def train_ml_classifier(
+        self, sessions: Iterable[SessionResult], classifier: MLRecordClassifier
+    ) -> MLRecordClassifier:
+        """Train a generic ML record classifier on the same labelled sessions.
+
+        Used by the ablation benchmarks; the main pipeline uses the band
+        fingerprints.
+        """
+        records: list[ClientRecord] = []
+        for session in sessions:
+            records.extend(
+                extract_client_records(session.trace, server_ip=session.trace.server_ip)
+            )
+        if not records:
+            raise AttackError("no training sessions supplied")
+        return classifier.fit(records)
+
+    # -- attacking -------------------------------------------------------------
+
+    def attack_trace(
+        self,
+        trace: CapturedTrace,
+        condition_key: str,
+        server_ip: str | None = None,
+    ) -> AttackResult:
+        """Run the full attack on one captured trace."""
+        records = extract_client_records(trace, server_ip=server_ip or trace.server_ip)
+        labels = self.classifier.classify(records, condition_key)
+        inferred = infer_choices(records, labels)
+        path: ViewingPath | None = None
+        profile: BehavioralProfile | None = None
+        if self._graph is not None and inferred.choice_count > 0:
+            path = reconstruct_path(self._graph, inferred)
+            profile = profile_from_path(path)
+        return AttackResult(
+            condition_key=condition_key,
+            records=tuple(records),
+            predicted_labels=tuple(labels),
+            inferred=inferred,
+            reconstructed_path=path,
+            profile=profile,
+        )
+
+    def attack_session(self, session: SessionResult) -> AttackResult:
+        """Attack a simulated session (condition taken from its metadata)."""
+        return self.attack_trace(
+            session.trace,
+            condition_key=session.condition.fingerprint_key,
+            server_ip=session.trace.server_ip,
+        )
+
+    def evaluate_sessions(
+        self, sessions: Sequence[SessionResult]
+    ) -> list[AttackEvaluation]:
+        """Attack and score a batch of sessions with ground truth."""
+        if not sessions:
+            raise AttackError("no sessions to evaluate")
+        evaluations: list[AttackEvaluation] = []
+        for session in sessions:
+            result = self.attack_session(session)
+            evaluations.append(result.evaluate_against(session))
+        return evaluations

@@ -1,0 +1,39 @@
+"""The IITM-Bandersnatch-style dataset.
+
+The paper contributes a dataset of 100 viewers, each data point being
+``{encrypted traces, ground truth choices}`` plus the operational and
+behavioural attributes of Table I.  Real captures cannot be collected
+offline, so this package generates the synthetic equivalent: a viewer
+population spanning the same attribute grid, one simulated viewing session
+per viewer, ground-truth choices recorded alongside, and (optionally) each
+trace persisted as a pcap file next to a JSON metadata index.
+"""
+
+from repro.dataset.attributes import (
+    BEHAVIORAL_ATTRIBUTES,
+    OPERATIONAL_ATTRIBUTES,
+    table1_rows,
+)
+from repro.dataset.population import Viewer, generate_population
+from repro.dataset.collection import DataPoint, collect_datapoint, collect_dataset
+from repro.dataset.format import load_dataset_metadata, save_dataset_metadata
+from repro.dataset.loader import LoadedDataPoint, LoadedDataset, load_released_dataset
+from repro.dataset.iitm import DatasetSummary, IITMBandersnatchDataset
+
+__all__ = [
+    "BEHAVIORAL_ATTRIBUTES",
+    "OPERATIONAL_ATTRIBUTES",
+    "table1_rows",
+    "Viewer",
+    "generate_population",
+    "DataPoint",
+    "collect_datapoint",
+    "collect_dataset",
+    "load_dataset_metadata",
+    "save_dataset_metadata",
+    "LoadedDataPoint",
+    "LoadedDataset",
+    "load_released_dataset",
+    "DatasetSummary",
+    "IITMBandersnatchDataset",
+]

@@ -1,0 +1,88 @@
+"""Table I: the attribute space of the IITM-Bandersnatch dataset.
+
+The table has two blocks — operational conditions and behavioural
+attributes — each a small categorical domain.  This module is the single
+source of truth for those domains; the population generator samples from
+them and the Table I reproduction prints them back.
+"""
+
+from __future__ import annotations
+
+from repro.client.profiles import (
+    BROWSERS,
+    CONNECTION_TYPES,
+    OPERATING_SYSTEMS,
+    PLATFORMS,
+    TRAFFIC_CONDITIONS,
+)
+from repro.client.viewer import AGE_GROUPS, GENDERS, POLITICAL_ALIGNMENTS, STATES_OF_MIND
+
+#: Operational block of Table I: attribute -> allowed values.
+OPERATIONAL_ATTRIBUTES: dict[str, tuple[str, ...]] = {
+    "Operating System": OPERATING_SYSTEMS,
+    "Platform": PLATFORMS,
+    "Traffic Conditions": TRAFFIC_CONDITIONS,
+    "Connection Type": CONNECTION_TYPES,
+    "Browser": BROWSERS,
+}
+
+#: Behavioural block of Table I: attribute -> allowed values.
+BEHAVIORAL_ATTRIBUTES: dict[str, tuple[str, ...]] = {
+    "Age-group": AGE_GROUPS,
+    "Gender": GENDERS,
+    "Political Alignment": POLITICAL_ALIGNMENTS,
+    "State of Mind": STATES_OF_MIND,
+}
+
+#: Display names matching the paper's Table I wording, for the reproduction
+#: report (the library-internal identifiers are lowercase).
+_PAPER_VALUE_NAMES: dict[str, str] = {
+    "windows": "Windows",
+    "linux": "Linux",
+    "mac": "Mac",
+    "desktop": "Desktop",
+    "laptop": "Laptop",
+    "morning": "Morning",
+    "noon": "Noon",
+    "night": "Night",
+    "wired": "Wired",
+    "wireless": "Wireless",
+    "chrome": "Google-chrome",
+    "firefox": "Firefox",
+    "male": "Male",
+    "female": "Female",
+    "undisclosed": "Undisclosed",
+    "liberal": "Liberal",
+    "centrist": "Centrist",
+    "communist": "Communist",
+    "happy": "Happy",
+    "stressed": "Stressed",
+    "sad": "Sad",
+}
+
+
+def paper_value_name(value: str) -> str:
+    """Map an internal attribute value to the paper's Table I spelling."""
+    return _PAPER_VALUE_NAMES.get(value, value)
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """Rows of Table I: (conditions block, attribute, value list)."""
+    rows: list[dict[str, str]] = []
+    for attribute, values in OPERATIONAL_ATTRIBUTES.items():
+        rows.append(
+            {
+                "conditions": "Operational",
+                "attribute": attribute,
+                "values": ", ".join(paper_value_name(value) for value in values),
+            }
+        )
+    for attribute, values in BEHAVIORAL_ATTRIBUTES.items():
+        rows.append(
+            {
+                "conditions": "Behavioral",
+                "attribute": attribute,
+                "values": ", ".join(paper_value_name(value) for value in values),
+            }
+        )
+    return rows

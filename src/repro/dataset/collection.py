@@ -1,0 +1,129 @@
+"""The collection pipeline: one simulated viewing session per viewer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.dataset.population import Viewer
+from repro.exceptions import DatasetError
+from repro.media.manifest import MediaManifest, build_manifest
+from repro.narrative.bandersnatch import build_bandersnatch_script
+from repro.narrative.graph import StoryGraph
+from repro.streaming.session import SessionConfig, SessionResult, simulate_session
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class DataPoint:
+    """One dataset entry: a viewer, their session and the ground truth."""
+
+    viewer: Viewer
+    session: SessionResult
+
+    @property
+    def ground_truth_choices(self) -> tuple[bool, ...]:
+        """Default/non-default pattern of the viewer's actual choices."""
+        return self.session.path.default_pattern
+
+    @property
+    def selected_labels(self) -> tuple[str, ...]:
+        """On-screen labels the viewer actually picked, in order."""
+        return self.session.path.selected_labels()
+
+    def metadata(self) -> dict[str, object]:
+        """JSON-friendly metadata (everything except the raw packets)."""
+        return {
+            "viewer": self.viewer.as_dict(),
+            "session_id": self.session.session_id,
+            "choices": [
+                {
+                    "question_id": record.question_id,
+                    "selected_label": record.selected_label,
+                    "took_default": record.took_default,
+                    "decision_time_seconds": record.decision_time_seconds,
+                }
+                for record in self.session.path.choices
+            ],
+            "segments": list(self.session.path.segment_ids),
+            "packet_count": self.session.trace.packet_count,
+            "capture_duration_seconds": self.session.trace.duration_seconds,
+        }
+
+
+def default_study_script() -> StoryGraph:
+    """The script used for dataset collection.
+
+    Structurally identical to the full Bandersnatch-like script (ten binary
+    choice points, common trunk, branch/rejoin), but with shorter segments so
+    that generating a 100-viewer dataset stays laptop-scale.  The record-level
+    side-channel is completely unaffected by segment duration.
+    """
+    return build_bandersnatch_script(
+        trunk_segment_minutes=1.5,
+        branch_segment_minutes=1.0,
+        ending_minutes=2.0,
+    )
+
+
+def collect_datapoint(
+    viewer: Viewer,
+    graph: StoryGraph,
+    manifest: MediaManifest,
+    dataset_seed: int,
+    config: SessionConfig | None = None,
+) -> DataPoint:
+    """Run the viewing session for one viewer and package the data point."""
+    seed = derive_seed(dataset_seed, "collection", viewer.viewer_id)
+    session = simulate_session(
+        graph=graph,
+        condition=viewer.condition,
+        behavior=viewer.behavior,
+        seed=seed,
+        config=config,
+        manifest=manifest,
+        session_id=viewer.viewer_id,
+    )
+    return DataPoint(viewer=viewer, session=session)
+
+
+def collect_dataset(
+    viewers: Sequence[Viewer],
+    dataset_seed: int = 0,
+    graph: StoryGraph | None = None,
+    config: SessionConfig | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[DataPoint]:
+    """Collect one data point per viewer.
+
+    Parameters
+    ----------
+    viewers:
+        The population to collect from.
+    dataset_seed:
+        Root seed; every viewer's session seed derives from it.
+    graph:
+        The interactive script to stream; defaults to
+        :func:`default_study_script`.
+    config:
+        Session configuration shared by every collection run.
+    progress:
+        Optional callback ``(completed, total)`` invoked after each viewer.
+    """
+    if not viewers:
+        raise DatasetError("cannot collect a dataset for an empty population")
+    graph = graph or default_study_script()
+    config = config or SessionConfig()
+    manifest = build_manifest(
+        graph,
+        content_seed=config.content_seed,
+        chunk_duration_seconds=config.chunk_duration_seconds,
+    )
+    points: list[DataPoint] = []
+    for index, viewer in enumerate(viewers):
+        points.append(
+            collect_datapoint(viewer, graph, manifest, dataset_seed, config)
+        )
+        if progress is not None:
+            progress(index + 1, len(viewers))
+    return points

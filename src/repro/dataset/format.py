@@ -1,0 +1,89 @@
+"""On-disk format of the dataset.
+
+A saved dataset is a directory::
+
+    dataset/
+      metadata.json        # index: per-viewer attributes + ground truth
+      traces/
+        viewer-000.pcap    # one standard pcap per viewer
+        viewer-001.pcap
+        ...
+
+The metadata deliberately never contains the record-length features — they
+must be re-derived from the pcaps, keeping the saved artefact equivalent to
+what a real study would release.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.dataset.collection import DataPoint
+from repro.exceptions import DatasetError
+
+METADATA_FILENAME = "metadata.json"
+TRACES_DIRNAME = "traces"
+FORMAT_VERSION = 1
+
+
+def save_dataset_metadata(
+    points: Sequence[DataPoint],
+    directory: str | Path,
+    dataset_name: str = "iitm-bandersnatch-synthetic",
+    write_pcaps: bool = True,
+    seed: int | None = None,
+) -> Path:
+    """Write the metadata index (and optionally per-viewer pcaps).
+
+    Returns the path of the metadata file.
+    """
+    if not points:
+        raise DatasetError("cannot save an empty dataset")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    traces_dir = directory / TRACES_DIRNAME
+    entries: list[dict[str, object]] = []
+    for point in points:
+        entry = point.metadata()
+        if write_pcaps:
+            traces_dir.mkdir(parents=True, exist_ok=True)
+            pcap_path = traces_dir / f"{point.viewer.viewer_id}.pcap"
+            point.session.trace.to_pcap(pcap_path)
+            entry["trace_file"] = str(pcap_path.relative_to(directory))
+            entry["client_ip"] = point.session.trace.client_ip
+            entry["server_ip"] = point.session.trace.server_ip
+        entries.append(entry)
+    metadata = {
+        "name": dataset_name,
+        "format_version": FORMAT_VERSION,
+        "viewer_count": len(points),
+        "entries": entries,
+    }
+    if seed is not None:
+        # Stored so tooling (e.g. the CLI's `train` command) can regenerate the
+        # labelled sessions; a real released dataset would omit it.
+        metadata["seed"] = int(seed)
+    metadata_path = directory / METADATA_FILENAME
+    metadata_path.write_text(json.dumps(metadata, indent=2), encoding="utf-8")
+    return metadata_path
+
+
+def load_dataset_metadata(directory: str | Path) -> dict[str, object]:
+    """Load and validate the metadata index of a saved dataset."""
+    metadata_path = Path(directory) / METADATA_FILENAME
+    try:
+        metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise DatasetError(f"cannot load dataset metadata: {error}") from error
+    for key in ("name", "format_version", "viewer_count", "entries"):
+        if key not in metadata:
+            raise DatasetError(f"dataset metadata is missing the {key!r} field")
+    if metadata["format_version"] != FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported dataset format version {metadata['format_version']}"
+        )
+    if metadata["viewer_count"] != len(metadata["entries"]):
+        raise DatasetError("dataset metadata viewer count does not match its entries")
+    return metadata

@@ -1,0 +1,188 @@
+"""The IITM-Bandersnatch-style dataset object.
+
+:class:`IITMBandersnatchDataset` is the user-facing wrapper around the
+population generator and collection pipeline: generate ``n`` viewers, run
+their sessions, then slice the result by operational condition, split it into
+train/test sets for the attack, summarise it (Table I) or persist it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.client.profiles import OperationalCondition
+from repro.dataset.attributes import table1_rows
+from repro.dataset.collection import DataPoint, collect_dataset, default_study_script
+from repro.dataset.format import save_dataset_metadata
+from repro.dataset.population import Viewer, attribute_marginals, generate_population
+from repro.exceptions import DatasetError
+from repro.narrative.graph import StoryGraph
+from repro.streaming.session import SessionConfig
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Headline numbers describing a generated dataset."""
+
+    viewer_count: int
+    total_choices: int
+    non_default_choices: int
+    distinct_conditions: int
+    total_packets: int
+
+    @property
+    def non_default_fraction(self) -> float:
+        """Fraction of all choices that rejected the prefetched branch."""
+        if self.total_choices == 0:
+            raise DatasetError("summary has no choices")
+        return self.non_default_choices / self.total_choices
+
+
+class IITMBandersnatchDataset:
+    """Synthetic stand-in for the paper's 100-viewer dataset."""
+
+    def __init__(
+        self,
+        points: Sequence[DataPoint],
+        graph: StoryGraph,
+        seed: int,
+    ) -> None:
+        if not points:
+            raise DatasetError("a dataset must contain at least one data point")
+        self._points = tuple(points)
+        self._graph = graph
+        self._seed = seed
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        viewer_count: int = 100,
+        seed: int = 0,
+        graph: StoryGraph | None = None,
+        config: SessionConfig | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> "IITMBandersnatchDataset":
+        """Generate the full dataset (population + one session per viewer)."""
+        graph = graph or default_study_script()
+        viewers = generate_population(viewer_count, seed=seed)
+        points = collect_dataset(
+            viewers, dataset_seed=seed, graph=graph, config=config, progress=progress
+        )
+        return cls(points=points, graph=graph, seed=seed)
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def points(self) -> tuple[DataPoint, ...]:
+        """Every data point, in viewer order."""
+        return self._points
+
+    @property
+    def graph(self) -> StoryGraph:
+        """The interactive script all sessions streamed."""
+        return self._graph
+
+    @property
+    def seed(self) -> int:
+        """The root seed the dataset was generated from."""
+        return self._seed
+
+    @property
+    def viewers(self) -> tuple[Viewer, ...]:
+        """The viewer population."""
+        return tuple(point.viewer for point in self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def by_condition(
+        self, condition: OperationalCondition
+    ) -> list[DataPoint]:
+        """All data points collected under one exact operational condition."""
+        return [point for point in self._points if point.viewer.condition == condition]
+
+    def by_fingerprint_key(self, key: str) -> list[DataPoint]:
+        """All data points whose environment (OS × browser) matches ``key``."""
+        return [
+            point
+            for point in self._points
+            if point.viewer.condition.fingerprint_key == key
+        ]
+
+    def conditions_present(self) -> list[OperationalCondition]:
+        """Distinct operational conditions covered by the dataset."""
+        seen: dict[str, OperationalCondition] = {}
+        for point in self._points:
+            seen.setdefault(point.viewer.condition.key, point.viewer.condition)
+        return list(seen.values())
+
+    # -- splits ---------------------------------------------------------------
+
+    def train_test_split(
+        self, test_fraction: float = 0.5, seed: int | None = None
+    ) -> tuple[list[DataPoint], list[DataPoint]]:
+        """Split data points into attacker-training and victim sets.
+
+        The split is stratified by environment (fingerprint key) so every
+        environment present in the test set also has training sessions,
+        mirroring the paper's setup where the attacker calibrates per
+        environment.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise DatasetError("test fraction must be in (0, 1)")
+        rng = spawn_rng(self._seed if seed is None else seed, "dataset-split")
+        groups: dict[str, list[DataPoint]] = {}
+        for point in self._points:
+            groups.setdefault(point.viewer.condition.fingerprint_key, []).append(point)
+        train: list[DataPoint] = []
+        test: list[DataPoint] = []
+        for key in sorted(groups):
+            members = list(groups[key])
+            rng.shuffle(members)  # type: ignore[arg-type]
+            if len(members) == 1:
+                train.extend(members)
+                continue
+            test_count = int(round(len(members) * test_fraction))
+            test_count = min(max(test_count, 1), len(members) - 1)
+            test.extend(members[:test_count])
+            train.extend(members[test_count:])
+        return train, test
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> DatasetSummary:
+        """Aggregate statistics of the dataset."""
+        total_choices = sum(point.session.path.choice_count for point in self._points)
+        non_default = sum(point.session.path.non_default_count for point in self._points)
+        total_packets = sum(point.session.trace.packet_count for point in self._points)
+        return DatasetSummary(
+            viewer_count=len(self._points),
+            total_choices=total_choices,
+            non_default_choices=non_default,
+            distinct_conditions=len(self.conditions_present()),
+            total_packets=total_packets,
+        )
+
+    def table1(self) -> list[dict[str, str]]:
+        """The Table I attribute rows (the attribute space of the dataset)."""
+        return table1_rows()
+
+    def attribute_counts(self) -> dict[str, dict[str, int]]:
+        """Observed marginal counts of every attribute value in the population."""
+        return attribute_marginals(list(self.viewers))
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, directory: str | Path, write_pcaps: bool = True) -> Path:
+        """Persist metadata (and optionally pcaps) under ``directory``."""
+        return save_dataset_metadata(
+            self._points, directory, write_pcaps=write_pcaps, seed=self._seed
+        )

@@ -1,0 +1,109 @@
+"""Loading a released dataset back from disk.
+
+A saved dataset directory (``metadata.json`` + ``traces/*.pcap``) is the
+artefact a study would actually publish.  :func:`load_released_dataset`
+reconstructs, for every viewer, the captured trace (from the pcap — with no
+simulator ground truth attached) together with the ground-truth choices and
+attributes recorded in the metadata, which is exactly what a downstream user
+needs to evaluate their own traffic-analysis technique against the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.client.profiles import OperationalCondition
+from repro.client.viewer import ViewerBehavior
+from repro.dataset.format import load_dataset_metadata
+from repro.dataset.population import Viewer
+from repro.exceptions import DatasetError
+from repro.net.capture import CapturedTrace
+
+
+@dataclass(frozen=True)
+class LoadedDataPoint:
+    """One viewer of a released dataset, reloaded from disk."""
+
+    viewer: Viewer
+    trace: CapturedTrace
+    ground_truth_pattern: tuple[bool, ...]
+    selected_labels: tuple[str, ...]
+    question_ids: tuple[str, ...]
+    segments: tuple[str, ...]
+
+    @property
+    def choice_count(self) -> int:
+        """Number of questions the viewer answered."""
+        return len(self.ground_truth_pattern)
+
+    @property
+    def non_default_count(self) -> int:
+        """Number of times the viewer rejected the prefetched branch."""
+        return sum(1 for took_default in self.ground_truth_pattern if not took_default)
+
+
+@dataclass(frozen=True)
+class LoadedDataset:
+    """A released dataset reloaded from disk."""
+
+    name: str
+    points: tuple[LoadedDataPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def by_fingerprint_key(self, key: str) -> list[LoadedDataPoint]:
+        """All viewers whose environment (OS × browser) matches ``key``."""
+        return [
+            point for point in self.points if point.viewer.condition.fingerprint_key == key
+        ]
+
+    def viewer(self, viewer_id: str) -> LoadedDataPoint:
+        """Look one viewer up by id."""
+        for point in self.points:
+            if point.viewer.viewer_id == viewer_id:
+                return point
+        raise DatasetError(f"dataset has no viewer {viewer_id!r}")
+
+
+def _point_from_entry(directory: Path, entry: dict) -> LoadedDataPoint:
+    viewer = Viewer(
+        viewer_id=str(entry["viewer"]["viewer_id"]),
+        condition=OperationalCondition.from_dict(entry["viewer"]["condition"]),
+        behavior=ViewerBehavior.from_dict(entry["viewer"]["behavior"]),
+    )
+    if "trace_file" not in entry:
+        raise DatasetError(
+            f"viewer {viewer.viewer_id!r} has no trace file; the dataset was "
+            "saved with write_pcaps=False"
+        )
+    trace = CapturedTrace.from_pcap(
+        directory / str(entry["trace_file"]),
+        client_ip=str(entry["client_ip"]),
+        server_ip=str(entry["server_ip"]),
+    )
+    choices = list(entry["choices"])
+    return LoadedDataPoint(
+        viewer=viewer,
+        trace=trace,
+        ground_truth_pattern=tuple(bool(choice["took_default"]) for choice in choices),
+        selected_labels=tuple(str(choice["selected_label"]) for choice in choices),
+        question_ids=tuple(str(choice["question_id"]) for choice in choices),
+        segments=tuple(str(segment) for segment in entry["segments"]),
+    )
+
+
+def load_released_dataset(directory: str | Path) -> LoadedDataset:
+    """Reload every viewer of a saved dataset (traces re-parsed from pcap)."""
+    directory = Path(directory)
+    metadata = load_dataset_metadata(directory)
+    points = tuple(
+        _point_from_entry(directory, entry) for entry in metadata["entries"]
+    )
+    if not points:
+        raise DatasetError(f"dataset at {directory} contains no viewers")
+    return LoadedDataset(name=str(metadata["name"]), points=points)

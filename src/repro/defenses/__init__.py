@@ -1,0 +1,29 @@
+"""Countermeasures against the record-length side-channel.
+
+Section VI of the paper sketches the obvious fixes — split the JSON state
+report across records, or pad/compress it so its length stops being
+distinctive — and warns that a timing side-channel may survive them.  This
+package implements those defences as transformations of the observable
+client-record sequence, plus an evaluation harness measuring how much each
+defence actually degrades the attack and a residual-timing analysis.
+"""
+
+from repro.defenses.padding import PadToConstant, PadToMultiple
+from repro.defenses.splitting import SplitRecords
+from repro.defenses.compression import CompressStateReports
+from repro.defenses.base import RecordDefense, apply_defense
+from repro.defenses.timing import TimingOnlyAttack, timing_question_recall
+from repro.defenses.evaluation import DefenseEvaluation, evaluate_defenses
+
+__all__ = [
+    "PadToConstant",
+    "PadToMultiple",
+    "SplitRecords",
+    "CompressStateReports",
+    "RecordDefense",
+    "apply_defense",
+    "TimingOnlyAttack",
+    "timing_question_recall",
+    "DefenseEvaluation",
+    "evaluate_defenses",
+]

@@ -1,0 +1,68 @@
+"""Compression defence: shrink the JSON reports before encryption.
+
+Compressing the state report both reduces its size and — because compressed
+size depends on content — adds variance, which can smear the two JSON bands
+into the range of other client traffic.  The model applies a content-dependent
+compression ratio to records in the state-report size range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.core.features import ClientRecord
+from repro.defenses.base import RecordDefense
+from repro.exceptions import DefenseError
+from repro.utils.rng import RandomSource
+
+
+class CompressStateReports(RecordDefense):
+    """Apply a lossless-compression size model to large client records.
+
+    Parameters
+    ----------
+    mean_ratio:
+        Average compressed/original size ratio for the JSON reports (they are
+        highly compressible: mostly ASCII keys and repeated structure).
+    ratio_jitter:
+        Half-width of the uniform jitter applied to the ratio per record,
+        modelling content-dependence of the compressor output.
+    min_length_to_compress:
+        Records smaller than this are left alone (compressing a 200-byte
+        request saves nothing once headers are accounted for).
+    seed:
+        Seed of the jitter stream, so defended traces are reproducible.
+    """
+
+    def __init__(
+        self,
+        mean_ratio: float = 0.35,
+        ratio_jitter: float = 0.08,
+        min_length_to_compress: int = 1800,
+        seed: int = 7,
+    ) -> None:
+        if not 0.0 < mean_ratio <= 1.0:
+            raise DefenseError("mean compression ratio must be in (0, 1]")
+        if ratio_jitter < 0 or mean_ratio - ratio_jitter <= 0:
+            raise DefenseError("ratio jitter must keep the ratio positive")
+        if min_length_to_compress <= 0:
+            raise DefenseError("minimum compressible length must be positive")
+        self._mean_ratio = mean_ratio
+        self._jitter = ratio_jitter
+        self._min_length = min_length_to_compress
+        self._rng = RandomSource(seed, ("compression-defense",))
+        self.name = f"compress-ratio-{mean_ratio:.2f}"
+
+    def transform(self, records: Sequence[ClientRecord]) -> list[ClientRecord]:
+        defended: list[ClientRecord] = []
+        for index, record in enumerate(records):
+            if not record.is_application_data or record.wire_length < self._min_length:
+                defended.append(record)
+                continue
+            ratio = self._mean_ratio + self._rng.child(index).uniform(
+                -self._jitter, self._jitter
+            )
+            compressed = max(64, int(round(record.wire_length * ratio)))
+            defended.append(replace(record, wire_length=compressed))
+        return defended

@@ -1,0 +1,163 @@
+"""Measuring how much each countermeasure actually buys.
+
+The evaluation assumes an *adaptive* attacker: the fingerprinting step is
+re-trained on defended traffic (a weaker, unaware attacker would do strictly
+worse).  Because several defences make the type-1/type-2 bands collide —
+which is precisely their goal — the adaptive attacker falls back from the
+band rule to a k-NN classifier over the defended record lengths; when even
+that cannot separate the classes, the recovered choices collapse to the
+majority behaviour and accuracy drops toward chance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.classifier import MLRecordClassifier
+from repro.core.evaluation import AttackEvaluation, evaluate_attack_result
+from repro.core.features import ClientRecord, extract_client_records
+from repro.core.inference import infer_choices
+from repro.defenses.base import RecordDefense, apply_defense
+from repro.defenses.timing import TimingOnlyAttack, timing_question_recall
+from repro.exceptions import DefenseError
+from repro.ml.knn import KNearestNeighbors
+from repro.streaming.events import EventKind
+from repro.streaming.session import SessionResult
+
+
+@dataclass(frozen=True)
+class DefenseEvaluation:
+    """Scores of the attack (and the residual timing attack) under one defence.
+
+    ``timing_question_recall`` measures the residual *timing* channel the
+    paper warns about: the fraction of actual choice questions whose instant
+    a record-length-blind attacker can still locate from request/response
+    behaviour alone.  None of the record-length defences touch it.
+    """
+
+    defense_name: str
+    choice_accuracy: float
+    record_accuracy: float
+    mean_overhead_bytes_per_session: float
+    timing_attack_choice_accuracy: float
+    timing_question_recall: float
+    sessions_evaluated: int
+
+    def as_row(self) -> dict[str, object]:
+        """One row of the defence-ablation table."""
+        return {
+            "defense": self.defense_name,
+            "choice_accuracy": round(self.choice_accuracy, 4),
+            "record_accuracy": round(self.record_accuracy, 4),
+            "overhead_bytes_per_session": round(self.mean_overhead_bytes_per_session, 1),
+            "timing_attack_choice_accuracy": round(self.timing_attack_choice_accuracy, 4),
+            "timing_question_recall": round(self.timing_question_recall, 4),
+        }
+
+
+def _choice_accuracy(evaluations: Sequence[AttackEvaluation]) -> float:
+    total = sum(e.ground_truth_choices for e in evaluations)
+    correct = sum(e.correct_choices for e in evaluations)
+    return correct / total if total else 0.0
+
+
+def _timing_scores(
+    session: SessionResult, defended: Sequence[ClientRecord]
+) -> tuple[float, float]:
+    """(choice accuracy, question recall) of the timing-only attack."""
+    attack = TimingOnlyAttack()
+    inferred = attack.infer(defended, session.trace)
+    truth = session.path.default_pattern
+    if not truth:
+        return 0.0, 0.0
+    correct = sum(
+        1
+        for index, actual in enumerate(truth)
+        if index < len(inferred.default_pattern)
+        and inferred.default_pattern[index] == actual
+    )
+    question_times = [
+        event.timestamp
+        for event in session.events
+        if event.kind is EventKind.QUESTION_SHOWN
+    ]
+    recall = (
+        timing_question_recall(inferred, question_times) if question_times else 0.0
+    )
+    return correct / len(truth), recall
+
+
+def evaluate_defenses(
+    defenses: Sequence[RecordDefense],
+    train_sessions: Sequence[SessionResult],
+    test_sessions: Sequence[SessionResult],
+    include_undefended: bool = True,
+) -> list[DefenseEvaluation]:
+    """Evaluate each defence with an adaptive (re-trained) attacker.
+
+    Returns one :class:`DefenseEvaluation` per defence, preceded (when
+    ``include_undefended`` is true) by the no-defence reference row.
+    """
+    if not train_sessions or not test_sessions:
+        raise DefenseError("both training and test session sets must be non-empty")
+
+    train_records = [
+        extract_client_records(session.trace, server_ip=session.trace.server_ip)
+        for session in train_sessions
+    ]
+    test_records = [
+        extract_client_records(session.trace, server_ip=session.trace.server_ip)
+        for session in test_sessions
+    ]
+
+    def _evaluate(name: str, defense: RecordDefense | None) -> DefenseEvaluation:
+        if defense is None:
+            defended_train = [list(records) for records in train_records]
+            defended_test = [list(records) for records in test_records]
+        else:
+            defended_train = [apply_defense(defense, records) for records in train_records]
+            defended_test = [apply_defense(defense, records) for records in test_records]
+        classifier = MLRecordClassifier(KNearestNeighbors(k=7))
+        flat_train: list[ClientRecord] = [
+            record for records in defended_train for record in records
+        ]
+        classifier.fit(flat_train)
+        evaluations: list[AttackEvaluation] = []
+        overheads: list[float] = []
+        timing_accuracies: list[float] = []
+        timing_recalls: list[float] = []
+        for session, original, defended in zip(test_sessions, test_records, defended_test):
+            labels = classifier.classify(defended)
+            inferred = infer_choices(defended, labels)
+            evaluations.append(
+                evaluate_attack_result(
+                    records=defended,
+                    predicted_labels=labels,
+                    inferred=inferred,
+                    ground_truth_path=session.path,
+                )
+            )
+            if defense is not None:
+                overheads.append(float(defense.overhead_bytes(original, defended)))
+            else:
+                overheads.append(0.0)
+            timing_accuracy, recall = _timing_scores(session, defended)
+            timing_accuracies.append(timing_accuracy)
+            timing_recalls.append(recall)
+        return DefenseEvaluation(
+            defense_name=name,
+            choice_accuracy=_choice_accuracy(evaluations),
+            record_accuracy=sum(e.record_accuracy for e in evaluations) / len(evaluations),
+            mean_overhead_bytes_per_session=sum(overheads) / len(overheads),
+            timing_attack_choice_accuracy=sum(timing_accuracies) / len(timing_accuracies),
+            timing_question_recall=sum(timing_recalls) / len(timing_recalls),
+            sessions_evaluated=len(test_sessions),
+        )
+
+    results: list[DefenseEvaluation] = []
+    if include_undefended:
+        results.append(_evaluate("no defense", None))
+    for defense in defenses:
+        results.append(_evaluate(defense.name, defense))
+    return results

@@ -1,0 +1,72 @@
+"""Padding defences: make record lengths uninformative by rounding them up."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.core.features import ClientRecord
+from repro.defenses.base import RecordDefense
+from repro.exceptions import DefenseError
+
+
+class PadToMultiple(RecordDefense):
+    """Pad every client application record up to a multiple of ``block_bytes``.
+
+    Small blocks leave the JSON bands distinguishable (they map to distinct
+    multiples); large blocks merge them with other traffic at the cost of
+    padding overhead.  The defence ablation benchmark sweeps the block size.
+    """
+
+    def __init__(self, block_bytes: int) -> None:
+        if block_bytes <= 0:
+            raise DefenseError(f"block size must be positive, got {block_bytes}")
+        self._block = block_bytes
+        self.name = f"pad-to-multiple-{block_bytes}"
+
+    @property
+    def block_bytes(self) -> int:
+        """The padding granularity."""
+        return self._block
+
+    def _padded_length(self, length: int) -> int:
+        remainder = length % self._block
+        if remainder == 0:
+            return length
+        return length + (self._block - remainder)
+
+    def transform(self, records: Sequence[ClientRecord]) -> list[ClientRecord]:
+        return [
+            replace(record, wire_length=self._padded_length(record.wire_length))
+            if record.is_application_data
+            else record
+            for record in records
+        ]
+
+
+class PadToConstant(RecordDefense):
+    """Pad every client application record up to one constant size.
+
+    Records already larger than the constant are left unchanged (they would
+    otherwise have to be split, which is the job of
+    :class:`~repro.defenses.splitting.SplitRecords`).
+    """
+
+    def __init__(self, target_bytes: int = 4096) -> None:
+        if target_bytes <= 0:
+            raise DefenseError(f"target size must be positive, got {target_bytes}")
+        self._target = target_bytes
+        self.name = f"pad-to-constant-{target_bytes}"
+
+    @property
+    def target_bytes(self) -> int:
+        """The constant record size."""
+        return self._target
+
+    def transform(self, records: Sequence[ClientRecord]) -> list[ClientRecord]:
+        return [
+            replace(record, wire_length=max(record.wire_length, self._target))
+            if record.is_application_data
+            else record
+            for record in records
+        ]

@@ -1,0 +1,62 @@
+"""Splitting defence: send the JSON state report as several smaller records."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.core.features import ClientRecord
+from repro.defenses.base import RecordDefense
+from repro.exceptions import DefenseError
+from repro.tls.records import RECORD_HEADER_LENGTH
+
+
+class SplitRecords(RecordDefense):
+    """Split large client application records into ``parts`` smaller ones.
+
+    Each part carries roughly ``1/parts`` of the original payload plus its own
+    record header and AEAD overhead, so the defence costs a few tens of bytes
+    per split while pushing the fragments' lengths into the range occupied by
+    ordinary requests.
+    """
+
+    def __init__(
+        self,
+        parts: int = 3,
+        min_length_to_split: int = 1800,
+        per_part_overhead: int = RECORD_HEADER_LENGTH + 24,
+    ) -> None:
+        if parts < 2:
+            raise DefenseError(f"splitting needs at least 2 parts, got {parts}")
+        if min_length_to_split <= 0:
+            raise DefenseError("minimum split length must be positive")
+        if per_part_overhead < 0:
+            raise DefenseError("per-part overhead must be non-negative")
+        self._parts = parts
+        self._min_length = min_length_to_split
+        self._overhead = per_part_overhead
+        self.name = f"split-into-{parts}"
+
+    @property
+    def parts(self) -> int:
+        """How many records each large report becomes."""
+        return self._parts
+
+    def transform(self, records: Sequence[ClientRecord]) -> list[ClientRecord]:
+        defended: list[ClientRecord] = []
+        for record in records:
+            if not record.is_application_data or record.wire_length < self._min_length:
+                defended.append(record)
+                continue
+            payload = record.wire_length - self._overhead
+            base = payload // self._parts
+            remainder = payload - base * self._parts
+            for part in range(self._parts):
+                part_payload = base + (1 if part < remainder else 0)
+                # All parts keep the original timestamp: the split records go
+                # out back to back, and keeping the time untouched preserves
+                # the capture's ordering invariants.
+                defended.append(
+                    replace(record, wire_length=part_payload + self._overhead)
+                )
+        return defended

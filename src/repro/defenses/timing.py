@@ -1,0 +1,140 @@
+"""Residual timing/behaviour side-channel analysis.
+
+The paper's countermeasure discussion warns that hiding record *lengths* may
+not be enough: "there could be timing side-channels that may still exist even
+after this fix".  This module demonstrates one such channel that none of the
+record-length defences touch:
+
+* an ordinary client request is followed, within about an RTT, by a large
+  downlink burst (the requested media chunk);
+* a state report is followed only by a tiny acknowledgement.
+
+So the *pattern* "uplink record with no downlink burst behind it" marks the
+state reports regardless of their (padded, split or compressed) lengths, and
+two such records close together mark a non-default choice.  The
+:class:`TimingOnlyAttack` decodes choices from that signal alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.features import ClientRecord
+from repro.core.inference import ChoiceEvent, InferredChoices
+from repro.exceptions import DefenseError
+from repro.net.capture import CapturedTrace
+
+
+@dataclass(frozen=True)
+class TimingOnlyAttack:
+    """Choice recovery from request/response behaviour, ignoring record lengths.
+
+    Parameters
+    ----------
+    response_window_seconds:
+        How long after an uplink record to look for the downlink response.
+        The window only needs to cover a few round-trip times: a chunk
+        request is answered within one RTT, whereas the content prefetched
+        after a state report only starts arriving hundreds of milliseconds
+        later, so a short window keeps the two distinguishable.
+    burst_threshold_bytes:
+        Downlink volume below which the uplink record is considered
+        "unanswered" (i.e. a state report rather than a chunk request).
+    grouping_window_seconds:
+        Two unanswered uplink records within this window are treated as the
+        type-1/type-2 pair of a single non-default choice.
+    ignore_initial_seconds:
+        Records this close to the start of the capture are skipped: session
+        start-up (handshake, the first low-quality chunks) does not follow
+        the steady-state request/response pattern the heuristic relies on.
+    """
+
+    response_window_seconds: float = 0.15
+    burst_threshold_bytes: int = 4000
+    grouping_window_seconds: float = 12.0
+    ignore_initial_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.response_window_seconds <= 0:
+            raise DefenseError("response window must be positive")
+        if self.burst_threshold_bytes <= 0:
+            raise DefenseError("burst threshold must be positive")
+        if self.grouping_window_seconds <= 0:
+            raise DefenseError("grouping window must be positive")
+        if self.ignore_initial_seconds < 0:
+            raise DefenseError("initial ignore window must be non-negative")
+
+    def unanswered_uplink_times(
+        self, records: Sequence[ClientRecord], trace: CapturedTrace
+    ) -> list[float]:
+        """Timestamps of client records not followed by a media-sized response."""
+        if not records:
+            raise DefenseError("no client records supplied")
+        downlink = sorted(trace.server_packets(), key=lambda packet: packet.timestamp)
+        down_times = np.asarray([packet.timestamp for packet in downlink], dtype=float)
+        down_sizes = np.asarray([packet.wire_length for packet in downlink], dtype=float)
+        cumulative = np.concatenate([[0.0], np.cumsum(down_sizes)])
+        capture_start = min(record.timestamp for record in records)
+        times: list[float] = []
+        for record in records:
+            if not record.is_application_data:
+                continue
+            if record.timestamp - capture_start < self.ignore_initial_seconds:
+                continue
+            start = np.searchsorted(down_times, record.timestamp, side="left")
+            end = np.searchsorted(
+                down_times, record.timestamp + self.response_window_seconds, side="right"
+            )
+            window_bytes = float(cumulative[end] - cumulative[start])
+            if window_bytes < self.burst_threshold_bytes:
+                times.append(record.timestamp)
+        return times
+
+    def infer(
+        self, records: Sequence[ClientRecord], trace: CapturedTrace
+    ) -> InferredChoices:
+        """Recover the choice sequence using only timing/behaviour."""
+        times = sorted(self.unanswered_uplink_times(records, trace))
+        events: list[ChoiceEvent] = []
+        index = 0
+        position = 0
+        while position < len(times):
+            start = times[position]
+            group_end = position
+            while (
+                group_end + 1 < len(times)
+                and times[group_end + 1] - start <= self.grouping_window_seconds
+            ):
+                group_end += 1
+            group = times[position : group_end + 1]
+            took_default = len(group) < 2
+            events.append(
+                ChoiceEvent(
+                    index=index,
+                    question_shown_at=start,
+                    took_default=took_default,
+                    type2_seen_at=None if took_default else group[-1],
+                )
+            )
+            index += 1
+            position = group_end + 1
+        return InferredChoices(events=tuple(events))
+
+
+def timing_question_recall(
+    inferred: InferredChoices, true_question_times: Sequence[float], tolerance_seconds: float = 8.0
+) -> float:
+    """Fraction of actual questions the timing attack located (within a tolerance)."""
+    if not true_question_times:
+        raise DefenseError("no ground-truth question times supplied")
+    if tolerance_seconds <= 0:
+        raise DefenseError("tolerance must be positive")
+    detected = [event.question_shown_at for event in inferred.events]
+    found = 0
+    for true_time in true_question_times:
+        if any(abs(true_time - candidate) <= tolerance_seconds for candidate in detected):
+            found += 1
+    return found / len(true_question_times)

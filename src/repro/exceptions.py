@@ -1,0 +1,60 @@
+"""Exception hierarchy for the White Mirror reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is configured with inconsistent parameters."""
+
+
+class NarrativeError(ReproError):
+    """Raised for malformed story graphs (unknown segments, bad choices...)."""
+
+
+class StreamingError(ReproError):
+    """Raised when a streaming session is driven into an invalid state."""
+
+
+class TLSError(ReproError):
+    """Raised for invalid TLS record framing or session misuse."""
+
+
+class PacketError(ReproError):
+    """Raised when packets or headers cannot be built or parsed."""
+
+
+class PcapError(PacketError):
+    """Raised when a pcap file cannot be written or parsed."""
+
+
+class DatasetError(ReproError):
+    """Raised when dataset generation, serialization or loading fails."""
+
+
+class AttackError(ReproError):
+    """Raised when the traffic-analysis pipeline cannot proceed."""
+
+
+class FingerprintError(AttackError):
+    """Raised when a record-length fingerprint is malformed or not trained."""
+
+
+class DefenseError(ReproError):
+    """Raised when a countermeasure transformation is misconfigured."""
+
+
+class MLError(ReproError):
+    """Raised by the from-scratch machine-learning helpers."""
+
+
+class NotFittedError(MLError):
+    """Raised when ``predict`` is called on an unfitted estimator."""

@@ -1,0 +1,53 @@
+"""Reproduction harness: one runner per table/figure plus the ablations.
+
+Each runner is a plain function returning a small result dataclass with the
+numeric rows/series the corresponding paper artefact plots or tabulates, so
+the benchmarks under ``benchmarks/`` and the report generator can share the
+exact same code path.
+"""
+
+from repro.experiments.conditions import headline_conditions
+from repro.experiments.table1 import Table1Result, reproduce_table1
+from repro.experiments.figure1 import Figure1Result, reproduce_figure1
+from repro.experiments.figure2 import Figure2Result, paper_bins_for, reproduce_figure2
+from repro.experiments.headline import HeadlineResult, reproduce_headline
+from repro.experiments.baseline_comparison import BaselineComparisonResult, reproduce_baseline_comparison
+from repro.experiments.defense_ablation import DefenseAblationResult, reproduce_defense_ablation
+from repro.experiments.ablation_classifiers import (
+    ClassifierAblationResult,
+    reproduce_classifier_ablation,
+)
+from repro.experiments.ablation_transfer import (
+    TransferAblationResult,
+    reproduce_transfer_ablation,
+)
+from repro.experiments.ablation_ciphers import (
+    CipherAblationResult,
+    reproduce_cipher_ablation,
+)
+from repro.experiments.report import format_table, render_experiment_report
+
+__all__ = [
+    "headline_conditions",
+    "Table1Result",
+    "reproduce_table1",
+    "Figure1Result",
+    "reproduce_figure1",
+    "Figure2Result",
+    "paper_bins_for",
+    "reproduce_figure2",
+    "HeadlineResult",
+    "reproduce_headline",
+    "BaselineComparisonResult",
+    "reproduce_baseline_comparison",
+    "DefenseAblationResult",
+    "reproduce_defense_ablation",
+    "ClassifierAblationResult",
+    "reproduce_classifier_ablation",
+    "TransferAblationResult",
+    "reproduce_transfer_ablation",
+    "CipherAblationResult",
+    "reproduce_cipher_ablation",
+    "format_table",
+    "render_experiment_report",
+]

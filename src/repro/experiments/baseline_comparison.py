@@ -1,0 +1,81 @@
+"""Ablation A: inter-video baselines cannot separate intra-video branches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.comparison import ComparisonResult, run_comparison
+from repro.client.profiles import OperationalCondition
+from repro.client.viewer import ViewerBehavior
+from repro.exceptions import AttackError
+from repro.narrative.bandersnatch import build_bandersnatch_script
+from repro.narrative.graph import StoryGraph
+from repro.streaming.session import SessionResult, simulate_session
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class BaselineComparisonResult:
+    """Outcome of the baseline-vs-White-Mirror comparison."""
+
+    comparison: ComparisonResult
+    condition_key: str
+    train_sessions: int
+    test_sessions: int
+
+    def rows(self) -> list[dict[str, object]]:
+        """Table rows: one per technique."""
+        return self.comparison.as_rows()
+
+    @property
+    def baselines_near_chance(self) -> bool:
+        """Whether both baselines stay within 20 points of a coin flip."""
+        return (
+            abs(self.comparison.bitrate_baseline_accuracy - 0.5) <= 0.2
+            and abs(self.comparison.burst_baseline_accuracy - 0.5) <= 0.2
+        )
+
+
+def reproduce_baseline_comparison(
+    train_count: int = 6,
+    test_count: int = 6,
+    seed: int = 4,
+    graph: StoryGraph | None = None,
+    condition: OperationalCondition | None = None,
+) -> BaselineComparisonResult:
+    """Run the intra-video branch identification task for every technique."""
+    if train_count <= 0 or test_count <= 0:
+        raise AttackError("session counts must be positive")
+    graph = graph or build_bandersnatch_script(
+        trunk_segment_minutes=1.5, branch_segment_minutes=1.0, ending_minutes=2.0
+    )
+    condition = condition or OperationalCondition(
+        "linux", "desktop", "firefox", "wired", "noon"
+    )
+    behaviors = [
+        ViewerBehavior("20-25", "male", "centrist", "happy"),
+        ViewerBehavior("25-30", "female", "liberal", "stressed"),
+        ViewerBehavior(">30", "undisclosed", "undisclosed", "sad"),
+    ]
+
+    def _sessions(count: int, tag: str, offset: int) -> list[SessionResult]:
+        return [
+            simulate_session(
+                graph=graph,
+                condition=condition,
+                behavior=behaviors[index % len(behaviors)],
+                seed=derive_seed(seed, tag, index + offset),
+                session_id=f"{tag}-{index}",
+            )
+            for index in range(count)
+        ]
+
+    train_sessions = _sessions(train_count, "baseline-train", 0)
+    test_sessions = _sessions(test_count, "baseline-test", 1000)
+    comparison = run_comparison(train_sessions, test_sessions, graph)
+    return BaselineComparisonResult(
+        comparison=comparison,
+        condition_key=condition.key,
+        train_sessions=train_count,
+        test_sessions=test_count,
+    )

@@ -1,0 +1,35 @@
+"""The operational conditions used by the Section V evaluation.
+
+The paper evaluates on "10 different viewing sessions ... under different
+combinations of operational and network conditions".  The exact ten
+combinations are not listed, so the reproduction evaluates a representative
+spread that covers both Figure 2 environments, both connection types and all
+three traffic conditions — including the adversarial corner (wireless at
+night) that defines the worst case.
+"""
+
+from __future__ import annotations
+
+from repro.client.profiles import OperationalCondition
+
+
+def headline_conditions() -> list[OperationalCondition]:
+    """The condition spread used for the headline (96 %) reproduction."""
+    return [
+        OperationalCondition("linux", "desktop", "firefox", "wired", "morning"),
+        OperationalCondition("linux", "desktop", "firefox", "wired", "noon"),
+        OperationalCondition("linux", "desktop", "firefox", "wireless", "night"),
+        OperationalCondition("windows", "desktop", "firefox", "wired", "noon"),
+        OperationalCondition("windows", "laptop", "firefox", "wireless", "night"),
+        OperationalCondition("windows", "desktop", "chrome", "wired", "morning"),
+        OperationalCondition("mac", "laptop", "chrome", "wireless", "noon"),
+        OperationalCondition("linux", "laptop", "chrome", "wireless", "night"),
+    ]
+
+
+def figure2_condition_names() -> dict[str, str]:
+    """Human-readable names of the two Figure 2 conditions."""
+    return {
+        "linux/firefox": "(Desktop, Firefox, Ethernet, Ubuntu)",
+        "windows/firefox": "(Desktop, Firefox, Ethernet, Windows)",
+    }

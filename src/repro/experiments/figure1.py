@@ -1,0 +1,94 @@
+"""Figure 1 reproduction: the streaming process of an interactive title.
+
+Figure 1 of the paper illustrates one concrete interaction: Segment 0 plays,
+question Q1 appears (a type-1 JSON is sent), the viewer takes the *default*
+branch S1, streaming continues uninterrupted, Q2 appears (another type-1),
+the viewer takes the *non-default* branch S2', so a type-2 JSON is sent and
+the prefetched S2 chunks are discarded.
+
+The reproduction drives the simulator through exactly that scenario (forced
+choices: default, then non-default) and extracts the ordered protocol-level
+event sequence so it can be compared against the paper's description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.viewer import ViewerBehavior
+from repro.client.profiles import OperationalCondition
+from repro.exceptions import StreamingError
+from repro.narrative.bandersnatch import build_minimal_interactive_script
+from repro.streaming.events import EventKind
+from repro.streaming.session import SessionConfig, SessionResult, simulate_session
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """The reproduced streaming-process timeline."""
+
+    session: SessionResult
+    protocol_events: list[tuple[str, str]]
+
+    @property
+    def state_message_kinds(self) -> list[str]:
+        """Kinds of the state messages sent, in order (paper: type1, type1, type2)."""
+        return [kind for kind, _detail in self.protocol_events if kind in ("type1", "type2")]
+
+    def matches_paper_description(self) -> bool:
+        """Check the invariants Figure 1 describes.
+
+        * two questions were shown, so exactly two type-1 reports were sent;
+        * the first choice kept the default, so no type-2 followed Q1;
+        * the second choice was non-default, so exactly one type-2 was sent
+          and the prefetched default chunks were discarded.
+        """
+        kinds = self.state_message_kinds
+        if kinds != ["type1", "type1", "type2"]:
+            return False
+        discard_events = [
+            kind for kind, _detail in self.protocol_events if kind == "prefetch_discarded"
+        ]
+        return len(discard_events) == 1
+
+
+_PROTOCOL_EVENT_KINDS = {
+    EventKind.SEGMENT_STARTED: "segment_started",
+    EventKind.QUESTION_SHOWN: "question_shown",
+    EventKind.TYPE1_SENT: "type1",
+    EventKind.TYPE2_SENT: "type2",
+    EventKind.PREFETCH_STARTED: "prefetch_started",
+    EventKind.PREFETCH_DISCARDED: "prefetch_discarded",
+    EventKind.CHOICE_MADE: "choice_made",
+    EventKind.SESSION_FINISHED: "session_finished",
+}
+
+
+def reproduce_figure1(seed: int = 1, condition: OperationalCondition | None = None) -> Figure1Result:
+    """Simulate the Figure 1 scenario and return its protocol event timeline."""
+    graph = build_minimal_interactive_script()
+    condition = condition or OperationalCondition(
+        "linux", "desktop", "firefox", "wired", "noon"
+    )
+    behavior = ViewerBehavior("20-25", "undisclosed", "undisclosed", "happy")
+    session = simulate_session(
+        graph=graph,
+        condition=condition,
+        behavior=behavior,
+        seed=seed,
+        config=SessionConfig(cross_traffic_enabled=False),
+        forced_choices=[True, False],
+        session_id="figure1-walkthrough",
+    )
+    protocol_events: list[tuple[str, str]] = []
+    for event in session.events:
+        if event.kind in _PROTOCOL_EVENT_KINDS:
+            detail = ""
+            if "segment_id" in event.details:
+                detail = str(event.details["segment_id"])
+            elif "question_id" in event.details:
+                detail = str(event.details["question_id"])
+            protocol_events.append((_PROTOCOL_EVENT_KINDS[event.kind], detail))
+    if not protocol_events:
+        raise StreamingError("figure 1 reproduction produced no protocol events")
+    return Figure1Result(session=session, protocol_events=protocol_events)

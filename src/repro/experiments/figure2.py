@@ -1,0 +1,153 @@
+"""Figure 2 reproduction: SSL record-length distributions under two conditions.
+
+Figure 2 plots, for (Desktop, Firefox, Ethernet, Ubuntu) and (Desktop,
+Firefox, Ethernet, Windows), the percentage of client packets whose SSL
+record length falls into each of five byte ranges, split into three
+categories: packets carrying type-1 JSON, type-2 JSON and everything else.
+The punchline is that the three categories occupy disjoint ranges, so record
+length alone identifies the state reports.
+
+The reproduction simulates several sessions under each condition, extracts
+the client-side record lengths with their ground-truth categories and bins
+them into the exact ranges printed on the paper's x-axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.profiles import OperationalCondition, figure2_conditions
+from repro.client.viewer import ViewerBehavior
+from repro.core.features import LABEL_OTHER, LABEL_TYPE1, LABEL_TYPE2, extract_client_records
+from repro.exceptions import AttackError
+from repro.narrative.bandersnatch import build_bandersnatch_script
+from repro.narrative.graph import StoryGraph
+from repro.streaming.session import simulate_session
+from repro.utils.histogram import Histogram, LengthBin, bins_from_edges
+from repro.utils.rng import derive_seed
+
+#: The exact bin edges printed on the paper's Figure 2 x-axes.
+PAPER_BINS: dict[str, list[tuple[int | None, int | None]]] = {
+    "linux/firefox": [
+        (None, 2188),
+        (2211, 2213),
+        (2219, 2823),
+        (2992, 3017),
+        (4334, None),
+    ],
+    "windows/firefox": [
+        (None, 2335),
+        (2341, 2343),
+        (2398, 3056),
+        (3118, 3147),
+        (3159, None),
+    ],
+}
+
+#: Which bin (by index) each JSON type concentrates in, per the paper.
+PAPER_DOMINANT_BIN_INDEX = {LABEL_TYPE1: 1, LABEL_TYPE2: 3}
+
+CATEGORIES = (LABEL_TYPE1, LABEL_TYPE2, LABEL_OTHER)
+
+
+def paper_bins_for(fingerprint_key: str) -> list[LengthBin]:
+    """The Figure 2 bins of one condition as :class:`LengthBin` objects."""
+    try:
+        edges = PAPER_BINS[fingerprint_key]
+    except KeyError:
+        raise AttackError(
+            f"Figure 2 publishes no bins for environment {fingerprint_key!r}"
+        ) from None
+    return bins_from_edges(edges)
+
+
+@dataclass(frozen=True)
+class ConditionDistribution:
+    """The reproduced histogram for one operational condition."""
+
+    condition: OperationalCondition
+    histogram: Histogram
+    records_observed: int
+
+    def rows(self) -> list[dict[str, object]]:
+        """The numeric rows behind one panel of Figure 2."""
+        return self.histogram.as_table()
+
+    def separation_holds(self) -> bool:
+        """Check the paper's claim for this condition.
+
+        The type-1 and type-2 records must concentrate (>= 95 %) in their
+        designated narrow bins, and those two bins must hold (almost) no
+        "other" records (< 5 % of them).
+        """
+        type1_percentages = self.histogram.percentages(LABEL_TYPE1)
+        type2_percentages = self.histogram.percentages(LABEL_TYPE2)
+        other_percentages = self.histogram.percentages(LABEL_OTHER)
+        type1_bin = PAPER_DOMINANT_BIN_INDEX[LABEL_TYPE1]
+        type2_bin = PAPER_DOMINANT_BIN_INDEX[LABEL_TYPE2]
+        return (
+            type1_percentages[type1_bin] >= 95.0
+            and type2_percentages[type2_bin] >= 95.0
+            and other_percentages[type1_bin] + other_percentages[type2_bin] < 5.0
+        )
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Both panels of the reproduced Figure 2."""
+
+    distributions: list[ConditionDistribution]
+    sessions_per_condition: int
+
+    def panel_for(self, fingerprint_key: str) -> ConditionDistribution:
+        """The panel of one condition (e.g. ``"linux/firefox"``)."""
+        for distribution in self.distributions:
+            if distribution.condition.fingerprint_key == fingerprint_key:
+                return distribution
+        raise AttackError(f"no panel for environment {fingerprint_key!r}")
+
+    def separation_holds_everywhere(self) -> bool:
+        """Whether the side-channel separation holds in every panel."""
+        return all(d.separation_holds() for d in self.distributions)
+
+
+def reproduce_figure2(
+    sessions_per_condition: int = 4,
+    seed: int = 2,
+    graph: StoryGraph | None = None,
+) -> Figure2Result:
+    """Simulate sessions under both Figure 2 conditions and bin the record lengths."""
+    if sessions_per_condition <= 0:
+        raise AttackError("need at least one session per condition")
+    graph = graph or build_bandersnatch_script(
+        trunk_segment_minutes=1.5, branch_segment_minutes=1.0, ending_minutes=2.0
+    )
+    behavior = ViewerBehavior("25-30", "female", "liberal", "happy")
+    distributions: list[ConditionDistribution] = []
+    for condition in figure2_conditions():
+        bins = paper_bins_for(condition.fingerprint_key)
+        histogram = Histogram(bins=bins, categories=CATEGORIES)
+        observed = 0
+        for index in range(sessions_per_condition):
+            session = simulate_session(
+                graph=graph,
+                condition=condition,
+                behavior=behavior,
+                seed=derive_seed(seed, "figure2", condition.key, index),
+                session_id=f"figure2-{condition.fingerprint_key}-{index}",
+            )
+            records = extract_client_records(
+                session.trace, server_ip=session.trace.server_ip
+            )
+            for record in records:
+                category = record.label if record.label in CATEGORIES else LABEL_OTHER
+                histogram.observe(record.wire_length, category)
+                observed += 1
+        distributions.append(
+            ConditionDistribution(
+                condition=condition, histogram=histogram, records_observed=observed
+            )
+        )
+    return Figure2Result(
+        distributions=distributions, sessions_per_condition=sessions_per_condition
+    )

@@ -1,0 +1,71 @@
+"""Plain-text rendering of the reproduction results.
+
+The benchmarks and the ``examples/`` scripts print their tables through these
+helpers so that the output of ``pytest benchmarks/`` and of the examples
+matches what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import ReproError
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        raise ReproError("cannot format an empty table")
+    columns = list(rows[0].keys())
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_experiment_report(
+    table1_rows: Sequence[Mapping[str, object]] | None = None,
+    figure1_events: Sequence[tuple[str, str]] | None = None,
+    figure2_rows: Mapping[str, Sequence[Mapping[str, object]]] | None = None,
+    headline_rows: Sequence[Mapping[str, object]] | None = None,
+    baseline_rows: Sequence[Mapping[str, object]] | None = None,
+    defense_rows: Sequence[Mapping[str, object]] | None = None,
+) -> str:
+    """Assemble a multi-section text report from whichever results are provided."""
+    sections: list[str] = []
+    if table1_rows:
+        sections.append(format_table(table1_rows, "Table I — IITM-Bandersnatch attributes"))
+    if figure1_events:
+        lines = ["Figure 1 — streaming process walkthrough", "=" * 41]
+        lines.extend(f"  {kind:<20s} {detail}" for kind, detail in figure1_events)
+        sections.append("\n".join(lines))
+    if figure2_rows:
+        for condition_name, rows in figure2_rows.items():
+            sections.append(
+                format_table(rows, f"Figure 2 — SSL record lengths, {condition_name}")
+            )
+    if headline_rows:
+        sections.append(format_table(headline_rows, "Section V — choice recovery accuracy"))
+    if baseline_rows:
+        sections.append(format_table(baseline_rows, "Ablation A — baselines vs White Mirror"))
+    if defense_rows:
+        sections.append(format_table(defense_rows, "Ablation B — countermeasures"))
+    if not sections:
+        raise ReproError("no results supplied to the report renderer")
+    return "\n\n".join(sections)

@@ -1,0 +1,69 @@
+"""Table I reproduction: the attribute space of the IITM-Bandersnatch dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.attributes import BEHAVIORAL_ATTRIBUTES, OPERATIONAL_ATTRIBUTES, table1_rows
+from repro.dataset.population import attribute_marginals, generate_population
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The reproduced Table I plus the observed population marginals."""
+
+    rows: list[dict[str, str]]
+    viewer_count: int
+    observed_marginals: dict[str, dict[str, int]]
+
+    @property
+    def attribute_count(self) -> int:
+        """Number of attribute rows in the table (paper: 9)."""
+        return len(self.rows)
+
+    def values_for(self, attribute: str) -> list[str]:
+        """The value list reported for one attribute row."""
+        for row in self.rows:
+            if row["attribute"] == attribute:
+                return [value.strip() for value in str(row["values"]).split(",")]
+        raise DatasetError(f"Table I has no attribute {attribute!r}")
+
+    def full_grid_covered(self) -> bool:
+        """Whether every attribute value occurs at least once in the population.
+
+        The paper stresses diversity of the dataset; with 100 sampled viewers
+        every value of every Table I attribute should be represented.
+        """
+        expected = {**OPERATIONAL_ATTRIBUTES, **BEHAVIORAL_ATTRIBUTES}
+        internal_keys = {
+            "Operating System": "operating_system",
+            "Platform": "platform",
+            "Traffic Conditions": "traffic_condition",
+            "Connection Type": "connection_type",
+            "Browser": "browser",
+            "Age-group": "age_group",
+            "Gender": "gender",
+            "Political Alignment": "political_alignment",
+            "State of Mind": "state_of_mind",
+        }
+        for attribute, values in expected.items():
+            observed = self.observed_marginals.get(internal_keys[attribute], {})
+            for value in values:
+                if observed.get(value, 0) == 0:
+                    return False
+        return True
+
+
+def reproduce_table1(viewer_count: int = 100, seed: int = 0) -> Table1Result:
+    """Generate the study population and reproduce Table I.
+
+    Only the population (not the traffic) is needed for this table, so the
+    runner is cheap even at the paper's full 100-viewer scale.
+    """
+    viewers = generate_population(viewer_count, seed=seed)
+    return Table1Result(
+        rows=table1_rows(),
+        viewer_count=len(viewers),
+        observed_marginals=attribute_marginals(viewers),
+    )

@@ -1,0 +1,140 @@
+"""Chunk maps: the concrete byte layout of a segment's media."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import ConfigurationError
+from repro.media.encoding import BitrateLadder, EncodingProfile, vbr_chunk_bytes
+from repro.narrative.segment import Segment
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One downloadable media chunk of a segment at a specific quality."""
+
+    segment_id: str
+    index: int
+    duration_seconds: float
+    size_bytes: int
+    profile_name: str
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("chunk index must be non-negative")
+        if self.duration_seconds <= 0:
+            raise ConfigurationError("chunk duration must be positive")
+        if self.size_bytes <= 0:
+            raise ConfigurationError("chunk size must be positive")
+
+    @property
+    def chunk_id(self) -> str:
+        """Stable identifier, e.g. ``"S2b/7@hd_1080p"``."""
+        return f"{self.segment_id}/{self.index}@{self.profile_name}"
+
+
+class ChunkMap:
+    """All chunks of one segment at one encoding profile."""
+
+    def __init__(self, segment_id: str, profile_name: str, chunks: list[Chunk]) -> None:
+        if not chunks:
+            raise ConfigurationError(
+                f"segment {segment_id!r} must contain at least one chunk"
+            )
+        for position, chunk in enumerate(chunks):
+            if chunk.segment_id != segment_id:
+                raise ConfigurationError(
+                    f"chunk {chunk.chunk_id} does not belong to segment {segment_id!r}"
+                )
+            if chunk.index != position:
+                raise ConfigurationError(
+                    f"chunk indices must be contiguous; expected {position}, "
+                    f"got {chunk.index}"
+                )
+        self._segment_id = segment_id
+        self._profile_name = profile_name
+        self._chunks = tuple(chunks)
+
+    @property
+    def segment_id(self) -> str:
+        """The segment these chunks belong to."""
+        return self._segment_id
+
+    @property
+    def profile_name(self) -> str:
+        """The ladder rung these chunks were encoded at."""
+        return self._profile_name
+
+    @property
+    def chunks(self) -> tuple[Chunk, ...]:
+        """All chunks in playback order."""
+        return self._chunks
+
+    @property
+    def total_bytes(self) -> int:
+        """Total media bytes across the segment at this quality."""
+        return sum(chunk.size_bytes for chunk in self._chunks)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total playback duration covered by the chunks."""
+        return sum(chunk.duration_seconds for chunk in self._chunks)
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def __iter__(self) -> Iterator[Chunk]:
+        return iter(self._chunks)
+
+    def __getitem__(self, index: int) -> Chunk:
+        return self._chunks[index]
+
+
+def build_chunk_map(
+    segment: Segment,
+    profile: EncodingProfile,
+    chunk_duration_seconds: float,
+    content_seed: int,
+    complexity_sigma: float = 0.18,
+) -> ChunkMap:
+    """Cut a segment into VBR chunks at the given quality."""
+    count = segment.chunk_count(chunk_duration_seconds)
+    chunks: list[Chunk] = []
+    remaining = segment.duration_seconds
+    for index in range(count):
+        duration = min(chunk_duration_seconds, remaining)
+        remaining -= duration
+        size = vbr_chunk_bytes(
+            profile=profile,
+            chunk_duration_seconds=duration,
+            content_seed=content_seed,
+            segment_id=segment.segment_id,
+            chunk_index=index,
+            complexity_sigma=complexity_sigma,
+        )
+        chunks.append(
+            Chunk(
+                segment_id=segment.segment_id,
+                index=index,
+                duration_seconds=duration,
+                size_bytes=size,
+                profile_name=profile.name,
+            )
+        )
+    return ChunkMap(segment.segment_id, profile.name, chunks)
+
+
+def ladder_chunk_maps(
+    segment: Segment,
+    ladder: BitrateLadder,
+    chunk_duration_seconds: float,
+    content_seed: int,
+) -> dict[str, ChunkMap]:
+    """Chunk maps for a segment at every rung of the ladder, keyed by rung name."""
+    return {
+        profile.name: build_chunk_map(
+            segment, profile, chunk_duration_seconds, content_seed
+        )
+        for profile in ladder.profiles
+    }

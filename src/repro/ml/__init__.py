@@ -1,0 +1,47 @@
+"""From-scratch machine-learning helpers.
+
+No scikit-learn is available (or needed): the attack's core classifier is an
+interval/band rule learned directly from labelled record lengths, and the
+generic classifiers here (k-nearest-neighbours, Gaussian naive Bayes, a depth-
+limited decision tree and multinomial logistic regression) exist to show that
+the side-channel is learnable without the hand-built bins and to support the
+ablation benchmarks.
+
+All estimators follow the same minimal protocol: ``fit(features, labels)``
+then ``predict(features)``, with features as 2-D ``numpy`` arrays and labels
+as 1-D arrays of strings or integers.
+"""
+
+from repro.ml.split import StratifiedSplit, kfold_indices, train_test_split
+from repro.ml.metrics import (
+    ConfusionMatrix,
+    accuracy_score,
+    classification_report,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.base import Classifier
+from repro.ml.interval import IntervalClassifier
+from repro.ml.knn import KNearestNeighbors
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+
+__all__ = [
+    "StratifiedSplit",
+    "kfold_indices",
+    "train_test_split",
+    "ConfusionMatrix",
+    "accuracy_score",
+    "classification_report",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "Classifier",
+    "IntervalClassifier",
+    "KNearestNeighbors",
+    "GaussianNaiveBayes",
+    "DecisionTreeClassifier",
+    "LogisticRegressionClassifier",
+]

@@ -1,0 +1,59 @@
+"""The minimal estimator protocol shared by every classifier."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import MLError, NotFittedError
+
+
+def as_feature_matrix(features: object) -> np.ndarray:
+    """Coerce input into a 2-D float array (n_samples, n_features)."""
+    array = np.asarray(features, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise MLError(f"features must be 1-D or 2-D, got shape {array.shape}")
+    if array.shape[0] == 0:
+        raise MLError("feature matrix must contain at least one sample")
+    return array
+
+
+def as_label_array(labels: object, expected_length: int | None = None) -> np.ndarray:
+    """Coerce labels into a 1-D object array, optionally checking the length."""
+    array = np.asarray(labels, dtype=object).reshape(-1)
+    if array.size == 0:
+        raise MLError("label array must contain at least one sample")
+    if expected_length is not None and array.size != expected_length:
+        raise MLError(
+            f"got {array.size} labels for {expected_length} samples"
+        )
+    return array
+
+
+class Classifier(ABC):
+    """Base class: ``fit`` then ``predict``; ``score`` for convenience."""
+
+    _fitted: bool = False
+
+    @abstractmethod
+    def fit(self, features: object, labels: object) -> "Classifier":
+        """Learn from a feature matrix and matching labels; returns ``self``."""
+
+    @abstractmethod
+    def predict(self, features: object) -> np.ndarray:
+        """Predict one label per row of ``features``."""
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before calling predict()"
+            )
+
+    def score(self, features: object, labels: object) -> float:
+        """Accuracy of :meth:`predict` against the given labels."""
+        predictions = self.predict(features)
+        truth = as_label_array(labels, expected_length=len(predictions))
+        return float(np.mean(predictions == truth))

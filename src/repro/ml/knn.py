@@ -1,0 +1,65 @@
+"""k-nearest-neighbours classifier (brute force, Euclidean metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MLError
+from repro.ml.base import Classifier, as_feature_matrix, as_label_array
+
+
+class KNearestNeighbors(Classifier):
+    """Majority vote among the ``k`` nearest training samples.
+
+    Ties in the vote are broken toward the neighbour set's closest member's
+    class, making predictions deterministic.
+    """
+
+    def __init__(self, k: int = 5) -> None:
+        if k < 1:
+            raise MLError(f"k must be at least 1, got {k}")
+        self._k = k
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    @property
+    def k(self) -> int:
+        """Number of neighbours consulted."""
+        return self._k
+
+    def fit(self, features: object, labels: object) -> "KNearestNeighbors":
+        matrix = as_feature_matrix(features)
+        label_array = as_label_array(labels, expected_length=matrix.shape[0])
+        self._features = matrix
+        self._labels = label_array
+        self._fitted = True
+        return self
+
+    def predict(self, features: object) -> np.ndarray:
+        self._check_fitted()
+        assert self._features is not None and self._labels is not None
+        matrix = as_feature_matrix(features)
+        if matrix.shape[1] != self._features.shape[1]:
+            raise MLError(
+                f"feature dimensionality mismatch: fitted with "
+                f"{self._features.shape[1]}, got {matrix.shape[1]}"
+            )
+        k = min(self._k, self._features.shape[0])
+        predictions = np.empty(matrix.shape[0], dtype=object)
+        # Compute pairwise squared distances in one vectorised step.
+        distances = (
+            np.sum(matrix**2, axis=1, keepdims=True)
+            - 2.0 * matrix @ self._features.T
+            + np.sum(self._features**2, axis=1)
+        )
+        for row in range(matrix.shape[0]):
+            order = np.argsort(distances[row], kind="stable")[:k]
+            neighbour_labels = self._labels[order]
+            values, counts = np.unique(neighbour_labels.astype(str), return_counts=True)
+            best_count = counts.max()
+            tied = set(values[counts == best_count].tolist())
+            winner = next(
+                label for label in neighbour_labels if str(label) in tied
+            )
+            predictions[row] = winner
+        return predictions

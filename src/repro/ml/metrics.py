@@ -1,0 +1,119 @@
+"""Classification metrics: accuracy, precision/recall/F1 and confusion matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MLError
+
+
+def _validate(y_true: object, y_pred: object) -> tuple[np.ndarray, np.ndarray]:
+    true_array = np.asarray(y_true, dtype=object).reshape(-1)
+    pred_array = np.asarray(y_pred, dtype=object).reshape(-1)
+    if true_array.size == 0:
+        raise MLError("cannot compute metrics on empty label arrays")
+    if true_array.size != pred_array.size:
+        raise MLError(
+            f"label arrays differ in length: {true_array.size} vs {pred_array.size}"
+        )
+    return true_array, pred_array
+
+
+def accuracy_score(y_true: object, y_pred: object) -> float:
+    """Fraction of predictions that match the ground truth."""
+    true_array, pred_array = _validate(y_true, y_pred)
+    return float(np.mean(true_array == pred_array))
+
+
+def precision_score(y_true: object, y_pred: object, positive_label: object) -> float:
+    """Precision of one class: TP / (TP + FP); 1.0 when nothing was predicted positive."""
+    true_array, pred_array = _validate(y_true, y_pred)
+    predicted_positive = pred_array == positive_label
+    if not predicted_positive.any():
+        return 1.0
+    true_positive = np.logical_and(predicted_positive, true_array == positive_label)
+    return float(true_positive.sum() / predicted_positive.sum())
+
+
+def recall_score(y_true: object, y_pred: object, positive_label: object) -> float:
+    """Recall of one class: TP / (TP + FN); 1.0 when the class never occurs."""
+    true_array, pred_array = _validate(y_true, y_pred)
+    actual_positive = true_array == positive_label
+    if not actual_positive.any():
+        return 1.0
+    true_positive = np.logical_and(actual_positive, pred_array == positive_label)
+    return float(true_positive.sum() / actual_positive.sum())
+
+
+def f1_score(y_true: object, y_pred: object, positive_label: object) -> float:
+    """Harmonic mean of precision and recall for one class."""
+    precision = precision_score(y_true, y_pred, positive_label)
+    recall = recall_score(y_true, y_pred, positive_label)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Row-per-true-class, column-per-predicted-class confusion matrix."""
+
+    labels: tuple[object, ...]
+    counts: np.ndarray
+
+    @classmethod
+    def from_predictions(cls, y_true: object, y_pred: object) -> "ConfusionMatrix":
+        """Build the matrix from ground truth and predictions."""
+        true_array, pred_array = _validate(y_true, y_pred)
+        labels = tuple(sorted(set(true_array.tolist()) | set(pred_array.tolist()), key=str))
+        index = {label: position for position, label in enumerate(labels)}
+        counts = np.zeros((len(labels), len(labels)), dtype=int)
+        for truth, prediction in zip(true_array, pred_array):
+            counts[index[truth], index[prediction]] += 1
+        return cls(labels=labels, counts=counts)
+
+    def count(self, true_label: object, predicted_label: object) -> int:
+        """Number of samples of ``true_label`` predicted as ``predicted_label``."""
+        if true_label not in self.labels or predicted_label not in self.labels:
+            raise MLError("label not present in the confusion matrix")
+        row = self.labels.index(true_label)
+        column = self.labels.index(predicted_label)
+        return int(self.counts[row, column])
+
+    @property
+    def total(self) -> int:
+        """Total number of samples."""
+        return int(self.counts.sum())
+
+    @property
+    def accuracy(self) -> float:
+        """Overall accuracy (trace over total)."""
+        return float(np.trace(self.counts) / self.counts.sum())
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Printable rows: one per true class, with per-predicted-class counts."""
+        rows: list[dict[str, object]] = []
+        for row_index, true_label in enumerate(self.labels):
+            row: dict[str, object] = {"true": true_label}
+            for column_index, predicted_label in enumerate(self.labels):
+                row[str(predicted_label)] = int(self.counts[row_index, column_index])
+            rows.append(row)
+        return rows
+
+
+def classification_report(y_true: object, y_pred: object) -> dict[str, dict[str, float]]:
+    """Per-class precision/recall/F1 plus overall accuracy."""
+    true_array, pred_array = _validate(y_true, y_pred)
+    labels = sorted(set(true_array.tolist()) | set(pred_array.tolist()), key=str)
+    report: dict[str, dict[str, float]] = {}
+    for label in labels:
+        report[str(label)] = {
+            "precision": precision_score(true_array, pred_array, label),
+            "recall": recall_score(true_array, pred_array, label),
+            "f1": f1_score(true_array, pred_array, label),
+            "support": float(np.sum(true_array == label)),
+        }
+    report["overall"] = {"accuracy": accuracy_score(true_array, pred_array)}
+    return report

@@ -1,0 +1,66 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, as_feature_matrix, as_label_array
+
+_MIN_VARIANCE = 1e-9
+
+
+class GaussianNaiveBayes(Classifier):
+    """Per-class independent Gaussians per feature, maximum-posterior decision."""
+
+    def __init__(self, variance_floor: float = _MIN_VARIANCE) -> None:
+        self._variance_floor = max(variance_floor, _MIN_VARIANCE)
+        self._classes: np.ndarray | None = None
+        self._priors: np.ndarray | None = None
+        self._means: np.ndarray | None = None
+        self._variances: np.ndarray | None = None
+
+    def fit(self, features: object, labels: object) -> "GaussianNaiveBayes":
+        matrix = as_feature_matrix(features)
+        label_array = as_label_array(labels, expected_length=matrix.shape[0])
+        classes = np.asarray(sorted(set(label_array.tolist()), key=str), dtype=object)
+        priors = np.zeros(classes.size)
+        means = np.zeros((classes.size, matrix.shape[1]))
+        variances = np.zeros((classes.size, matrix.shape[1]))
+        for index, label in enumerate(classes):
+            mask = label_array == label
+            class_rows = matrix[mask]
+            priors[index] = class_rows.shape[0] / matrix.shape[0]
+            means[index] = class_rows.mean(axis=0)
+            variances[index] = class_rows.var(axis=0) + self._variance_floor
+        self._classes = classes
+        self._priors = priors
+        self._means = means
+        self._variances = variances
+        self._fitted = True
+        return self
+
+    def predict_log_proba(self, features: object) -> np.ndarray:
+        """Unnormalised per-class log posterior for each sample."""
+        self._check_fitted()
+        assert (
+            self._classes is not None
+            and self._priors is not None
+            and self._means is not None
+            and self._variances is not None
+        )
+        matrix = as_feature_matrix(features)
+        log_posteriors = np.zeros((matrix.shape[0], self._classes.size))
+        for index in range(self._classes.size):
+            mean = self._means[index]
+            variance = self._variances[index]
+            log_likelihood = -0.5 * (
+                np.log(2.0 * np.pi * variance) + (matrix - mean) ** 2 / variance
+            ).sum(axis=1)
+            log_posteriors[:, index] = np.log(self._priors[index]) + log_likelihood
+        return log_posteriors
+
+    def predict(self, features: object) -> np.ndarray:
+        log_posteriors = self.predict_log_proba(features)
+        assert self._classes is not None
+        best = np.argmax(log_posteriors, axis=1)
+        return self._classes[best]

@@ -1,0 +1,130 @@
+"""A depth-limited CART-style decision tree (Gini impurity, axis-aligned splits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import MLError
+from repro.ml.base import Classifier, as_feature_matrix, as_label_array
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a prediction, internal nodes a split."""
+
+    prediction: object | None = None
+    feature_index: int | None = None
+    threshold: float | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.prediction is not None
+
+
+def _gini(labels: np.ndarray) -> float:
+    _, counts = np.unique(labels.astype(str), return_counts=True)
+    proportions = counts / counts.sum()
+    return float(1.0 - np.sum(proportions**2))
+
+
+def _majority(labels: np.ndarray) -> object:
+    values, counts = np.unique(labels.astype(str), return_counts=True)
+    winner = values[np.argmax(counts)]
+    for label in labels:
+        if str(label) == winner:
+            return label
+    return labels[0]  # pragma: no cover - unreachable
+
+
+class DecisionTreeClassifier(Classifier):
+    """Greedy binary tree minimising Gini impurity."""
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 2) -> None:
+        if max_depth < 1:
+            raise MLError(f"max depth must be at least 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise MLError(f"min samples split must be at least 2, got {min_samples_split}")
+        self._max_depth = max_depth
+        self._min_samples_split = min_samples_split
+        self._root: _Node | None = None
+
+    def fit(self, features: object, labels: object) -> "DecisionTreeClassifier":
+        matrix = as_feature_matrix(features)
+        label_array = as_label_array(labels, expected_length=matrix.shape[0])
+        self._root = self._grow(matrix, label_array, depth=0)
+        self._fitted = True
+        return self
+
+    def _grow(self, matrix: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        unique = set(labels.astype(str).tolist())
+        if (
+            len(unique) == 1
+            or depth >= self._max_depth
+            or labels.size < self._min_samples_split
+        ):
+            return _Node(prediction=_majority(labels))
+        best_gain = 0.0
+        best: tuple[int, float, np.ndarray] | None = None
+        parent_impurity = _gini(labels)
+        for feature_index in range(matrix.shape[1]):
+            values = matrix[:, feature_index]
+            candidates = np.unique(values)
+            if candidates.size < 2:
+                continue
+            thresholds = (candidates[:-1] + candidates[1:]) / 2.0
+            for threshold in thresholds:
+                left_mask = values <= threshold
+                left_count = int(left_mask.sum())
+                if left_count == 0 or left_count == labels.size:
+                    continue
+                left_impurity = _gini(labels[left_mask])
+                right_impurity = _gini(labels[~left_mask])
+                weighted = (
+                    left_count * left_impurity
+                    + (labels.size - left_count) * right_impurity
+                ) / labels.size
+                gain = parent_impurity - weighted
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best = (feature_index, float(threshold), left_mask)
+        if best is None:
+            return _Node(prediction=_majority(labels))
+        feature_index, threshold, left_mask = best
+        return _Node(
+            feature_index=feature_index,
+            threshold=threshold,
+            left=self._grow(matrix[left_mask], labels[left_mask], depth + 1),
+            right=self._grow(matrix[~left_mask], labels[~left_mask], depth + 1),
+        )
+
+    def predict(self, features: object) -> np.ndarray:
+        self._check_fitted()
+        assert self._root is not None
+        matrix = as_feature_matrix(features)
+        predictions = np.empty(matrix.shape[0], dtype=object)
+        for row in range(matrix.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                assert node.feature_index is not None and node.threshold is not None
+                assert node.left is not None and node.right is not None
+                if matrix[row, node.feature_index] <= node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            predictions[row] = node.prediction
+        return predictions
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree (0 for a single leaf)."""
+        self._check_fitted()
+
+        def _depth(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)

@@ -1,0 +1,38 @@
+"""Branching-narrative (interactive script) model.
+
+An interactive movie is a directed graph of *segments*.  Playback follows a
+path through the graph; at the end of some segments the viewer is presented
+with a *choice point* offering (in Bandersnatch, and here) exactly two options,
+one of which the platform treats as the *default* branch and prefetches.
+
+The module is deliberately independent of any networking concern: it only
+describes the script structure that the streaming simulator
+(:mod:`repro.streaming`) walks and that the attack (:mod:`repro.core`)
+ultimately tries to reconstruct.
+"""
+
+from repro.narrative.segment import Segment
+from repro.narrative.choices import Choice, ChoicePoint, ChoiceRecord
+from repro.narrative.graph import StoryGraph
+from repro.narrative.path import ViewingPath, enumerate_paths, path_from_choices
+from repro.narrative.bandersnatch import (
+    BANDERSNATCH_CHOICE_LABELS,
+    build_bandersnatch_script,
+    build_linear_script,
+    build_minimal_interactive_script,
+)
+
+__all__ = [
+    "Segment",
+    "Choice",
+    "ChoicePoint",
+    "ChoiceRecord",
+    "StoryGraph",
+    "ViewingPath",
+    "enumerate_paths",
+    "path_from_choices",
+    "BANDERSNATCH_CHOICE_LABELS",
+    "build_bandersnatch_script",
+    "build_linear_script",
+    "build_minimal_interactive_script",
+]

@@ -1,0 +1,251 @@
+"""The story graph: segments wired together by choice points."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.exceptions import NarrativeError
+from repro.narrative.choices import Choice, ChoicePoint
+from repro.narrative.segment import Segment
+
+
+class StoryGraph:
+    """Directed graph of :class:`Segment` nodes and choice-point edges.
+
+    The graph models an interactive script the way the streaming simulator
+    needs it:
+
+    * every segment is a node;
+    * a segment either ends the movie (``is_ending``) or has exactly one
+      outgoing :class:`ChoicePoint` with two target segments;
+    * exactly one segment is the *root* (Segment 0 of the paper), where every
+      viewing starts.
+    """
+
+    def __init__(self, title: str, root_segment_id: str) -> None:
+        if not title:
+            raise NarrativeError("story title must be non-empty")
+        if not root_segment_id:
+            raise NarrativeError("root segment id must be non-empty")
+        self._title = title
+        self._root_segment_id = root_segment_id
+        self._graph = nx.DiGraph()
+        self._segments: dict[str, Segment] = {}
+        self._choice_points: dict[str, ChoicePoint] = {}
+        self._choice_point_by_source: dict[str, str] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_segment(self, segment: Segment) -> None:
+        """Register a segment node."""
+        if segment.segment_id in self._segments:
+            raise NarrativeError(f"duplicate segment id {segment.segment_id!r}")
+        self._segments[segment.segment_id] = segment
+        self._graph.add_node(segment.segment_id)
+
+    def add_segments(self, segments: Iterable[Segment]) -> None:
+        """Register several segments."""
+        for segment in segments:
+            self.add_segment(segment)
+
+    def add_choice_point(self, choice_point: ChoicePoint) -> None:
+        """Attach a choice point to the end of its source segment."""
+        if choice_point.question_id in self._choice_points:
+            raise NarrativeError(
+                f"duplicate choice point id {choice_point.question_id!r}"
+            )
+        source = choice_point.source_segment_id
+        if source not in self._segments:
+            raise NarrativeError(
+                f"choice point {choice_point.question_id!r} references unknown "
+                f"source segment {source!r}"
+            )
+        if self._segments[source].is_ending:
+            raise NarrativeError(
+                f"ending segment {source!r} cannot have a choice point"
+            )
+        if source in self._choice_point_by_source:
+            raise NarrativeError(
+                f"segment {source!r} already has a choice point attached"
+            )
+        for option in choice_point.options:
+            if option.target_segment_id not in self._segments:
+                raise NarrativeError(
+                    f"choice point {choice_point.question_id!r} targets unknown "
+                    f"segment {option.target_segment_id!r}"
+                )
+        self._choice_points[choice_point.question_id] = choice_point
+        self._choice_point_by_source[source] = choice_point.question_id
+        for option in choice_point.options:
+            self._graph.add_edge(
+                source,
+                option.target_segment_id,
+                question_id=choice_point.question_id,
+                label=option.label,
+                is_default=option.is_default,
+            )
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def title(self) -> str:
+        """Title of the interactive movie."""
+        return self._title
+
+    @property
+    def root_segment(self) -> Segment:
+        """Segment 0: where every viewing session starts."""
+        return self.segment(self._root_segment_id)
+
+    @property
+    def segment_ids(self) -> tuple[str, ...]:
+        """All segment identifiers, in insertion order."""
+        return tuple(self._segments.keys())
+
+    @property
+    def question_ids(self) -> tuple[str, ...]:
+        """All choice-point identifiers, in insertion order."""
+        return tuple(self._choice_points.keys())
+
+    def segment(self, segment_id: str) -> Segment:
+        """Look up a segment by id."""
+        try:
+            return self._segments[segment_id]
+        except KeyError:
+            raise NarrativeError(f"unknown segment {segment_id!r}") from None
+
+    def choice_point(self, question_id: str) -> ChoicePoint:
+        """Look up a choice point by id."""
+        try:
+            return self._choice_points[question_id]
+        except KeyError:
+            raise NarrativeError(f"unknown choice point {question_id!r}") from None
+
+    def choice_point_after(self, segment_id: str) -> ChoicePoint | None:
+        """The question shown when ``segment_id`` ends, or ``None`` for endings."""
+        self.segment(segment_id)
+        question_id = self._choice_point_by_source.get(segment_id)
+        if question_id is None:
+            return None
+        return self._choice_points[question_id]
+
+    def successors(self, segment_id: str) -> tuple[str, ...]:
+        """Segments reachable in one step from ``segment_id``."""
+        self.segment(segment_id)
+        return tuple(self._graph.successors(segment_id))
+
+    def ending_segments(self) -> tuple[Segment, ...]:
+        """All segments flagged as endings."""
+        return tuple(
+            segment for segment in self._segments.values() if segment.is_ending
+        )
+
+    def iter_segments(self) -> Iterator[Segment]:
+        """Iterate over all segments in insertion order."""
+        return iter(self._segments.values())
+
+    def iter_choice_points(self) -> Iterator[ChoicePoint]:
+        """Iterate over all choice points in insertion order."""
+        return iter(self._choice_points.values())
+
+    def default_successor(self, segment_id: str) -> Segment | None:
+        """The prefetched next segment after ``segment_id``, if any."""
+        choice_point = self.choice_point_after(segment_id)
+        if choice_point is None:
+            return None
+        return self.segment(choice_point.default_choice.target_segment_id)
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`NarrativeError` if broken.
+
+        Invariants:
+
+        * the root segment exists;
+        * every non-ending segment has a choice point;
+        * every ending segment has no outgoing edges;
+        * every segment is reachable from the root;
+        * at least one ending is reachable (the movie can finish).
+        """
+        if self._root_segment_id not in self._segments:
+            raise NarrativeError(
+                f"root segment {self._root_segment_id!r} is not part of the graph"
+            )
+        for segment in self._segments.values():
+            has_choice = segment.segment_id in self._choice_point_by_source
+            if segment.is_ending and has_choice:
+                raise NarrativeError(
+                    f"ending segment {segment.segment_id!r} has a choice point"
+                )
+            if not segment.is_ending and not has_choice:
+                raise NarrativeError(
+                    f"non-ending segment {segment.segment_id!r} has no choice point"
+                )
+        reachable = set(nx.descendants(self._graph, self._root_segment_id))
+        reachable.add(self._root_segment_id)
+        unreachable = set(self._segments) - reachable
+        if unreachable:
+            raise NarrativeError(
+                f"segments unreachable from the root: {sorted(unreachable)}"
+            )
+        if not any(self._segments[s].is_ending for s in reachable):
+            raise NarrativeError("no ending segment is reachable from the root")
+
+    # -- metrics -----------------------------------------------------------
+
+    @property
+    def segment_count(self) -> int:
+        """Number of segments in the script."""
+        return len(self._segments)
+
+    @property
+    def choice_point_count(self) -> int:
+        """Number of choice points in the script."""
+        return len(self._choice_points)
+
+    def total_content_seconds(self) -> float:
+        """Sum of all segment durations (the full shot footage, not one path)."""
+        return sum(segment.duration_seconds for segment in self._segments.values())
+
+    def max_choices_on_any_path(self) -> int:
+        """Upper bound on how many questions a single viewing can encounter.
+
+        Computed as the longest path (in edges) of the condensation of the
+        graph; loops therefore count once, which matches how the simulator
+        caps re-visits.
+        """
+        condensation = nx.condensation(self._graph)
+        return int(nx.dag_longest_path_length(condensation))
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Return a copy of the underlying ``networkx`` graph."""
+        return self._graph.copy()
+
+    def __contains__(self, segment_id: object) -> bool:
+        return segment_id in self._segments
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"StoryGraph(title={self._title!r}, segments={self.segment_count}, "
+            f"choice_points={self.choice_point_count})"
+        )
+
+
+def choice_edge_attributes(graph: StoryGraph) -> list[dict[str, object]]:
+    """Flatten every (question, option) pair into a row for reporting."""
+    rows: list[dict[str, object]] = []
+    for choice_point in graph.iter_choice_points():
+        for option in choice_point.options:
+            rows.append(
+                {
+                    "question_id": choice_point.question_id,
+                    "source_segment": choice_point.source_segment_id,
+                    "label": option.label,
+                    "target_segment": option.target_segment_id,
+                    "is_default": option.is_default,
+                }
+            )
+    return rows

@@ -1,0 +1,53 @@
+"""Story segments: the unit of content between two choice points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import NarrativeError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous stretch of the movie.
+
+    Parameters
+    ----------
+    segment_id:
+        Unique identifier, e.g. ``"S0"`` for the common opening segment or
+        ``"S2b"`` for the non-default branch after the second question.
+    title:
+        Human-readable description of the scene.
+    duration_seconds:
+        Playback duration of the segment.  Segments are later cut into
+        fixed-duration chunks by :mod:`repro.media`.
+    is_ending:
+        ``True`` when the segment terminates the movie (no outgoing choice).
+    """
+
+    segment_id: str
+    title: str
+    duration_seconds: float
+    is_ending: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.segment_id:
+            raise NarrativeError("segment_id must be a non-empty string")
+        if self.duration_seconds <= 0:
+            raise NarrativeError(
+                f"segment {self.segment_id!r} must have positive duration, "
+                f"got {self.duration_seconds}"
+            )
+
+    def chunk_count(self, chunk_duration_seconds: float) -> int:
+        """Number of media chunks needed to cover the segment.
+
+        The final chunk may be shorter than ``chunk_duration_seconds``; the
+        count therefore rounds up.
+        """
+        if chunk_duration_seconds <= 0:
+            raise NarrativeError(
+                f"chunk duration must be positive, got {chunk_duration_seconds}"
+            )
+        full, remainder = divmod(self.duration_seconds, chunk_duration_seconds)
+        return int(full) + (1 if remainder > 1e-9 else 0)

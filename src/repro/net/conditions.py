@@ -1,0 +1,90 @@
+"""Network-condition models: latency, jitter, loss and cross traffic.
+
+The dataset deliberately varies network conditions (Table I's "Traffic
+Conditions" row: morning, noon, night) and connection media (wired,
+wireless).  The conditions do two things to a capture:
+
+* they perturb packet *timing* (base RTT, jitter, queueing during busy hours),
+  which matters to the residual timing side-channel studied by the defence
+  module; and
+* they cause *retransmissions* and add unrelated *cross traffic* flows, which
+  add noise the attack must tolerate.
+
+Record lengths themselves are untouched — that invariance across conditions
+is the paper's central observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.client.profiles import OperationalCondition
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomSource
+from repro.utils.units import Bandwidth, mbps
+from repro.utils.validation import ensure_probability
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """Timing and loss parameters of the viewer's access network."""
+
+    base_rtt_seconds: float
+    jitter_seconds: float
+    loss_probability: float
+    downlink: Bandwidth
+    uplink: Bandwidth
+    cross_traffic_flow_rate_per_minute: float
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_seconds <= 0:
+            raise ConfigurationError("base RTT must be positive")
+        if self.jitter_seconds < 0:
+            raise ConfigurationError("jitter must be non-negative")
+        ensure_probability(self.loss_probability, "loss_probability")
+        if self.cross_traffic_flow_rate_per_minute < 0:
+            raise ConfigurationError("cross traffic rate must be non-negative")
+
+    def one_way_delay(self, rng: RandomSource) -> float:
+        """Sample a one-way delay for a packet under these conditions."""
+        half_rtt = self.base_rtt_seconds / 2.0
+        return max(0.001, half_rtt + rng.normal(0.0, self.jitter_seconds / 2.0))
+
+    def is_lost(self, rng: RandomSource) -> bool:
+        """Sample whether a packet is lost (and will be retransmitted)."""
+        return rng.bernoulli(self.loss_probability)
+
+    def serialization_delay(self, num_bytes: int, uplink: bool) -> float:
+        """Time to push ``num_bytes`` onto the wire in the given direction."""
+        link = self.uplink if uplink else self.downlink
+        return link.transfer_time(num_bytes)
+
+
+_BASE_RTT = {"wired": 0.018, "wireless": 0.032}
+_JITTER = {"wired": 0.002, "wireless": 0.008}
+_LOSS = {
+    ("wired", "morning"): 0.0005,
+    ("wired", "noon"): 0.001,
+    ("wired", "night"): 0.004,
+    ("wireless", "morning"): 0.002,
+    ("wireless", "noon"): 0.004,
+    ("wireless", "night"): 0.012,
+}
+_DOWNLINK_MBPS = {"morning": 48.0, "noon": 40.0, "night": 22.0}
+_CROSS_FLOWS_PER_MINUTE = {"morning": 1.5, "noon": 2.5, "night": 6.0}
+
+
+def conditions_for(condition: OperationalCondition) -> NetworkConditions:
+    """Derive :class:`NetworkConditions` from an operational condition."""
+    connection = condition.connection_type
+    traffic = condition.traffic_condition
+    downlink = mbps(_DOWNLINK_MBPS[traffic] * (0.8 if connection == "wireless" else 1.0))
+    uplink = mbps(max(4.0, downlink.megabits_per_second / 8.0))
+    return NetworkConditions(
+        base_rtt_seconds=_BASE_RTT[connection],
+        jitter_seconds=_JITTER[connection],
+        loss_probability=_LOSS[(connection, traffic)],
+        downlink=downlink,
+        uplink=uplink,
+        cross_traffic_flow_rate_per_minute=_CROSS_FLOWS_PER_MINUTE[traffic],
+    )

@@ -1,0 +1,157 @@
+"""Reading and writing pcap files (classic libpcap format, no dependencies).
+
+The dataset stores each viewer's capture as a standard pcap so the traces can
+be opened in Wireshark/tcpdump and so the attack consumes exactly what a real
+eavesdropper would: frames and timestamps, nothing more.
+
+Format reference: the classic 24-byte global header (magic 0xa1b2c3d4,
+microsecond timestamps) followed by per-packet records of a 16-byte header
+(seconds, microseconds, captured length, original length) and the frame bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.exceptions import PcapError
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_PACKET_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class PcapPacket:
+    """One packet record read from (or destined for) a pcap file."""
+
+    timestamp: float
+    frame: bytes
+    original_length: int | None = None
+
+    @property
+    def captured_length(self) -> int:
+        """Bytes actually stored in the file."""
+        return len(self.frame)
+
+
+class PcapWriter:
+    """Streaming pcap writer.
+
+    Usage::
+
+        with PcapWriter(path) as writer:
+            writer.write(timestamp, frame_bytes)
+    """
+
+    def __init__(self, path: str | Path, snaplen: int = 65_535) -> None:
+        if snaplen <= 0:
+            raise PcapError(f"snaplen must be positive, got {snaplen}")
+        self._path = Path(path)
+        self._snaplen = snaplen
+        self._handle = None
+        self._count = 0
+
+    def __enter__(self) -> "PcapWriter":
+        self._handle = open(self._path, "wb")
+        header = _GLOBAL_HEADER.pack(
+            PCAP_MAGIC, 2, 4, 0, 0, self._snaplen, LINKTYPE_ETHERNET
+        )
+        self._handle.write(header)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @property
+    def packets_written(self) -> int:
+        """Number of packet records emitted so far."""
+        return self._count
+
+    def write(self, timestamp: float, frame: bytes) -> None:
+        """Append one packet record."""
+        if self._handle is None:
+            raise PcapError("PcapWriter must be used as a context manager")
+        if timestamp < 0:
+            raise PcapError(f"timestamp must be non-negative, got {timestamp}")
+        if not frame:
+            raise PcapError("cannot write an empty frame")
+        seconds = int(timestamp)
+        microseconds = int(round((timestamp - seconds) * 1_000_000))
+        if microseconds >= 1_000_000:
+            seconds += 1
+            microseconds -= 1_000_000
+        captured = frame[: self._snaplen]
+        self._handle.write(
+            _PACKET_HEADER.pack(seconds, microseconds, len(captured), len(frame))
+        )
+        self._handle.write(captured)
+        self._count += 1
+
+
+class PcapReader:
+    """Iterates over the packet records of a pcap file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+
+    def __iter__(self) -> Iterator[PcapPacket]:
+        return self.read()
+
+    def read(self) -> Iterator[PcapPacket]:
+        """Yield every packet record in file order."""
+        try:
+            data = self._path.read_bytes()
+        except OSError as error:
+            raise PcapError(f"cannot read pcap file {self._path}: {error}") from error
+        if len(data) < _GLOBAL_HEADER.size:
+            raise PcapError(f"{self._path} is too short to be a pcap file")
+        magic = struct.unpack_from("<I", data)[0]
+        if magic == PCAP_MAGIC:
+            endian = "<"
+        elif magic == PCAP_MAGIC_SWAPPED:
+            endian = ">"
+        else:
+            raise PcapError(f"{self._path} has unknown pcap magic {magic:#x}")
+        global_header = struct.Struct(endian + "IHHiIII")
+        packet_header = struct.Struct(endian + "IIII")
+        (_, _major, _minor, _tz, _sigfigs, _snaplen, linktype) = global_header.unpack_from(data)
+        if linktype != LINKTYPE_ETHERNET:
+            raise PcapError(f"unsupported link type {linktype}")
+        offset = global_header.size
+        while offset < len(data):
+            if len(data) - offset < packet_header.size:
+                raise PcapError(f"{self._path} ends with a truncated packet header")
+            seconds, microseconds, captured_length, original_length = packet_header.unpack_from(
+                data, offset
+            )
+            offset += packet_header.size
+            if len(data) - offset < captured_length:
+                raise PcapError(f"{self._path} ends with a truncated packet body")
+            frame = bytes(data[offset : offset + captured_length])
+            offset += captured_length
+            yield PcapPacket(
+                timestamp=seconds + microseconds / 1_000_000,
+                frame=frame,
+                original_length=original_length,
+            )
+
+
+def write_pcap(path: str | Path, packets: Iterator[tuple[float, bytes]] | list[tuple[float, bytes]]) -> int:
+    """Write ``(timestamp, frame)`` pairs to ``path``; return the packet count."""
+    with PcapWriter(path) as writer:
+        for timestamp, frame in packets:
+            writer.write(timestamp, frame)
+        return writer.packets_written
+
+
+def read_pcap(path: str | Path) -> list[PcapPacket]:
+    """Read a whole pcap file into memory."""
+    return list(PcapReader(path).read())

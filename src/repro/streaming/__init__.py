@@ -1,0 +1,35 @@
+"""Interactive streaming session simulator.
+
+This package drives everything end to end: it walks the story graph the way
+the Netflix player does (Figure 1 of the paper), makes the viewer's choices
+via the behaviour model, emits the client's state-report JSON messages and
+media requests, streams chunks from the server model, prefetches the default
+branch around every choice point, and hands every byte to the TLS and TCP
+layers so the capture sink ends up with a realistic packet trace.
+"""
+
+from repro.streaming.events import EventKind, SessionEvent
+from repro.streaming.buffer import PlaybackBuffer
+from repro.streaming.abr import AdaptiveBitrateController
+from repro.streaming.prefetch import PrefetchPlan, Prefetcher
+from repro.streaming.server import StreamingServer
+from repro.streaming.session import (
+    InteractiveStreamingSession,
+    SessionConfig,
+    SessionResult,
+    simulate_session,
+)
+
+__all__ = [
+    "EventKind",
+    "SessionEvent",
+    "PlaybackBuffer",
+    "AdaptiveBitrateController",
+    "PrefetchPlan",
+    "Prefetcher",
+    "StreamingServer",
+    "InteractiveStreamingSession",
+    "SessionConfig",
+    "SessionResult",
+    "simulate_session",
+]

@@ -1,0 +1,90 @@
+"""Playback buffer model.
+
+The buffer tracks how many seconds of video are downloaded but not yet
+played.  The ABR controller reads it to pick qualities, and the session uses
+it to decide how aggressively to fetch ahead (and how much default-branch
+content can be prefetched while a question is on screen).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import StreamingError
+
+
+class PlaybackBuffer:
+    """Seconds of buffered content with play/fill accounting."""
+
+    def __init__(self, target_seconds: float = 30.0, max_seconds: float = 120.0) -> None:
+        if target_seconds <= 0:
+            raise StreamingError("buffer target must be positive")
+        if max_seconds < target_seconds:
+            raise StreamingError("buffer maximum must be at least the target")
+        self._target = target_seconds
+        self._max = max_seconds
+        self._level = 0.0
+        self._rebuffer_events = 0
+        self._total_rebuffer_seconds = 0.0
+
+    @property
+    def level_seconds(self) -> float:
+        """Seconds of content currently buffered."""
+        return self._level
+
+    @property
+    def target_seconds(self) -> float:
+        """The level the player tries to maintain."""
+        return self._target
+
+    @property
+    def max_seconds(self) -> float:
+        """Hard cap on buffered content."""
+        return self._max
+
+    @property
+    def rebuffer_events(self) -> int:
+        """How many times playback stalled because the buffer emptied."""
+        return self._rebuffer_events
+
+    @property
+    def total_rebuffer_seconds(self) -> float:
+        """Total stall time accumulated."""
+        return self._total_rebuffer_seconds
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer is at its cap (fetching should pause)."""
+        return self._level >= self._max - 1e-9
+
+    def headroom_seconds(self) -> float:
+        """How many more seconds can be added before hitting the cap."""
+        return max(0.0, self._max - self._level)
+
+    def deficit_seconds(self) -> float:
+        """How far below target the buffer currently is."""
+        return max(0.0, self._target - self._level)
+
+    def add(self, seconds: float) -> None:
+        """Add downloaded content (clamped at the cap)."""
+        if seconds < 0:
+            raise StreamingError("cannot add negative seconds to the buffer")
+        self._level = min(self._max, self._level + seconds)
+
+    def play(self, seconds: float) -> float:
+        """Consume ``seconds`` of playback; returns stall time incurred (if any)."""
+        if seconds < 0:
+            raise StreamingError("cannot play negative seconds")
+        stall = 0.0
+        if seconds > self._level:
+            stall = seconds - self._level
+            self._rebuffer_events += 1
+            self._total_rebuffer_seconds += stall
+            self._level = 0.0
+        else:
+            self._level -= seconds
+        return stall
+
+    def drain(self) -> float:
+        """Discard all buffered content (e.g. prefetched wrong branch); returns seconds dropped."""
+        dropped = self._level
+        self._level = 0.0
+        return dropped

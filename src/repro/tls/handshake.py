@@ -1,0 +1,70 @@
+"""Simulated TLS handshake records.
+
+Captured sessions begin with a handshake whose records are *not* application
+data; the attack must skip them, and the feature-extraction tests exercise
+that.  The sizes below are typical of a TLS 1.2 ECDHE-RSA handshake against a
+CDN edge (ClientHello with a long ALPN/SNI extension block, a certificate
+chain of two or three certificates, small key-exchange and finished messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import TLSError
+from repro.tls.ciphers import CipherSpec
+from repro.tls.records import ContentType, TLSRecord
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class HandshakeRecord:
+    """One handshake-phase record plus the direction it travels."""
+
+    record: TLSRecord
+    from_client: bool
+    description: str
+
+
+def _record(length: int, rng: RandomSource, *, content: ContentType = ContentType.HANDSHAKE) -> TLSRecord:
+    if length <= 0:
+        raise TLSError("handshake record length must be positive")
+    body = rng.random_bytes(length)
+    return TLSRecord(content_type=content, version=0x0303, ciphertext=body)
+
+
+def simulate_handshake(cipher: CipherSpec, rng: RandomSource) -> list[HandshakeRecord]:
+    """Produce a plausible handshake record exchange for ``cipher``.
+
+    The exact sizes vary a little per connection (session tickets, extension
+    ordering), which the jitter models.
+    """
+    client_hello = _record(rng.jittered(517, 6), rng)
+    server_hello = _record(rng.jittered(91, 4), rng)
+    certificate = _record(rng.jittered(3680, 120), rng)
+    server_key_exchange = _record(rng.jittered(333, 8), rng)
+    server_hello_done = _record(9, rng)
+    client_key_exchange = _record(rng.jittered(70, 2), rng)
+    client_ccs = _record(1, rng, content=ContentType.CHANGE_CIPHER_SPEC)
+    client_finished = _record(rng.jittered(45, 2), rng)
+    server_ccs = _record(1, rng, content=ContentType.CHANGE_CIPHER_SPEC)
+    server_finished = _record(rng.jittered(45, 2), rng)
+
+    return [
+        HandshakeRecord(client_hello, from_client=True, description="ClientHello"),
+        HandshakeRecord(server_hello, from_client=False, description="ServerHello"),
+        HandshakeRecord(certificate, from_client=False, description="Certificate"),
+        HandshakeRecord(
+            server_key_exchange, from_client=False, description="ServerKeyExchange"
+        ),
+        HandshakeRecord(
+            server_hello_done, from_client=False, description="ServerHelloDone"
+        ),
+        HandshakeRecord(
+            client_key_exchange, from_client=True, description="ClientKeyExchange"
+        ),
+        HandshakeRecord(client_ccs, from_client=True, description="ChangeCipherSpec"),
+        HandshakeRecord(client_finished, from_client=True, description="Finished"),
+        HandshakeRecord(server_ccs, from_client=False, description="ChangeCipherSpec"),
+        HandshakeRecord(server_finished, from_client=False, description="Finished"),
+    ]

@@ -1,0 +1,61 @@
+"""Shared low-level helpers used across every subsystem.
+
+The utilities here deliberately avoid any knowledge of streaming, TLS or the
+attack itself: they provide deterministic random-number handling, unit
+conversions, descriptive statistics and input validation that the rest of the
+library builds upon.
+"""
+
+from repro.utils.rng import RandomSource, derive_seed, spawn_rng
+from repro.utils.units import (
+    Bandwidth,
+    bits_to_bytes,
+    bytes_to_bits,
+    kbps,
+    mbps,
+    milliseconds,
+    seconds,
+)
+from repro.utils.stats import (
+    SummaryStats,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize,
+)
+from repro.utils.histogram import Histogram, LengthBin, bin_label
+from repro.utils.validation import (
+    ensure_in,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_probability,
+    ensure_range,
+)
+
+__all__ = [
+    "RandomSource",
+    "derive_seed",
+    "spawn_rng",
+    "Bandwidth",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "kbps",
+    "mbps",
+    "milliseconds",
+    "seconds",
+    "SummaryStats",
+    "mean",
+    "median",
+    "percentile",
+    "stddev",
+    "summarize",
+    "Histogram",
+    "LengthBin",
+    "bin_label",
+    "ensure_in",
+    "ensure_non_negative",
+    "ensure_positive",
+    "ensure_probability",
+    "ensure_range",
+]

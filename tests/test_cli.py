@@ -1,0 +1,151 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_attack_requires_environment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "x.pcap", "lib.json"])
+
+
+class TestGenerateInspectTrainAttack:
+    """End-to-end CLI workflow on a tiny dataset (kept small for speed)."""
+
+    @pytest.fixture(scope="class")
+    def dataset_dir(self, tmp_path_factory) -> Path:
+        directory = tmp_path_factory.mktemp("cli-dataset")
+        exit_code = main(
+            [
+                "generate-dataset",
+                str(directory),
+                "--viewers",
+                "3",
+                "--seed",
+                "5",
+                "--no-cross-traffic",
+            ]
+        )
+        assert exit_code == 0
+        return directory
+
+    def test_generate_dataset_writes_artifacts(self, dataset_dir):
+        metadata = json.loads((dataset_dir / "metadata.json").read_text())
+        assert metadata["viewer_count"] == 3
+        assert metadata["seed"] == 5
+        pcaps = list((dataset_dir / "traces").glob("*.pcap"))
+        assert len(pcaps) == 3
+
+    def test_inspect_summarises_a_pcap(self, dataset_dir, capsys):
+        pcap = sorted((dataset_dir / "traces").glob("*.pcap"))[0]
+        exit_code = main(["inspect", str(pcap)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Flows in" in output
+        assert "client TLS records" in output
+
+    def test_train_then_attack(self, dataset_dir, tmp_path, capsys):
+        library_path = tmp_path / "fingerprints.json"
+        exit_code = main(
+            [
+                "train",
+                str(dataset_dir),
+                str(library_path),
+                "--train-fraction",
+                "0.67",
+            ]
+        )
+        assert exit_code == 0
+        assert library_path.exists()
+        library = json.loads(library_path.read_text())
+        assert library  # at least one environment learned
+
+        # Attack one of the dataset's own pcaps with the learned fingerprints.
+        metadata = json.loads((dataset_dir / "metadata.json").read_text())
+        entry = metadata["entries"][0]
+        environment = "/".join(
+            (
+                entry["viewer"]["condition"]["operating_system"],
+                entry["viewer"]["condition"]["browser"],
+            )
+        )
+        if environment not in library:
+            pytest.skip("first viewer's environment not in the calibration half")
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "attack",
+                str(dataset_dir / entry["trace_file"]),
+                str(library_path),
+                "--environment",
+                environment,
+                "--client-ip",
+                entry["client_ip"],
+                "--server-ip",
+                entry["server_ip"],
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Recovered choices" in output
+        assert "Behavioural profile" in output
+
+    def test_attack_with_unknown_environment_fails_cleanly(self, dataset_dir, tmp_path, capsys):
+        library_path = tmp_path / "fingerprints2.json"
+        main(["train", str(dataset_dir), str(library_path)])
+        metadata = json.loads((dataset_dir / "metadata.json").read_text())
+        entry = metadata["entries"][0]
+        exit_code = main(
+            [
+                "attack",
+                str(dataset_dir / entry["trace_file"]),
+                str(library_path),
+                "--environment",
+                "amiga/netscape",
+                "--client-ip",
+                entry["client_ip"],
+            ]
+        )
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_pcap_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(["inspect", str(tmp_path / "missing.pcap")])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReproduceCommand:
+    def test_quick_figure1_reproduction(self, capsys):
+        exit_code = main(["reproduce", "--experiment", "figure1", "--quick"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 1" in output
+        assert "matches the paper's description: True" in output
+
+    def test_quick_table1_reproduction(self, capsys):
+        exit_code = main(["reproduce", "--experiment", "table1", "--quick"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Operating System" in output

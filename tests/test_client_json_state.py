@@ -1,0 +1,74 @@
+"""Tests for type-1/type-2 state message construction."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.client.json_state import (
+    JSON_TYPE_1,
+    JSON_TYPE_2,
+    StateMessage,
+    build_type1_message,
+    build_type2_message,
+)
+from repro.client.profiles import figure2_conditions, profile_for
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture()
+def ubuntu_profile():
+    return profile_for(figure2_conditions()[0])
+
+
+class TestStateMessages:
+    def test_type1_size_matches_profile(self, ubuntu_profile):
+        rng = RandomSource(1)
+        message = build_type1_message(ubuntu_profile, "Q1", 10.0, rng)
+        assert message.kind == JSON_TYPE_1
+        assert (
+            abs(message.size_bytes - ubuntu_profile.type1_payload_bytes)
+            <= ubuntu_profile.type1_payload_jitter
+        )
+
+    def test_type2_size_matches_profile(self, ubuntu_profile):
+        rng = RandomSource(2)
+        message = build_type2_message(ubuntu_profile, "Q2", 20.0, rng)
+        assert message.kind == JSON_TYPE_2
+        assert (
+            abs(message.size_bytes - ubuntu_profile.type2_payload_bytes)
+            <= ubuntu_profile.type2_payload_jitter
+        )
+
+    def test_payload_is_valid_json_with_semantics(self, ubuntu_profile):
+        message = build_type1_message(ubuntu_profile, "Q3", 5.0, RandomSource(3))
+        document = json.loads(message.payload.decode("utf-8"))
+        assert document["messageKind"] == "type1"
+        assert document["questionId"] == "Q3"
+        assert document["player"]["interactive"] is True
+
+    def test_type2_payload_mentions_branch_override(self, ubuntu_profile):
+        message = build_type2_message(ubuntu_profile, "Q3", 5.0, RandomSource(3))
+        document = json.loads(message.payload.decode("utf-8"))
+        assert document["override"]["discardPrefetched"] is True
+
+    def test_type2_is_larger_than_type1(self, ubuntu_profile):
+        rng = RandomSource(4)
+        type1 = build_type1_message(ubuntu_profile, "Q1", 1.0, rng)
+        type2 = build_type2_message(ubuntu_profile, "Q1", 2.0, rng)
+        assert type2.size_bytes > type1.size_bytes
+
+    def test_messages_are_deterministic_per_rng_seed(self, ubuntu_profile):
+        first = build_type1_message(ubuntu_profile, "Q1", 1.0, RandomSource(9))
+        second = build_type1_message(ubuntu_profile, "Q1", 1.0, RandomSource(9))
+        assert first.payload == second.payload
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StateMessage(kind="weird", question_id="Q", payload=b"x", timestamp_seconds=0.0)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StateMessage(kind=JSON_TYPE_1, question_id="Q", payload=b"x", timestamp_seconds=-1.0)

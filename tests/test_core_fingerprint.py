@@ -1,0 +1,117 @@
+"""Tests for record-length band fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.features import ClientRecord, LABEL_OTHER, LABEL_TYPE1, LABEL_TYPE2
+from repro.core.fingerprint import FingerprintLibrary, LengthBand, RecordLengthFingerprint
+from repro.exceptions import FingerprintError
+
+
+def _record(length: int, label: str) -> ClientRecord:
+    return ClientRecord(timestamp=1.0, wire_length=length, content_type=23, label=label)
+
+
+def _training_records() -> list[ClientRecord]:
+    records = [_record(length, LABEL_TYPE1) for length in (2211, 2212, 2213)]
+    records += [_record(length, LABEL_TYPE2) for length in (2992, 3000, 3017)]
+    records += [_record(length, LABEL_OTHER) for length in (600, 2500, 4500)]
+    return records
+
+
+class TestLengthBand:
+    def test_contains_and_width(self):
+        band = LengthBand(10, 20)
+        assert band.contains(10) and band.contains(20) and not band.contains(21)
+        assert band.width == 11
+
+    def test_widened(self):
+        assert LengthBand(10, 20).widened(3) == LengthBand(7, 23)
+        assert LengthBand(2, 5).widened(5).low == 1  # clamped at 1
+
+    def test_overlaps(self):
+        assert LengthBand(10, 20).overlaps(LengthBand(20, 30))
+        assert not LengthBand(10, 20).overlaps(LengthBand(21, 30))
+
+    def test_from_values(self):
+        band = LengthBand.from_values([5, 9, 7], margin=1)
+        assert band == LengthBand(4, 10)
+
+    def test_invalid_bands_rejected(self):
+        with pytest.raises(FingerprintError):
+            LengthBand(5, 4)
+        with pytest.raises(FingerprintError):
+            LengthBand(0, 4)
+        with pytest.raises(FingerprintError):
+            LengthBand.from_values([], margin=0)
+
+    def test_dict_round_trip(self):
+        band = LengthBand(2211, 2213)
+        assert LengthBand.from_dict(band.as_dict()) == band
+
+
+class TestRecordLengthFingerprint:
+    def test_learn_and_classify(self):
+        fingerprint = RecordLengthFingerprint.learn("linux/firefox", _training_records(), margin=2)
+        assert fingerprint.classify_length(2212) == LABEL_TYPE1
+        assert fingerprint.classify_length(3005) == LABEL_TYPE2
+        assert fingerprint.classify_length(700) == LABEL_OTHER
+        assert fingerprint.classify_length(5000) == LABEL_OTHER
+
+    def test_margin_widens_bands(self):
+        tight = RecordLengthFingerprint.learn("env", _training_records(), margin=0)
+        wide = RecordLengthFingerprint.learn("env", _training_records(), margin=5)
+        assert tight.classify_length(2216) == LABEL_OTHER
+        assert wide.classify_length(2216) == LABEL_TYPE1
+
+    def test_learn_requires_both_classes(self):
+        only_type1 = [_record(2212, LABEL_TYPE1), _record(600, LABEL_OTHER)]
+        with pytest.raises(FingerprintError):
+            RecordLengthFingerprint.learn("env", only_type1)
+
+    def test_overlapping_bands_rejected(self):
+        records = [_record(1000, LABEL_TYPE1), _record(1001, LABEL_TYPE2)]
+        with pytest.raises(FingerprintError):
+            RecordLengthFingerprint.learn("env", records, margin=5)
+
+    def test_classify_records(self):
+        fingerprint = RecordLengthFingerprint.learn("env", _training_records(), margin=2)
+        labels = fingerprint.classify([_record(2212, None), _record(450, None)])
+        assert labels == [LABEL_TYPE1, LABEL_OTHER]
+
+    def test_dict_round_trip(self):
+        fingerprint = RecordLengthFingerprint.learn("env", _training_records(), margin=2)
+        restored = RecordLengthFingerprint.from_dict(fingerprint.as_dict())
+        assert restored == fingerprint
+
+
+class TestFingerprintLibrary:
+    def test_learn_get_contains(self):
+        library = FingerprintLibrary()
+        library.learn("linux/firefox", _training_records())
+        assert "linux/firefox" in library
+        assert len(library) == 1
+        assert library.get("linux/firefox").condition_key == "linux/firefox"
+
+    def test_missing_environment_raises(self):
+        with pytest.raises(FingerprintError):
+            FingerprintLibrary().get("mac/safari")
+
+    def test_save_and_load(self, tmp_path):
+        library = FingerprintLibrary()
+        library.learn("linux/firefox", _training_records())
+        library.learn("windows/firefox", [
+            _record(2342, LABEL_TYPE1),
+            _record(3130, LABEL_TYPE2),
+            _record(800, LABEL_OTHER),
+        ])
+        path = tmp_path / "library.json"
+        library.save(path)
+        restored = FingerprintLibrary.load(path)
+        assert set(restored.condition_keys) == set(library.condition_keys)
+        assert restored.get("linux/firefox").type1_band == library.get("linux/firefox").type1_band
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FingerprintError):
+            FingerprintLibrary.load(tmp_path / "missing.json")

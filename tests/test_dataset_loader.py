@@ -1,0 +1,92 @@
+"""Tests for reloading a released dataset from disk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import WhiteMirrorAttack
+from repro.dataset.iitm import IITMBandersnatchDataset
+from repro.dataset.loader import load_released_dataset
+from repro.exceptions import DatasetError
+from repro.streaming.session import SessionConfig
+
+
+@pytest.fixture(scope="module")
+def released(tmp_path_factory):
+    """A small dataset generated, saved and reloaded from disk."""
+    directory = tmp_path_factory.mktemp("released-dataset")
+    dataset = IITMBandersnatchDataset.generate(
+        viewer_count=4, seed=55, config=SessionConfig(cross_traffic_enabled=False)
+    )
+    dataset.save(directory)
+    return dataset, directory, load_released_dataset(directory)
+
+
+class TestLoadReleasedDataset:
+    def test_every_viewer_reloaded(self, released):
+        dataset, _directory, loaded = released
+        assert len(loaded) == len(dataset)
+        assert {p.viewer.viewer_id for p in loaded} == {
+            p.viewer.viewer_id for p in dataset
+        }
+
+    def test_ground_truth_matches_original(self, released):
+        dataset, _directory, loaded = released
+        for original in dataset:
+            reloaded = loaded.viewer(original.viewer.viewer_id)
+            assert reloaded.ground_truth_pattern == original.ground_truth_choices
+            assert reloaded.selected_labels == original.selected_labels
+            assert reloaded.segments == original.session.path.segment_ids
+            assert reloaded.choice_count == 10
+
+    def test_traces_are_reparsed_from_pcap_without_labels(self, released):
+        _dataset, _directory, loaded = released
+        for point in loaded:
+            assert point.trace.packet_count > 100
+            assert all(not packet.annotations for packet in point.trace.packets)
+
+    def test_attack_runs_on_reloaded_traces(self, released):
+        dataset, _directory, loaded = released
+        attack = WhiteMirrorAttack(graph=dataset.graph)
+        attack.train([point.session for point in dataset])
+        correct = 0
+        total = 0
+        for point in loaded:
+            result = attack.attack_trace(
+                point.trace, condition_key=point.viewer.condition.fingerprint_key
+            )
+            total += point.choice_count
+            correct += sum(
+                1
+                for index, actual in enumerate(point.ground_truth_pattern)
+                if index < len(result.recovered_pattern)
+                and result.recovered_pattern[index] == actual
+            )
+        # The 4-viewer slice includes the noisy wireless/night environments,
+        # where an occasional spurious state-sized telemetry record costs a
+        # few choices under strict index alignment; 80 % is the conservative
+        # floor for this mix (clean conditions recover 100 %).
+        assert correct / total >= 0.8
+
+    def test_by_fingerprint_key(self, released):
+        _dataset, _directory, loaded = released
+        ubuntu = loaded.by_fingerprint_key("linux/firefox")
+        assert ubuntu
+        assert all(p.viewer.condition.fingerprint_key == "linux/firefox" for p in ubuntu)
+
+    def test_unknown_viewer_rejected(self, released):
+        _dataset, _directory, loaded = released
+        with pytest.raises(DatasetError):
+            loaded.viewer("viewer-999")
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_released_dataset(tmp_path / "nowhere")
+
+    def test_metadata_only_dataset_rejected(self, tmp_path):
+        dataset = IITMBandersnatchDataset.generate(
+            viewer_count=1, seed=56, config=SessionConfig(cross_traffic_enabled=False)
+        )
+        dataset.save(tmp_path, write_pcaps=False)
+        with pytest.raises(DatasetError):
+            load_released_dataset(tmp_path)

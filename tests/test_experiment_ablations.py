@@ -1,0 +1,84 @@
+"""Tests for the classifier and environment-transfer ablations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AttackError
+from repro.experiments.ablation_classifiers import reproduce_classifier_ablation
+from repro.experiments.ablation_transfer import (
+    DEFAULT_TRANSFER_CONDITIONS,
+    reproduce_transfer_ablation,
+)
+
+
+class TestClassifierAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Generic estimators (especially k-NN with k=7) need a handful of
+        # type-2 examples to vote with, so the training set matches the
+        # benchmark's four sessions.
+        return reproduce_classifier_ablation(train_count=4, test_count=3, seed=6)
+
+    def test_every_strategy_scored(self, result):
+        names = {score.name for score in result.scores}
+        assert "band fingerprint (paper)" in names
+        assert "k-nearest neighbours (k=7)" in names
+        assert "logistic regression" in names
+        assert len(result.rows()) == len(result.scores)
+
+    def test_band_rule_is_near_perfect(self, result):
+        assert result.band_rule_score.json_identification_accuracy >= 0.95
+
+    def test_nonlinear_strategies_match_the_band_rule(self, result):
+        assert result.nonlinear_strategies_work
+
+    def test_linear_model_cannot_express_the_bands(self, result):
+        assert result.linear_model_fails
+
+    def test_unknown_classifier_lookup_raises(self, result):
+        with pytest.raises(AttackError):
+            result.score_for("quantum svm")
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(AttackError):
+            reproduce_classifier_ablation(train_count=0, test_count=1)
+
+
+class TestTransferAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return reproduce_transfer_ablation(
+            sessions_per_environment=1,
+            training_sessions_per_environment=2,
+            seed=8,
+            conditions=DEFAULT_TRANSFER_CONDITIONS[:3],
+        )
+
+    def test_matrix_is_square_over_environments(self, result):
+        assert len(result.environments) == 3
+        for trained_on in result.environments:
+            for attacked in result.environments:
+                assert 0.0 <= result.accuracy(trained_on, attacked) <= 1.0
+
+    def test_diagonal_beats_off_diagonal(self, result):
+        assert result.mean_diagonal >= 0.9
+        assert result.mean_off_diagonal <= 0.3
+        assert result.calibration_is_required
+
+    def test_cross_environment_accuracy_is_zero_for_figure2_pair(self, result):
+        assert result.accuracy("linux/firefox", "windows/firefox") <= 0.1
+        assert result.accuracy("windows/firefox", "linux/firefox") <= 0.1
+
+    def test_rows_shape(self, result):
+        rows = result.rows()
+        assert len(rows) == 3
+        assert set(rows[0]) == {"trained on \\ attacked", *result.environments}
+
+    def test_unknown_pair_rejected(self, result):
+        with pytest.raises(AttackError):
+            result.accuracy("linux/firefox", "mac/safari")
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(AttackError):
+            reproduce_transfer_ablation(sessions_per_environment=0)

@@ -1,0 +1,80 @@
+"""Tests for the cipher-suite robustness ablation and the session cipher plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.features import LABEL_TYPE1, extract_client_records
+from repro.exceptions import AttackError, StreamingError
+from repro.experiments.ablation_ciphers import (
+    ABLATION_CIPHER_SUITES,
+    reproduce_cipher_ablation,
+)
+from repro.streaming.session import SessionConfig, simulate_session
+
+
+class TestSessionCipherPlumbing:
+    def test_invalid_suite_rejected_at_configuration(self):
+        with pytest.raises(Exception):
+            SessionConfig(cipher_suite="TLS_NULL_WITH_NULL_NULL")
+
+    def test_chacha_shifts_record_lengths_by_overhead_delta(
+        self, study_graph, ubuntu_condition, default_behavior
+    ):
+        gcm = simulate_session(
+            study_graph,
+            ubuntu_condition,
+            default_behavior,
+            seed=61,
+            config=SessionConfig(cross_traffic_enabled=False),
+        )
+        chacha = simulate_session(
+            study_graph,
+            ubuntu_condition,
+            default_behavior,
+            seed=61,
+            config=SessionConfig(
+                cross_traffic_enabled=False,
+                cipher_suite="TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+            ),
+        )
+        gcm_type1 = [
+            r.wire_length
+            for r in extract_client_records(gcm.trace, server_ip=gcm.trace.server_ip)
+            if r.label == LABEL_TYPE1
+        ]
+        chacha_type1 = [
+            r.wire_length
+            for r in extract_client_records(chacha.trace, server_ip=chacha.trace.server_ip)
+            if r.label == LABEL_TYPE1
+        ]
+        # AES-GCM (TLS 1.2) adds 24 bytes, ChaCha20-Poly1305 adds 16: the same
+        # payloads must appear exactly 8 bytes shorter on the wire.
+        assert sorted(gcm_type1) == sorted(length + 8 for length in chacha_type1)
+
+
+class TestCipherAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return reproduce_cipher_ablation(sessions_per_suite=1, training_sessions=2, seed=9)
+
+    def test_all_suites_scored(self, result):
+        assert {score.cipher_suite for score in result.scores} == set(ABLATION_CIPHER_SUITES)
+        assert len(result.rows()) == len(ABLATION_CIPHER_SUITES)
+
+    def test_aead_suites_survive_gcm_trained_fingerprint(self, result):
+        assert result.aead_suites_survive_without_retraining
+
+    def test_cbc_defeats_the_non_adaptive_attacker(self, result):
+        assert result.cbc_breaks_without_retraining
+
+    def test_adaptive_attacker_recovers_every_suite(self, result):
+        assert result.adaptive_attacker_always_wins
+
+    def test_unknown_suite_lookup_raises(self, result):
+        with pytest.raises(AttackError):
+            result.score_for("TLS_FANCY_SUITE")
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(AttackError):
+            reproduce_cipher_ablation(sessions_per_suite=0)

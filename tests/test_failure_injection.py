@@ -1,0 +1,99 @@
+"""Failure-injection tests: incomplete captures, lossy observation points.
+
+A real observation point drops packets.  The feature extractor must never
+crash on a gapped TCP stream, and the attack should degrade gracefully rather
+than collapse when parts of the capture are missing.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.features import LABEL_TYPE1, LABEL_TYPE2, extract_client_records
+from repro.exceptions import AttackError
+from repro.net.capture import CapturedTrace
+from repro.net.packet import Direction
+from repro.utils.rng import RandomSource
+
+
+def _drop_packets(trace: CapturedTrace, drop_fraction: float, seed: int) -> CapturedTrace:
+    """A copy of the trace with a random fraction of packets missing."""
+    rng = RandomSource(seed, ("drop",))
+    kept = tuple(
+        packet for packet in trace.packets if not rng.bernoulli(drop_fraction)
+    )
+    if not kept:
+        kept = trace.packets[:1]
+    return CapturedTrace(packets=kept, client_ip=trace.client_ip, server_ip=trace.server_ip)
+
+
+class TestGappedCaptures:
+    @pytest.mark.parametrize("drop_fraction", [0.01, 0.05, 0.2])
+    def test_extraction_never_crashes_on_gapped_streams(self, ubuntu_session, drop_fraction):
+        lossy = _drop_packets(ubuntu_session.trace, drop_fraction, seed=drop_fraction.__hash__() % 1000)
+        try:
+            records = extract_client_records(lossy, server_ip=lossy.server_ip)
+        except AttackError as error:
+            # Only acceptable failure: the capture lost so much that no client
+            # record survived at all.
+            assert "no client-side TLS records" in str(error)
+            return
+        assert all(record.wire_length > 5 for record in records)
+
+    def test_light_loss_keeps_most_state_reports(self, ubuntu_session):
+        lossy = _drop_packets(ubuntu_session.trace, drop_fraction=0.02, seed=3)
+        records = extract_client_records(lossy, server_ip=lossy.server_ip)
+        observed_reports = [
+            record for record in records if record.label in (LABEL_TYPE1, LABEL_TYPE2)
+        ]
+        original_reports = [
+            record
+            for record in extract_client_records(
+                ubuntu_session.trace, server_ip=ubuntu_session.trace.server_ip
+            )
+            if record.label in (LABEL_TYPE1, LABEL_TYPE2)
+        ]
+        assert len(observed_reports) >= 0.7 * len(original_reports)
+
+    def test_attack_degrades_gracefully_under_loss(self, trained_attack, ubuntu_session):
+        lossy = _drop_packets(ubuntu_session.trace, drop_fraction=0.02, seed=9)
+        result = trained_attack.attack_trace(lossy, condition_key="linux/firefox")
+        truth = ubuntu_session.ground_truth_pattern
+        recovered = result.recovered_pattern
+        correct = sum(
+            1
+            for index, actual in enumerate(truth)
+            if index < len(recovered) and recovered[index] == actual
+        )
+        assert correct >= 6  # most choices survive a 2 % capture loss
+
+    def test_downlink_only_loss_is_harmless(self, trained_attack, ubuntu_session):
+        """Losing server-to-client packets cannot affect a client-side side-channel."""
+        kept = tuple(
+            packet
+            for index, packet in enumerate(ubuntu_session.trace.packets)
+            if packet.direction is Direction.CLIENT_TO_SERVER or index % 5 != 0
+        )
+        lossy = CapturedTrace(
+            packets=kept,
+            client_ip=ubuntu_session.trace.client_ip,
+            server_ip=ubuntu_session.trace.server_ip,
+        )
+        result = trained_attack.attack_trace(lossy, condition_key="linux/firefox")
+        assert result.recovered_pattern == ubuntu_session.ground_truth_pattern
+
+
+class TestGappedStreamProperties:
+    @given(drop_seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_any_drop_pattern_is_survivable(self, minimal_session, drop_seed):
+        lossy = _drop_packets(minimal_session.trace, drop_fraction=0.1, seed=drop_seed)
+        try:
+            records = extract_client_records(lossy, server_ip=lossy.server_ip)
+        except AttackError as error:
+            assert "no client-side TLS records" in str(error)
+            return
+        timestamps = [record.timestamp for record in records]
+        assert timestamps == sorted(timestamps)

@@ -1,0 +1,124 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests tie every subsystem together the way the examples do: generate a
+small dataset, persist it, reload the victim traces from pcap only, train the
+attack on the labelled half, attack the reloaded half, and check that the
+recovered choices and behavioural profiles line up with ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluation import (
+    aggregate_choice_accuracy,
+    aggregate_json_identification_accuracy,
+)
+from repro.core.pipeline import WhiteMirrorAttack
+from repro.core.profiling import profile_from_path
+from repro.dataset.iitm import IITMBandersnatchDataset
+from repro.net.capture import CapturedTrace
+from repro.streaming.session import SessionConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return IITMBandersnatchDataset.generate(
+        viewer_count=8,
+        seed=77,
+        config=SessionConfig(cross_traffic_enabled=True),
+    )
+
+
+class TestDatasetToAttack:
+    def test_attack_on_held_out_viewers(self, dataset):
+        train, test = dataset.train_test_split(test_fraction=0.4)
+        attack = WhiteMirrorAttack(graph=dataset.graph)
+        attack.train([point.session for point in train])
+        evaluations = attack.evaluate_sessions([point.session for point in test])
+        assert aggregate_json_identification_accuracy(evaluations) >= 0.9
+        assert aggregate_choice_accuracy(evaluations) >= 0.8
+
+    def test_attack_from_released_artifacts_only(self, tmp_path, dataset):
+        """Train on in-memory sessions, attack traces reloaded from disk."""
+        train, test = dataset.train_test_split(test_fraction=0.4)
+        directory = tmp_path / "released"
+        dataset.save(directory)
+        attack = WhiteMirrorAttack(graph=dataset.graph)
+        attack.train([point.session for point in train])
+
+        correct = 0
+        total = 0
+        for point in test:
+            pcap_path = directory / "traces" / f"{point.viewer.viewer_id}.pcap"
+            trace = CapturedTrace.from_pcap(
+                pcap_path,
+                client_ip=point.session.trace.client_ip,
+                server_ip=point.session.trace.server_ip,
+            )
+            result = attack.attack_trace(
+                trace, condition_key=point.viewer.condition.fingerprint_key
+            )
+            truth = point.ground_truth_choices
+            recovered = result.recovered_pattern
+            total += len(truth)
+            correct += sum(
+                1
+                for index, value in enumerate(truth)
+                if index < len(recovered) and recovered[index] == value
+            )
+        assert total > 0
+        assert correct / total >= 0.8
+
+    def test_behavioral_profile_recovery(self, dataset):
+        train, test = dataset.train_test_split(test_fraction=0.4)
+        attack = WhiteMirrorAttack(graph=dataset.graph)
+        attack.train([point.session for point in train])
+        for point in test:
+            result = attack.attack_session(point.session)
+            assert result.profile is not None
+            truth_profile = profile_from_path(point.session.path)
+            recovered_traits = result.profile.as_dict()
+            truth_traits = truth_profile.as_dict()
+            matches = sum(
+                1 for trait, label in truth_traits.items() if recovered_traits.get(trait) == label
+            )
+            assert matches / len(truth_traits) >= 0.6
+
+    def test_fingerprint_library_round_trip_through_disk(self, tmp_path, dataset):
+        train, _ = dataset.train_test_split(test_fraction=0.4)
+        attack = WhiteMirrorAttack(graph=dataset.graph)
+        attack.train([point.session for point in train])
+        path = tmp_path / "fingerprints.json"
+        attack.library.save(path)
+
+        from repro.core.fingerprint import FingerprintLibrary
+
+        restored = FingerprintLibrary.load(path)
+        assert set(restored.condition_keys) == set(attack.library.condition_keys)
+
+    def test_cross_environment_fingerprints_do_not_transfer(self, dataset):
+        """A fingerprint trained for Windows misses Ubuntu state reports.
+
+        This is the reason the attack needs per-environment calibration
+        (Figure 2 shows different bands per OS)."""
+        ubuntu_points = dataset.by_fingerprint_key("linux/firefox")
+        windows_points = dataset.by_fingerprint_key("windows/firefox")
+        if not ubuntu_points or not windows_points:
+            pytest.skip("dataset slice does not cover both Figure 2 environments")
+        attack = WhiteMirrorAttack(graph=dataset.graph)
+        attack.train([point.session for point in windows_points])
+        windows_fingerprint = attack.library.get("windows/firefox")
+        from repro.core.features import extract_client_records, LABEL_TYPE1
+
+        ubuntu_records = extract_client_records(
+            ubuntu_points[0].session.trace,
+            server_ip=ubuntu_points[0].session.trace.server_ip,
+        )
+        predicted = windows_fingerprint.classify(ubuntu_records)
+        true_type1 = [
+            prediction
+            for record, prediction in zip(ubuntu_records, predicted)
+            if record.label == LABEL_TYPE1
+        ]
+        assert true_type1.count(LABEL_TYPE1) == 0

@@ -1,0 +1,111 @@
+"""Tests for the ML splitting utilities and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MLError
+from repro.ml.metrics import (
+    ConfusionMatrix,
+    accuracy_score,
+    classification_report,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.split import kfold_indices, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_split_is_disjoint_and_complete(self):
+        labels = ["a"] * 10 + ["b"] * 10
+        split = train_test_split(labels, test_fraction=0.3, seed=1)
+        train = set(split.train_indices.tolist())
+        test = set(split.test_indices.tolist())
+        assert not train & test
+        assert train | test == set(range(20))
+
+    def test_split_is_stratified(self):
+        labels = ["a"] * 10 + ["b"] * 10
+        split = train_test_split(labels, test_fraction=0.3, seed=1)
+        test_labels = [labels[i] for i in split.test_indices]
+        assert test_labels.count("a") == 3
+        assert test_labels.count("b") == 3
+
+    def test_every_class_keeps_a_training_sample(self):
+        labels = ["a", "a", "b", "b", "c"]
+        split = train_test_split(labels, test_fraction=0.5, seed=2)
+        train_labels = {labels[i] for i in split.train_indices}
+        assert train_labels == {"a", "b", "c"}
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(MLError):
+            train_test_split(["a", "b"], test_fraction=1.5)
+
+    def test_deterministic(self):
+        labels = ["a", "b"] * 20
+        first = train_test_split(labels, seed=3)
+        second = train_test_split(labels, seed=3)
+        assert first.train_indices.tolist() == second.train_indices.tolist()
+
+
+class TestKFold:
+    def test_folds_partition_samples(self):
+        folds = kfold_indices(17, folds=4, seed=0)
+        assert len(folds) == 4
+        all_test = sorted(i for _, test in folds for i in test.tolist())
+        assert all_test == list(range(17))
+
+    def test_train_and_test_disjoint(self):
+        for train, test in kfold_indices(20, folds=5):
+            assert not set(train.tolist()) & set(test.tolist())
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(MLError):
+            kfold_indices(2, folds=5)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(["a", "b", "a"], ["a", "b", "b"]) == pytest.approx(2 / 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MLError):
+            accuracy_score(["a"], ["a", "b"])
+
+    def test_precision_recall_f1(self):
+        truth = ["p", "p", "n", "n", "p"]
+        predicted = ["p", "n", "p", "n", "p"]
+        assert precision_score(truth, predicted, "p") == pytest.approx(2 / 3)
+        assert recall_score(truth, predicted, "p") == pytest.approx(2 / 3)
+        assert f1_score(truth, predicted, "p") == pytest.approx(2 / 3)
+
+    def test_precision_with_no_positive_predictions(self):
+        assert precision_score(["p", "n"], ["n", "n"], "p") == 1.0
+
+    def test_recall_with_no_positive_truth(self):
+        assert recall_score(["n", "n"], ["p", "n"], "p") == 1.0
+
+    def test_confusion_matrix_counts(self):
+        truth = ["a", "a", "b", "b", "b"]
+        predicted = ["a", "b", "b", "b", "a"]
+        matrix = ConfusionMatrix.from_predictions(truth, predicted)
+        assert matrix.count("a", "a") == 1
+        assert matrix.count("a", "b") == 1
+        assert matrix.count("b", "a") == 1
+        assert matrix.count("b", "b") == 2
+        assert matrix.total == 5
+        assert matrix.accuracy == pytest.approx(3 / 5)
+
+    def test_confusion_matrix_rows(self):
+        matrix = ConfusionMatrix.from_predictions(["x", "y"], ["x", "x"])
+        rows = matrix.as_rows()
+        assert len(rows) == 2
+        assert rows[0]["true"] == "x"
+
+    def test_classification_report_structure(self):
+        report = classification_report(["a", "b", "a"], ["a", "b", "b"])
+        assert set(report) == {"a", "b", "overall"}
+        assert report["overall"]["accuracy"] == pytest.approx(2 / 3)
+        assert report["a"]["support"] == 2

@@ -1,0 +1,78 @@
+"""Tests for the script builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.narrative.bandersnatch import (
+    BANDERSNATCH_CHOICE_LABELS,
+    build_bandersnatch_script,
+    build_linear_script,
+    build_minimal_interactive_script,
+    canonical_question_id,
+)
+from repro.narrative.path import path_from_choices
+
+
+class TestBandersnatchScript:
+    def test_structure(self):
+        graph = build_bandersnatch_script()
+        # 1 opening + 2 branches per question.
+        assert graph.segment_count == 1 + 2 * len(BANDERSNATCH_CHOICE_LABELS)
+        assert graph.root_segment.segment_id == "S0"
+        graph.validate()
+
+    def test_every_full_path_answers_every_question(self):
+        graph = build_bandersnatch_script()
+        path = path_from_choices(graph, [True] * len(BANDERSNATCH_CHOICE_LABELS))
+        assert path.choice_count == len(BANDERSNATCH_CHOICE_LABELS)
+        canonical = [canonical_question_id(q) for q in path.question_ids()]
+        assert canonical == list(BANDERSNATCH_CHOICE_LABELS.keys())
+
+    def test_default_choice_targets_default_branch(self):
+        graph = build_bandersnatch_script()
+        q1 = graph.choice_point_after("S0")
+        assert q1.default_choice.target_segment_id == "S1a"
+        assert q1.non_default_choice.target_segment_id == "S1b"
+
+    def test_both_branches_lead_to_the_same_next_question(self):
+        graph = build_bandersnatch_script()
+        q_from_default = graph.choice_point_after("S1a")
+        q_from_alternate = graph.choice_point_after("S1b")
+        assert canonical_question_id(q_from_default.question_id) == "Q2"
+        assert canonical_question_id(q_from_alternate.question_id) == "Q2"
+
+    def test_endings_have_no_choice_points(self):
+        graph = build_bandersnatch_script()
+        for segment in graph.ending_segments():
+            assert graph.choice_point_after(segment.segment_id) is None
+
+    def test_duration_scales_with_parameters(self):
+        short = build_bandersnatch_script(1.0, 1.0, 1.0)
+        long = build_bandersnatch_script(10.0, 8.0, 12.0)
+        assert long.total_content_seconds() > short.total_content_seconds()
+
+    def test_canonical_question_id(self):
+        assert canonical_question_id("Q3@S2b") == "Q3"
+        assert canonical_question_id("Q3") == "Q3"
+
+
+class TestOtherScripts:
+    def test_minimal_script_matches_figure1_shape(self):
+        graph = build_minimal_interactive_script()
+        assert graph.segment_count == 5
+        assert graph.root_segment.segment_id == "S0"
+        graph.validate()
+
+    def test_linear_script_validates(self):
+        graph = build_linear_script(segment_count=4)
+        graph.validate()
+        assert graph.root_segment.segment_id == "L0"
+
+    def test_linear_script_minimum_size(self):
+        with pytest.raises(ValueError):
+            build_linear_script(segment_count=1)
+
+    def test_linear_script_smallest_valid(self):
+        graph = build_linear_script(segment_count=2)
+        graph.validate()

@@ -1,0 +1,176 @@
+"""Tests for story segments, choice points and the story graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NarrativeError
+from repro.narrative.choices import Choice, ChoicePoint, ChoiceRecord
+from repro.narrative.graph import StoryGraph, choice_edge_attributes
+from repro.narrative.segment import Segment
+
+
+def _simple_graph() -> StoryGraph:
+    graph = StoryGraph(title="test", root_segment_id="A")
+    graph.add_segments(
+        [
+            Segment("A", "root", 120.0),
+            Segment("B", "default branch", 60.0, is_ending=True),
+            Segment("C", "alternative branch", 60.0, is_ending=True),
+        ]
+    )
+    graph.add_choice_point(
+        ChoicePoint(
+            question_id="Q1",
+            prompt="pick",
+            source_segment_id="A",
+            options=(
+                Choice("stay", "B", is_default=True),
+                Choice("leave", "C", is_default=False),
+            ),
+        )
+    )
+    return graph
+
+
+class TestSegment:
+    def test_rejects_empty_id(self):
+        with pytest.raises(NarrativeError):
+            Segment("", "x", 10.0)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(NarrativeError):
+            Segment("S", "x", 0.0)
+
+    def test_chunk_count_rounds_up(self):
+        segment = Segment("S", "x", 10.0)
+        assert segment.chunk_count(4.0) == 3
+        assert segment.chunk_count(5.0) == 2
+
+    def test_chunk_count_rejects_bad_duration(self):
+        with pytest.raises(NarrativeError):
+            Segment("S", "x", 10.0).chunk_count(0.0)
+
+
+class TestChoicePoint:
+    def test_requires_exactly_one_default(self):
+        with pytest.raises(NarrativeError):
+            ChoicePoint(
+                question_id="Q",
+                prompt="p",
+                source_segment_id="A",
+                options=(
+                    Choice("x", "B", is_default=True),
+                    Choice("y", "C", is_default=True),
+                ),
+            )
+
+    def test_requires_distinct_targets(self):
+        with pytest.raises(NarrativeError):
+            ChoicePoint(
+                question_id="Q",
+                prompt="p",
+                source_segment_id="A",
+                options=(
+                    Choice("x", "B", is_default=True),
+                    Choice("y", "B", is_default=False),
+                ),
+            )
+
+    def test_default_and_non_default_accessors(self):
+        point = ChoicePoint(
+            question_id="Q",
+            prompt="p",
+            source_segment_id="A",
+            options=(
+                Choice("x", "B", is_default=True),
+                Choice("y", "C", is_default=False),
+            ),
+        )
+        assert point.default_choice.label == "x"
+        assert point.non_default_choice.label == "y"
+        assert point.choice_for(True).target_segment_id == "B"
+        assert point.choice_for(False).target_segment_id == "C"
+        assert point.choice_by_label("y").target_segment_id == "C"
+        with pytest.raises(NarrativeError):
+            point.choice_by_label("zzz")
+
+    def test_choice_record_rejects_negative_time(self):
+        with pytest.raises(NarrativeError):
+            ChoiceRecord("Q1", "x", True, -1.0)
+
+
+class TestStoryGraph:
+    def test_duplicate_segment_rejected(self):
+        graph = StoryGraph("t", "A")
+        graph.add_segment(Segment("A", "x", 10.0))
+        with pytest.raises(NarrativeError):
+            graph.add_segment(Segment("A", "x again", 10.0))
+
+    def test_choice_point_unknown_source_rejected(self):
+        graph = StoryGraph("t", "A")
+        graph.add_segment(Segment("A", "x", 10.0))
+        with pytest.raises(NarrativeError):
+            graph.add_choice_point(
+                ChoicePoint(
+                    question_id="Q",
+                    prompt="p",
+                    source_segment_id="missing",
+                    options=(
+                        Choice("x", "A", is_default=True),
+                        Choice("y", "A", is_default=False),
+                    ),
+                )
+            )
+
+    def test_lookups(self):
+        graph = _simple_graph()
+        assert graph.root_segment.segment_id == "A"
+        assert graph.segment("B").is_ending
+        assert graph.choice_point("Q1").prompt == "pick"
+        assert graph.choice_point_after("A").question_id == "Q1"
+        assert graph.choice_point_after("B") is None
+        assert set(graph.successors("A")) == {"B", "C"}
+        assert graph.default_successor("A").segment_id == "B"
+        assert graph.default_successor("B") is None
+        assert "A" in graph and "Z" not in graph
+
+    def test_unknown_segment_lookup_raises(self):
+        with pytest.raises(NarrativeError):
+            _simple_graph().segment("missing")
+
+    def test_validate_passes_for_well_formed_graph(self):
+        _simple_graph().validate()
+
+    def test_validate_catches_dangling_segment(self):
+        graph = _simple_graph()
+        graph.add_segment(Segment("Z", "unreachable", 10.0, is_ending=True))
+        with pytest.raises(NarrativeError, match="unreachable"):
+            graph.validate()
+
+    def test_validate_catches_missing_choice_point(self):
+        graph = StoryGraph("t", "A")
+        graph.add_segments(
+            [Segment("A", "root", 10.0), Segment("B", "end", 10.0, is_ending=True)]
+        )
+        with pytest.raises(NarrativeError, match="no choice point"):
+            graph.validate()
+
+    def test_metrics(self):
+        graph = _simple_graph()
+        assert graph.segment_count == 3
+        assert graph.choice_point_count == 1
+        assert graph.total_content_seconds() == pytest.approx(240.0)
+        assert graph.max_choices_on_any_path() >= 1
+        assert len(graph.ending_segments()) == 2
+
+    def test_choice_edge_attributes(self):
+        rows = choice_edge_attributes(_simple_graph())
+        assert len(rows) == 2
+        assert {row["label"] for row in rows} == {"stay", "leave"}
+
+    def test_to_networkx_is_a_copy(self):
+        graph = _simple_graph()
+        nx_graph = graph.to_networkx()
+        nx_graph.remove_node("A")
+        assert "A" in graph

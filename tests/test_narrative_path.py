@@ -1,0 +1,57 @@
+"""Tests for viewing paths and path enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NarrativeError
+from repro.narrative.bandersnatch import build_minimal_interactive_script
+from repro.narrative.path import ViewingPath, enumerate_paths, path_from_choices
+
+
+class TestPathFromChoices:
+    def test_all_defaults(self, minimal_graph):
+        path = path_from_choices(minimal_graph, [True, True])
+        assert path.segment_ids == ("S0", "S1", "S2")
+        assert path.default_pattern == (True, True)
+        assert path.non_default_count == 0
+
+    def test_mixed_choices(self, minimal_graph):
+        path = path_from_choices(minimal_graph, [True, False])
+        assert path.segment_ids == ("S0", "S1", "S2p")
+        assert path.matches_choices([True, False])
+        assert not path.matches_choices([True, True])
+
+    def test_partial_pattern_stops_early(self, minimal_graph):
+        path = path_from_choices(minimal_graph, [False])
+        assert path.segment_ids == ("S0", "S1p")
+        assert path.choice_count == 1
+
+    def test_surplus_pattern_ignored_after_ending(self, minimal_graph):
+        path = path_from_choices(minimal_graph, [True, True, False, False])
+        assert path.choice_count == 2
+
+    def test_question_ids_and_labels(self, minimal_graph):
+        path = path_from_choices(minimal_graph, [False, True])
+        assert path.question_ids() == ("Q1", "Q2@S1p")
+        assert path.selected_labels()[0] == "option_alternate_1"
+
+
+class TestViewingPath:
+    def test_requires_at_least_one_segment(self):
+        with pytest.raises(NarrativeError):
+            ViewingPath(segment_ids=(), choices=())
+
+
+class TestEnumeratePaths:
+    def test_minimal_script_has_four_complete_paths(self):
+        graph = build_minimal_interactive_script()
+        paths = list(enumerate_paths(graph))
+        assert len(paths) == 4
+        patterns = {path.default_pattern for path in paths}
+        assert patterns == {(True, True), (True, False), (False, True), (False, False)}
+
+    def test_every_enumerated_path_ends_at_an_ending(self):
+        graph = build_minimal_interactive_script()
+        for path in enumerate_paths(graph):
+            assert graph.segment(path.segment_ids[-1]).is_ending

@@ -1,0 +1,101 @@
+"""Tests for the pcap reader/writer."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.exceptions import PcapError
+from repro.net.endpoints import Endpoint, FiveTuple
+from repro.net.packet import Direction, Packet
+from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+
+
+@pytest.fixture()
+def sample_frames() -> list[tuple[float, bytes]]:
+    five_tuple = FiveTuple(
+        client=Endpoint("192.168.1.23", 51742), server=Endpoint("198.51.100.7", 443)
+    )
+    frames = []
+    for index in range(5):
+        packet = Packet(
+            timestamp=float(index) + 0.125,
+            direction=Direction.CLIENT_TO_SERVER,
+            five_tuple=five_tuple,
+            payload=bytes([index]) * (10 + index),
+            sequence_number=index * 100 + 1,
+        )
+        frames.append((packet.timestamp, packet.serialize_frame()))
+    return frames
+
+
+class TestPcapRoundTrip:
+    def test_write_and_read_back(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        count = write_pcap(path, sample_frames)
+        assert count == 5
+        packets = read_pcap(path)
+        assert len(packets) == 5
+        for (timestamp, frame), packet in zip(sample_frames, packets):
+            assert packet.frame == frame
+            assert packet.timestamp == pytest.approx(timestamp, abs=1e-5)
+            assert packet.original_length == len(frame)
+
+    def test_global_header_magic_and_linktype(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_frames)
+        raw = path.read_bytes()
+        magic, _major, _minor, _tz, _sig, _snap, linktype = struct.unpack("<IHHiIII", raw[:24])
+        assert magic == 0xA1B2C3D4
+        assert linktype == 1  # Ethernet
+
+    def test_snaplen_truncates_but_keeps_original_length(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        with PcapWriter(path, snaplen=40) as writer:
+            for timestamp, frame in sample_frames:
+                writer.write(timestamp, frame)
+        for packet, (_, frame) in zip(read_pcap(path), sample_frames):
+            assert packet.captured_length == 40
+            assert packet.original_length == len(frame)
+
+    def test_writer_requires_context_manager(self, tmp_path):
+        writer = PcapWriter(tmp_path / "x.pcap")
+        with pytest.raises(PcapError):
+            writer.write(0.0, b"frame")
+
+    def test_writer_rejects_empty_frame(self, tmp_path):
+        with PcapWriter(tmp_path / "x.pcap") as writer:
+            with pytest.raises(PcapError):
+                writer.write(0.0, b"")
+
+
+class TestPcapErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PcapError):
+            read_pcap(tmp_path / "does-not-exist.pcap")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 40)
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_truncated_packet_body(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_frames)
+        raw = path.read_bytes()
+        (tmp_path / "cut.pcap").write_bytes(raw[:-5])
+        with pytest.raises(PcapError):
+            read_pcap(tmp_path / "cut.pcap")
+
+    def test_too_short_file(self, tmp_path):
+        path = tmp_path / "tiny.pcap"
+        path.write_bytes(b"\x01\x02")
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_iterating_reader_directly(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_frames)
+        assert len(list(PcapReader(path))) == 5

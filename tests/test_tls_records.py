@@ -1,0 +1,86 @@
+"""Tests for TLS record framing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TLSError
+from repro.tls.records import (
+    MAX_CIPHERTEXT_LENGTH,
+    RECORD_HEADER_LENGTH,
+    ContentType,
+    TLSRecord,
+    iter_record_lengths,
+    parse_records,
+)
+
+
+def _record(size: int, content: ContentType = ContentType.APPLICATION_DATA) -> TLSRecord:
+    return TLSRecord(content_type=content, version=0x0303, ciphertext=b"\xaa" * size)
+
+
+class TestTLSRecord:
+    def test_lengths(self):
+        record = _record(100)
+        assert record.length == 100
+        assert record.wire_length == 105
+
+    def test_serialize_parse_roundtrip(self):
+        record = _record(64, ContentType.HANDSHAKE)
+        parsed, consumed = TLSRecord.parse_one(record.serialize())
+        assert consumed == record.wire_length
+        assert parsed == record
+
+    def test_rejects_empty_ciphertext(self):
+        with pytest.raises(TLSError):
+            TLSRecord(ContentType.APPLICATION_DATA, 0x0303, b"")
+
+    def test_rejects_oversized_ciphertext(self):
+        with pytest.raises(TLSError):
+            TLSRecord(ContentType.APPLICATION_DATA, 0x0303, b"x" * (MAX_CIPHERTEXT_LENGTH + 1))
+
+    def test_rejects_bad_version(self):
+        with pytest.raises(TLSError):
+            TLSRecord(ContentType.APPLICATION_DATA, -1, b"x")
+
+    def test_parse_truncated_header(self):
+        with pytest.raises(TLSError):
+            TLSRecord.parse_one(b"\x17\x03")
+
+    def test_parse_truncated_body(self):
+        data = _record(50).serialize()[:-10]
+        with pytest.raises(TLSError):
+            TLSRecord.parse_one(data)
+
+    def test_parse_unknown_content_type(self):
+        data = bytearray(_record(10).serialize())
+        data[0] = 99
+        with pytest.raises(TLSError):
+            TLSRecord.parse_one(bytes(data))
+
+
+class TestStreamParsing:
+    def test_parse_records_consumes_whole_stream(self):
+        records = [_record(10), _record(200, ContentType.HANDSHAKE), _record(3000)]
+        stream = b"".join(record.serialize() for record in records)
+        parsed = parse_records(stream)
+        assert parsed == records
+
+    def test_parse_records_rejects_trailing_garbage(self):
+        stream = _record(10).serialize() + b"\x17\x03"
+        with pytest.raises(TLSError):
+            parse_records(stream)
+
+    def test_iter_record_lengths_matches_wire_lengths(self):
+        records = [_record(10), _record(555), _record(2184)]
+        stream = b"".join(record.serialize() for record in records)
+        assert list(iter_record_lengths(stream)) == [
+            record.wire_length for record in records
+        ]
+
+    def test_iter_record_lengths_never_reads_payload(self):
+        # Corrupting ciphertext bytes must not affect the observed lengths.
+        record = _record(100)
+        stream = bytearray(record.serialize())
+        stream[RECORD_HEADER_LENGTH:] = b"\x00" * 100
+        assert list(iter_record_lengths(bytes(stream))) == [record.wire_length]

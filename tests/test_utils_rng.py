@@ -1,0 +1,124 @@
+"""Tests for deterministic random-number handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomSource, derive_seed, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_same_inputs_same_seed(self):
+        assert derive_seed(1, "tls") == derive_seed(1, "tls")
+
+    def test_different_names_different_seeds(self):
+        assert derive_seed(1, "tls") != derive_seed(1, "net")
+
+    def test_different_base_seeds_differ(self):
+        assert derive_seed(1, "tls") != derive_seed(2, "tls")
+
+    def test_path_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_seed_is_non_negative(self):
+        assert derive_seed(123, "x", 7) >= 0
+
+    def test_spawn_rng_reproducible(self):
+        first = spawn_rng(5, "stream").integers(0, 1000, size=8)
+        second = spawn_rng(5, "stream").integers(0, 1000, size=8)
+        assert list(first) == list(second)
+
+
+class TestRandomSource:
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(-1)
+
+    def test_children_are_decorrelated_but_deterministic(self):
+        a = RandomSource(3).child("x").integer(0, 10_000)
+        b = RandomSource(3).child("x").integer(0, 10_000)
+        c = RandomSource(3).child("y").integer(0, 10_000)
+        assert a == b
+        assert a != c or RandomSource(3).child("y").integer(0, 10_000) == c
+
+    def test_child_order_independence(self):
+        root = RandomSource(9)
+        first = root.child("a").uniform()
+        _ = root.child("b").uniform()
+        again = RandomSource(9).child("a").uniform()
+        assert first == pytest.approx(again)
+
+    def test_integer_bounds_inclusive(self):
+        source = RandomSource(4)
+        values = {source.integer(2, 4) for _ in range(200)}
+        assert values == {2, 3, 4}
+
+    def test_integer_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(1).integer(5, 4)
+
+    def test_jittered_within_bounds(self):
+        source = RandomSource(5)
+        for _ in range(100):
+            value = source.jittered(100, 3)
+            assert 97 <= value <= 103
+
+    def test_jittered_zero_jitter_is_exact(self):
+        assert RandomSource(5).jittered(42, 0) == 42
+
+    def test_jittered_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(5).jittered(42, -1)
+
+    def test_truncated_normal_respects_bounds(self):
+        source = RandomSource(6)
+        for _ in range(100):
+            value = source.truncated_normal(0.0, 10.0, -1.0, 1.0)
+            assert -1.0 <= value <= 1.0
+
+    def test_bernoulli_extremes(self):
+        source = RandomSource(7)
+        assert source.bernoulli(1.0) is True
+        assert source.bernoulli(0.0) is False
+
+    def test_bernoulli_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(7).bernoulli(1.5)
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(8).choice([])
+
+    def test_weighted_choice_respects_zero_weight(self):
+        source = RandomSource(9)
+        picks = {source.weighted_choice({"a": 1.0, "b": 0.0}) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_weighted_choice_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(9).weighted_choice({"a": 0.0})
+
+    def test_sample_without_replacement(self):
+        source = RandomSource(10)
+        sample = source.sample(list(range(20)), 5)
+        assert len(sample) == 5
+        assert len(set(sample)) == 5
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(10).sample([1, 2], 3)
+
+    def test_random_bytes_length_and_determinism(self):
+        assert RandomSource(11).random_bytes(0) == b""
+        first = RandomSource(11).random_bytes(64)
+        second = RandomSource(11).random_bytes(64)
+        assert len(first) == 64
+        assert first == second
+
+    def test_exponential_positive(self):
+        assert RandomSource(12).exponential(2.0) > 0
+
+    def test_exponential_rejects_non_positive_mean(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(12).exponential(0.0)

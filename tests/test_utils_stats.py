@@ -1,0 +1,82 @@
+"""Tests for descriptive statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.stats import (
+    jains_fairness,
+    mean,
+    median,
+    percentile,
+    proportions,
+    relative_error,
+    stddev,
+    summarize,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == pytest.approx(2.5)
+
+    def test_median_odd(self):
+        assert median([5, 1, 3]) == pytest.approx(3)
+
+    def test_stddev_constant_is_zero(self):
+        assert stddev([4, 4, 4]) == pytest.approx(0.0)
+
+    def test_percentile(self):
+        assert percentile(range(101), 95) == pytest.approx(95.0)
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1, 2], 150)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.minimum == 1
+        assert summary.maximum == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.median == pytest.approx(3.0)
+        assert summary.p05 <= summary.median <= summary.p95
+
+    def test_as_dict_keys(self):
+        data = summarize([1.0, 2.0]).as_dict()
+        assert set(data) == {"count", "min", "max", "mean", "median", "stddev", "p05", "p95"}
+
+
+class TestProportionsAndErrors:
+    def test_proportions_sum_to_one(self):
+        result = proportions({"a": 3, "b": 1})
+        assert sum(result.values()) == pytest.approx(1.0)
+        assert result["a"] == pytest.approx(0.75)
+
+    def test_proportions_zero_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            proportions({"a": 0})
+
+    def test_relative_error(self):
+        assert relative_error(96.0, 100.0) == pytest.approx(0.04)
+
+    def test_relative_error_zero_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_error(1.0, 0.0)
+
+    def test_jains_fairness_equal_shares(self):
+        assert jains_fairness([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_jains_fairness_unequal(self):
+        assert jains_fairness([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_jains_fairness_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            jains_fairness([-1, 2])
