@@ -1,0 +1,86 @@
+"""Engine scaling benchmarks: workers=1 vs workers=N throughput.
+
+Times dataset generation and the headline experiment through the batch
+engine's serial path and its process pool, asserting on every run that the
+two produce byte-identical results (the engine's core correctness contract).
+On multi-core hardware the parallel run should be faster; the speedup
+assertion is gated on the visible core count because single-core CI boxes
+pay the process-pool overhead without any parallelism to amortise it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.dataset.iitm import IITMBandersnatchDataset
+from repro.experiments.headline import reproduce_headline
+from repro.streaming.session import SessionConfig
+
+from conftest import run_once
+
+#: Workers used by the parallel legs (0 = all cores).
+PARALLEL_WORKERS = 0
+
+#: Cores needed before the wall-clock speedup assertion is meaningful.
+SPEEDUP_MIN_CORES = 4
+
+_DATASET_KWARGS = dict(
+    viewer_count=6,
+    seed=21,
+    config=SessionConfig(cross_traffic_enabled=False),
+)
+
+_HEADLINE_KWARGS = dict(sessions_per_condition=2, training_sessions_per_condition=1, seed=3)
+
+
+def _timed(function, **kwargs) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = function(**kwargs)
+    return time.perf_counter() - start, result
+
+
+def test_dataset_generation_scaling(benchmark):
+    """Dataset generation: serial vs pooled, equal output required."""
+    serial_seconds, serial = _timed(IITMBandersnatchDataset.generate, **_DATASET_KWARGS)
+    parallel_seconds, parallel = run_once(
+        benchmark,
+        _timed,
+        IITMBandersnatchDataset.generate,
+        workers=PARALLEL_WORKERS,
+        **_DATASET_KWARGS,
+    )
+    assert [point.session.fingerprint() for point in serial.points] == [
+        point.session.fingerprint() for point in parallel.points
+    ]
+    assert serial.points == parallel.points
+    print(
+        f"\ndataset generation: serial {serial_seconds:.2f}s, "
+        f"workers={os.cpu_count()} pool {parallel_seconds:.2f}s "
+        f"({serial_seconds / parallel_seconds:.2f}x)"
+    )
+    if (os.cpu_count() or 1) >= SPEEDUP_MIN_CORES:
+        assert parallel_seconds < serial_seconds
+
+
+def test_headline_experiment_scaling(benchmark):
+    """Headline experiment: serial vs pooled, equal result required."""
+    serial_seconds, serial = _timed(reproduce_headline, **_HEADLINE_KWARGS)
+    parallel_seconds, parallel = run_once(
+        benchmark,
+        _timed,
+        reproduce_headline,
+        workers=PARALLEL_WORKERS,
+        **_HEADLINE_KWARGS,
+    )
+    assert serial == parallel
+    assert serial.worst_case_accuracy == pytest.approx(parallel.worst_case_accuracy)
+    print(
+        f"\nheadline experiment: serial {serial_seconds:.2f}s, "
+        f"workers={os.cpu_count()} pool {parallel_seconds:.2f}s "
+        f"({serial_seconds / parallel_seconds:.2f}x)"
+    )
+    if (os.cpu_count() or 1) >= SPEEDUP_MIN_CORES:
+        assert parallel_seconds < serial_seconds

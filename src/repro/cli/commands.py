@@ -29,6 +29,7 @@ def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
         seed=arguments.seed,
         config=config,
         progress=lambda done, total: print(f"  {done}/{total} sessions", end="\r"),
+        workers=arguments.workers,
     )
     print()
     metadata_path = dataset.save(arguments.output, write_pcaps=not arguments.no_pcaps)
@@ -65,6 +66,7 @@ def cmd_train(arguments: argparse.Namespace) -> int:
         viewer_count=int(metadata["viewer_count"]),
         seed=_dataset_seed_from_metadata(metadata),
         config=SessionConfig(cross_traffic_enabled=True),
+        workers=getattr(arguments, "workers", None),
     )
     train_points, _ = dataset.train_test_split(test_fraction=1.0 - arguments.train_fraction)
     attack = WhiteMirrorAttack(graph=dataset.graph, band_margin=arguments.margin)
@@ -176,6 +178,7 @@ def cmd_reproduce(arguments: argparse.Namespace) -> int:
 
     chosen = arguments.experiment
     quick = arguments.quick
+    workers = getattr(arguments, "workers", None)
 
     if chosen in ("all", "table1"):
         result = reproduce_table1(viewer_count=20 if quick else 100)
@@ -190,7 +193,9 @@ def cmd_reproduce(arguments: argparse.Namespace) -> int:
         print(f"matches the paper's description: {result.matches_paper_description()}")
         print()
     if chosen in ("all", "figure2"):
-        result = reproduce_figure2(sessions_per_condition=1 if quick else 4)
+        result = reproduce_figure2(
+            sessions_per_condition=1 if quick else 4, workers=workers
+        )
         names = figure2_condition_names()
         for distribution in result.distributions:
             title = names[distribution.condition.fingerprint_key]
@@ -200,6 +205,7 @@ def cmd_reproduce(arguments: argparse.Namespace) -> int:
         result = reproduce_headline(
             sessions_per_condition=2 if quick else 10,
             training_sessions_per_condition=1 if quick else 2,
+            workers=workers,
         )
         print(format_table(result.rows(), "Section V — choice recovery accuracy"))
         print(
@@ -209,13 +215,13 @@ def cmd_reproduce(arguments: argparse.Namespace) -> int:
         print()
     if chosen in ("all", "baselines"):
         result = reproduce_baseline_comparison(
-            train_count=2 if quick else 6, test_count=2 if quick else 6
+            train_count=2 if quick else 6, test_count=2 if quick else 6, workers=workers
         )
         print(format_table(result.rows(), "Ablation A — baselines vs White Mirror"))
         print()
     if chosen in ("all", "defenses"):
         result = reproduce_defense_ablation(
-            train_count=2 if quick else 4, test_count=2 if quick else 4
+            train_count=2 if quick else 4, test_count=2 if quick else 4, workers=workers
         )
         print(format_table(result.rows(), "Ablation B — countermeasures"))
         print()

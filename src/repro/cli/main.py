@@ -23,6 +23,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_workers_argument(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help=(
+                "engine worker processes: omit or 1 for serial, 0 for all "
+                "cores, N for a pool of N (results are identical either way)"
+            ),
+        )
+
     generate = subparsers.add_parser(
         "generate-dataset",
         help="generate a synthetic dataset (metadata.json + per-viewer pcaps)",
@@ -36,6 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--no-cross-traffic", action="store_true", help="disable background cross traffic"
     )
+    add_workers_argument(generate)
     generate.set_defaults(handler=commands.cmd_generate_dataset)
 
     train = subparsers.add_parser(
@@ -51,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of viewers used for calibration (default 0.5)",
     )
     train.add_argument("--margin", type=int, default=8, help="band widening margin in bytes")
+    add_workers_argument(train)
     train.set_defaults(handler=commands.cmd_train)
 
     attack = subparsers.add_parser(
@@ -83,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use reduced session counts for a fast smoke run",
     )
+    add_workers_argument(reproduce)
     reproduce.set_defaults(handler=commands.cmd_reproduce)
 
     inspect = subparsers.add_parser(

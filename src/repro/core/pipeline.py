@@ -8,19 +8,27 @@
    them with the environment's fingerprint, decode the choice sequence and,
    if the story graph is known, reconstruct the exact path and a behavioural
    profile.
+
+Record extraction is memoised through a :class:`repro.engine.RecordCache`,
+so training and attacking the same trace parse it exactly once, and batch
+evaluation can fan out over the engine's process pool
+(:meth:`WhiteMirrorAttack.evaluate_sessions` with ``parallel=True``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Iterable, Sequence
 
 from repro.core.classifier import MLRecordClassifier, RecordTypeClassifier
 from repro.core.evaluation import AttackEvaluation, evaluate_attack_result
-from repro.core.features import ClientRecord, extract_client_records
+from repro.core.features import ClientRecord
 from repro.core.fingerprint import FingerprintLibrary
 from repro.core.inference import InferredChoices, infer_choices, reconstruct_path
 from repro.core.profiling import BehavioralProfile, profile_from_path
+from repro.engine.cache import RecordCache
+from repro.engine.executor import BatchExecutor
 from repro.exceptions import AttackError
 from repro.narrative.graph import StoryGraph
 from repro.narrative.path import ViewingPath
@@ -54,6 +62,36 @@ class AttackResult:
         )
 
 
+def _attack_chunk(
+    attack: "WhiteMirrorAttack", sessions: Sequence[SessionResult]
+) -> list[AttackResult]:
+    """Module-level worker task for parallel attacking (must be picklable)."""
+    return [attack.attack_session(session) for session in sessions]
+
+
+def _evaluate_chunk(
+    attack: "WhiteMirrorAttack", sessions: Sequence[SessionResult]
+) -> list[AttackEvaluation]:
+    """Module-level worker task for parallel evaluation (must be picklable)."""
+    return [
+        attack.attack_session(session).evaluate_against(session)
+        for session in sessions
+    ]
+
+
+def _chunked(items: list, chunks: int) -> list[list]:
+    """Split into at most ``chunks`` contiguous, order-preserving slices."""
+    chunks = max(1, min(chunks, len(items)))
+    size, remainder = divmod(len(items), chunks)
+    slices: list[list] = []
+    start = 0
+    for index in range(chunks):
+        end = start + size + (1 if index < remainder else 0)
+        slices.append(items[start:end])
+        start = end
+    return slices
+
+
 class WhiteMirrorAttack:
     """Passive traffic-analysis attack on interactive viewing sessions.
 
@@ -70,14 +108,25 @@ class WhiteMirrorAttack:
         the residual variability of the state reports even when only a couple
         of labelled sessions are available for an environment, while staying
         far from the nearest "other" traffic band (100+ bytes away).
+    record_cache:
+        Optional shared extraction cache.  Passing one lets several attack
+        instances (or experiment code that also inspects records) reuse each
+        other's per-trace extraction work; by default each attack carries
+        its own.
     """
 
-    def __init__(self, graph: StoryGraph | None = None, band_margin: int = 8) -> None:
+    def __init__(
+        self,
+        graph: StoryGraph | None = None,
+        band_margin: int = 8,
+        record_cache: RecordCache | None = None,
+    ) -> None:
         if band_margin < 0:
             raise AttackError("band margin must be non-negative")
         self._graph = graph
         self._margin = band_margin
         self._library = FingerprintLibrary()
+        self._records = record_cache if record_cache is not None else RecordCache()
 
     # -- training ------------------------------------------------------------
 
@@ -91,6 +140,16 @@ class WhiteMirrorAttack:
         """A band classifier over the current fingerprint library."""
         return RecordTypeClassifier(self._library)
 
+    @property
+    def record_cache(self) -> RecordCache:
+        """The per-trace extraction cache backing this attack."""
+        return self._records
+
+    def _records_for(
+        self, trace: CapturedTrace, server_ip: str | None = None
+    ) -> tuple[ClientRecord, ...]:
+        return self._records.records_for(trace, server_ip=server_ip or trace.server_ip)
+
     def train(self, sessions: Iterable[SessionResult]) -> FingerprintLibrary:
         """Learn fingerprints from labelled (self-collected) sessions.
 
@@ -101,9 +160,7 @@ class WhiteMirrorAttack:
         grouped: dict[str, list[ClientRecord]] = {}
         for session in sessions:
             key = session.condition.fingerprint_key
-            records = extract_client_records(
-                session.trace, server_ip=session.trace.server_ip
-            )
+            records = self._records_for(session.trace)
             grouped.setdefault(key, []).extend(records)
         if not grouped:
             raise AttackError("no training sessions supplied")
@@ -117,13 +174,13 @@ class WhiteMirrorAttack:
         """Train a generic ML record classifier on the same labelled sessions.
 
         Used by the ablation benchmarks; the main pipeline uses the band
-        fingerprints.
+        fingerprints.  Extraction goes through the record cache, so training
+        both this and :meth:`train` on the same traces parses each exactly
+        once.
         """
         records: list[ClientRecord] = []
         for session in sessions:
-            records.extend(
-                extract_client_records(session.trace, server_ip=session.trace.server_ip)
-            )
+            records.extend(self._records_for(session.trace))
         if not records:
             raise AttackError("no training sessions supplied")
         return classifier.fit(records)
@@ -137,7 +194,7 @@ class WhiteMirrorAttack:
         server_ip: str | None = None,
     ) -> AttackResult:
         """Run the full attack on one captured trace."""
-        records = extract_client_records(trace, server_ip=server_ip or trace.server_ip)
+        records = self._records_for(trace, server_ip=server_ip)
         labels = self.classifier.classify(records, condition_key)
         inferred = infer_choices(records, labels)
         path: ViewingPath | None = None
@@ -162,14 +219,57 @@ class WhiteMirrorAttack:
             server_ip=session.trace.server_ip,
         )
 
+    def attack_batch(
+        self,
+        sessions: Sequence[SessionResult],
+        workers: int | None = None,
+    ) -> list[AttackResult]:
+        """Attack a batch of sessions, in order.
+
+        ``workers`` follows :class:`repro.engine.BatchExecutor` semantics:
+        ``None``/``1`` run serially (sharing this attack's record cache),
+        ``0`` uses every core, ``N > 1`` a pool of ``N`` processes.
+        Sessions are shipped to the pool in one contiguous chunk per worker,
+        so the attack state (fingerprints, graph) is pickled once per worker
+        rather than once per session; the record cache crosses the process
+        boundary empty by design.
+        """
+        sessions = list(sessions)
+        if not sessions:
+            raise AttackError("no sessions to attack")
+        executor = BatchExecutor(workers)
+        if executor.parallel:
+            chunks = executor.map(
+                partial(_attack_chunk, self), _chunked(sessions, executor.workers)
+            )
+            return [result for chunk in chunks for result in chunk]
+        return [self.attack_session(session) for session in sessions]
+
     def evaluate_sessions(
-        self, sessions: Sequence[SessionResult]
+        self,
+        sessions: Sequence[SessionResult],
+        parallel: bool = False,
+        workers: int | None = None,
     ) -> list[AttackEvaluation]:
-        """Attack and score a batch of sessions with ground truth."""
+        """Attack and score a batch of sessions with ground truth.
+
+        ``parallel=True`` fans the per-session work out over the engine's
+        process pool using every core; an explicit ``workers`` count also
+        enables the pool (with :class:`BatchExecutor` semantics) without
+        needing the flag.  Results are identical to the serial path and
+        returned in input order.
+        """
+        sessions = list(sessions)
         if not sessions:
             raise AttackError("no sessions to evaluate")
-        evaluations: list[AttackEvaluation] = []
-        for session in sessions:
-            result = self.attack_session(session)
-            evaluations.append(result.evaluate_against(session))
-        return evaluations
+        if parallel or workers is not None:
+            executor = BatchExecutor(0 if parallel and workers is None else workers)
+            if executor.parallel:
+                chunks = executor.map(
+                    partial(_evaluate_chunk, self), _chunked(sessions, executor.workers)
+                )
+                return [result for chunk in chunks for result in chunk]
+        return [
+            self.attack_session(session).evaluate_against(session)
+            for session in sessions
+        ]

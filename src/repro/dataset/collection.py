@@ -1,4 +1,11 @@
-"""The collection pipeline: one simulated viewing session per viewer."""
+"""The collection pipeline: one simulated viewing session per viewer.
+
+Collection is expressed through the batch engine: each viewer becomes one
+:class:`~repro.engine.plan.SessionPlan` (seeded via
+:func:`repro.utils.rng.derive_seed`, so plans are order-independent) and the
+whole population is submitted as one batch.  ``workers`` selects serial or
+process-pool execution; both produce byte-identical data points.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +13,13 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.dataset.population import Viewer
+from repro.engine.executor import BatchExecutor
+from repro.engine.plan import SessionPlan
 from repro.exceptions import DatasetError
 from repro.media.manifest import MediaManifest, build_manifest
 from repro.narrative.bandersnatch import build_bandersnatch_script
 from repro.narrative.graph import StoryGraph
-from repro.streaming.session import SessionConfig, SessionResult, simulate_session
+from repro.streaming.session import SessionConfig, SessionResult
 from repro.utils.rng import derive_seed
 
 
@@ -66,6 +75,52 @@ def default_study_script() -> StoryGraph:
     )
 
 
+def collection_plan(
+    viewer: Viewer,
+    graph: StoryGraph,
+    manifest: MediaManifest | None,
+    dataset_seed: int,
+    config: SessionConfig | None = None,
+) -> SessionPlan:
+    """The session plan for one viewer's collection run.
+
+    The seed derives from the dataset seed and the viewer id alone, so the
+    plan — and therefore the session — is independent of collection order
+    and of how the batch is scheduled across workers.
+    """
+    return SessionPlan(
+        graph=graph,
+        condition=viewer.condition,
+        behavior=viewer.behavior,
+        seed=derive_seed(dataset_seed, "collection", viewer.viewer_id),
+        config=config,
+        manifest=manifest,
+        session_id=viewer.viewer_id,
+    )
+
+
+def build_collection_plans(
+    viewers: Sequence[Viewer],
+    dataset_seed: int = 0,
+    graph: StoryGraph | None = None,
+    config: SessionConfig | None = None,
+) -> list[SessionPlan]:
+    """Describe the whole population's collection runs as session plans."""
+    if not viewers:
+        raise DatasetError("cannot collect a dataset for an empty population")
+    graph = graph or default_study_script()
+    config = config or SessionConfig()
+    manifest = build_manifest(
+        graph,
+        content_seed=config.content_seed,
+        chunk_duration_seconds=config.chunk_duration_seconds,
+    )
+    return [
+        collection_plan(viewer, graph, manifest, dataset_seed, config)
+        for viewer in viewers
+    ]
+
+
 def collect_datapoint(
     viewer: Viewer,
     graph: StoryGraph,
@@ -74,17 +129,8 @@ def collect_datapoint(
     config: SessionConfig | None = None,
 ) -> DataPoint:
     """Run the viewing session for one viewer and package the data point."""
-    seed = derive_seed(dataset_seed, "collection", viewer.viewer_id)
-    session = simulate_session(
-        graph=graph,
-        condition=viewer.condition,
-        behavior=viewer.behavior,
-        seed=seed,
-        config=config,
-        manifest=manifest,
-        session_id=viewer.viewer_id,
-    )
-    return DataPoint(viewer=viewer, session=session)
+    plan = collection_plan(viewer, graph, manifest, dataset_seed, config)
+    return DataPoint(viewer=viewer, session=plan.execute())
 
 
 def collect_dataset(
@@ -93,6 +139,8 @@ def collect_dataset(
     graph: StoryGraph | None = None,
     config: SessionConfig | None = None,
     progress: Callable[[int, int], None] | None = None,
+    workers: int | None = None,
+    executor: BatchExecutor | None = None,
 ) -> list[DataPoint]:
     """Collect one data point per viewer.
 
@@ -109,21 +157,19 @@ def collect_dataset(
         Session configuration shared by every collection run.
     progress:
         Optional callback ``(completed, total)`` invoked after each viewer.
+    workers:
+        Engine worker count (``None``/``1`` serial, ``0`` all cores,
+        ``N > 1`` a pool of ``N`` processes).  Serial and parallel runs
+        produce byte-identical data points.
+    executor:
+        Pre-built :class:`BatchExecutor`; overrides ``workers``.
     """
-    if not viewers:
-        raise DatasetError("cannot collect a dataset for an empty population")
-    graph = graph or default_study_script()
-    config = config or SessionConfig()
-    manifest = build_manifest(
-        graph,
-        content_seed=config.content_seed,
-        chunk_duration_seconds=config.chunk_duration_seconds,
+    plans = build_collection_plans(
+        viewers, dataset_seed=dataset_seed, graph=graph, config=config
     )
-    points: list[DataPoint] = []
-    for index, viewer in enumerate(viewers):
-        points.append(
-            collect_datapoint(viewer, graph, manifest, dataset_seed, config)
-        )
-        if progress is not None:
-            progress(index + 1, len(viewers))
-    return points
+    executor = executor or BatchExecutor(workers)
+    sessions = executor.execute(plans, progress=progress)
+    return [
+        DataPoint(viewer=viewer, session=session)
+        for viewer, session in zip(viewers, sessions)
+    ]

@@ -66,12 +66,23 @@ class IITMBandersnatchDataset:
         graph: StoryGraph | None = None,
         config: SessionConfig | None = None,
         progress: Callable[[int, int], None] | None = None,
+        workers: int | None = None,
     ) -> "IITMBandersnatchDataset":
-        """Generate the full dataset (population + one session per viewer)."""
+        """Generate the full dataset (population + one session per viewer).
+
+        ``workers`` selects the engine's execution mode (``None``/``1``
+        serial, ``0`` all cores, ``N > 1`` a pool of ``N`` processes); the
+        generated dataset is byte-identical either way.
+        """
         graph = graph or default_study_script()
         viewers = generate_population(viewer_count, seed=seed)
         points = collect_dataset(
-            viewers, dataset_seed=seed, graph=graph, config=config, progress=progress
+            viewers,
+            dataset_seed=seed,
+            graph=graph,
+            config=config,
+            progress=progress,
+            workers=workers,
         )
         return cls(points=points, graph=graph, seed=seed)
 

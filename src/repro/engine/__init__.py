@@ -1,0 +1,86 @@
+"""Batch execution engine: declarative session plans over a process pool.
+
+Every experiment in this reproduction boils down to the same shape of work:
+simulate a grid of viewing sessions (graph × condition × behaviour × seed),
+then run the attack over the resulting traces.  The seed repo did both
+serially, one session at a time; this package turns the first half into a
+declarative, parallelisable substrate and gives the second half a shared
+record-extraction cache.
+
+Components
+----------
+
+:class:`~repro.engine.plan.SessionPlan`
+    A frozen, picklable description of one session to simulate: the story
+    graph, the operational condition, the viewer behaviour and the seed
+    (plus optional config, prebuilt manifest, forced choices and session
+    id).  ``plan.execute()`` produces exactly the :class:`SessionResult`
+    that calling :func:`repro.streaming.session.simulate_session` with the
+    same arguments would.
+
+:class:`~repro.engine.executor.BatchExecutor`
+    Fans a sequence of plans out over a ``concurrent.futures`` process pool
+    and returns the results **in plan order**.  ``workers=None`` (or ``1``)
+    runs serially in-process — the fallback determinism tests compare
+    against; ``workers=0`` uses every core.  Worker failures surface as
+    :class:`repro.exceptions.EngineError` naming the failed plan, never as
+    a hang.  Because all randomness flows through
+    :func:`repro.utils.rng.derive_seed`, serial and parallel execution of
+    the same plans produce byte-identical results — that equivalence is the
+    engine's core correctness contract.
+
+:class:`~repro.engine.cache.RecordCache`
+    Memoises :func:`repro.core.features.extract_client_records` per trace,
+    so training and attacking the same capture never re-parses it.
+    :class:`repro.core.pipeline.WhiteMirrorAttack` carries one internally
+    and experiments can share a cache across several attack instances.
+
+Usage
+-----
+
+Generate a dataset-sized batch of sessions on four workers::
+
+    from repro.engine import BatchExecutor, SessionPlan
+    from repro.utils.rng import derive_seed
+
+    plans = [
+        SessionPlan(
+            graph=graph,
+            condition=condition,
+            behavior=behavior,
+            seed=derive_seed(root_seed, "my-experiment", index),
+            session_id=f"session-{index}",
+        )
+        for index in range(100)
+    ]
+    sessions = BatchExecutor(workers=4).execute(plans)   # in plan order
+
+Attack them in parallel with a shared extraction cache::
+
+    from repro.core.pipeline import WhiteMirrorAttack
+
+    attack = WhiteMirrorAttack(graph=graph)
+    attack.train(sessions[:10])                       # fills the cache
+    evaluations = attack.evaluate_sessions(sessions[10:], parallel=True)
+
+The higher layers are already routed through the engine:
+``IITMBandersnatchDataset.generate(..., workers=N)``,
+``reproduce_headline(..., workers=N)`` and the other experiment drivers all
+build plans and submit them as one batch, and the CLI exposes the same knob
+as ``--workers``.
+"""
+
+from __future__ import annotations
+
+from repro.engine.cache import CacheStats, RecordCache
+from repro.engine.executor import BatchExecutor
+from repro.engine.plan import SessionPlan
+from repro.exceptions import EngineError
+
+__all__ = [
+    "BatchExecutor",
+    "CacheStats",
+    "EngineError",
+    "RecordCache",
+    "SessionPlan",
+]

@@ -1,0 +1,97 @@
+"""Per-trace client-record extraction cache.
+
+Parsing the TLS records out of a captured trace
+(:func:`repro.core.features.extract_client_records`) walks every uplink
+packet of the streaming flow — a few thousand packets per session.  The
+attack pipeline historically did that walk once per *use* of a trace:
+training, ML-ablation training and attacking the same capture each paid for
+their own pass.  :class:`RecordCache` memoises the extraction per
+``(trace, server_ip)`` so one pass serves every consumer.
+
+Entries are keyed by object identity and guarded by a weak reference: when a
+trace is garbage collected its cache entry evaporates, and a recycled
+``id()`` can never serve stale records.  The cache deliberately does not
+pickle its entries — a cache shipped to a worker process arrives empty and
+warms up locally.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.features import ClientRecord
+    from repro.net.capture import CapturedTrace
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing how much work the cache has saved."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class RecordCache:
+    """Memoises client-record extraction per captured trace."""
+
+    def __init__(self) -> None:
+        self._entries: dict[
+            tuple[int, str | None],
+            tuple[weakref.ref, tuple["ClientRecord", ...]],
+        ] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def records_for(
+        self, trace: "CapturedTrace", server_ip: str | None = None
+    ) -> tuple["ClientRecord", ...]:
+        """The trace's client records, extracting them on first use."""
+        from repro.core.features import extract_client_records
+
+        key = (id(trace), server_ip)
+        entry = self._entries.get(key)
+        if entry is not None:
+            ref, records = entry
+            if ref() is trace:
+                self._hits += 1
+                return records
+        records = tuple(extract_client_records(trace, server_ip=server_ip))
+        self._misses += 1
+        ref = weakref.ref(trace, lambda _dead, key=key: self._entries.pop(key, None))
+        self._entries[key] = (ref, records)
+        return records
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss counters and the current entry count."""
+        return CacheStats(hits=self._hits, misses=self._misses, entries=len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- pickling ----------------------------------------------------------
+    # Weak references cannot be pickled, and identity keys would be
+    # meaningless in another process anyway: a cache always crosses process
+    # boundaries empty.
+
+    def __getstate__(self) -> dict[str, int]:
+        return {"hits": self._hits, "misses": self._misses}
+
+    def __setstate__(self, state: dict[str, int]) -> None:
+        self._entries = {}
+        self._hits = int(state.get("hits", 0))
+        self._misses = int(state.get("misses", 0))

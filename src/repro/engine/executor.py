@@ -1,0 +1,170 @@
+"""Order-preserving batch execution over a process pool.
+
+:class:`BatchExecutor` is the engine's scheduler: it takes a sequence of
+:class:`~repro.engine.plan.SessionPlan` objects (or any picklable items plus
+a picklable function, via :meth:`BatchExecutor.map`), fans them out over a
+``concurrent.futures.ProcessPoolExecutor``, and returns the results in input
+order.  A serial in-process path (``workers=None`` or ``1``) exists both as
+the zero-dependency fallback and as the reference the determinism tests
+compare parallel runs against.
+
+Failure model: a plan that raises inside a worker — or a worker process that
+dies outright (``BrokenProcessPool``) — surfaces as a single
+:class:`repro.exceptions.EngineError` naming the failed item, with the
+original exception chained.  The pool is shut down before the error
+propagates, so a crashed batch never hangs the caller.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from repro.engine.plan import SessionPlan
+from repro.exceptions import EngineError
+from repro.streaming.session import SessionResult
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Progress callback signature: ``(completed, total)``.
+ProgressCallback = Callable[[int, int], None]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count request to an effective pool size.
+
+    ``None`` and ``1`` mean serial execution, ``0`` means one worker per
+    available core, any other positive integer is taken literally.
+    """
+    if workers is None:
+        return 1
+    if workers < 0:
+        raise EngineError(f"worker count must be non-negative, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+def _execute_plan(plan: SessionPlan) -> SessionResult:
+    """Module-level worker entry point (must be picklable)."""
+    return plan.execute()
+
+
+class BatchExecutor:
+    """Executes batches of session plans, serially or on a process pool.
+
+    Parameters
+    ----------
+    workers:
+        ``None``/``1`` → serial in-process execution; ``0`` → one worker per
+        core; ``N > 1`` → a pool of ``N`` processes.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self._workers = resolve_workers(workers)
+
+    @property
+    def workers(self) -> int:
+        """The effective worker count this executor runs with."""
+        return self._workers
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this executor uses a process pool."""
+        return self._workers > 1
+
+    def execute(
+        self,
+        plans: Sequence[SessionPlan],
+        progress: ProgressCallback | None = None,
+    ) -> list[SessionResult]:
+        """Simulate every plan and return the results in plan order."""
+        return self.map(_execute_plan, plans, progress=progress, label=_describe_plan)
+
+    def map(
+        self,
+        function: Callable[[T], R],
+        items: Sequence[T],
+        progress: ProgressCallback | None = None,
+        label: Callable[[T], str] | None = None,
+    ) -> list[R]:
+        """Apply ``function`` to every item, preserving input order.
+
+        On the parallel path both ``function`` and the items must be
+        picklable (module-level functions and ``functools.partial`` of them
+        qualify).  Failures are wrapped into :class:`EngineError` exactly as
+        for :meth:`execute`.
+        """
+        items = list(items)
+        if not self.parallel or len(items) <= 1:
+            return self._run_serial(function, items, progress, label)
+        return self._run_parallel(function, items, progress, label)
+
+    # -- internal ----------------------------------------------------------
+
+    def _run_serial(
+        self,
+        function: Callable[[T], R],
+        items: list[T],
+        progress: ProgressCallback | None,
+        label: Callable[[T], str] | None,
+    ) -> list[R]:
+        results: list[R] = []
+        for index, item in enumerate(items):
+            try:
+                results.append(function(item))
+            except EngineError:
+                raise
+            except Exception as error:
+                raise _wrap_failure(index, item, label, error, serial=True) from error
+            if progress is not None:
+                progress(index + 1, len(items))
+        return results
+
+    def _run_parallel(
+        self,
+        function: Callable[[T], R],
+        items: list[T],
+        progress: ProgressCallback | None,
+        label: Callable[[T], str] | None,
+    ) -> list[R]:
+        results: list[R | None] = [None] * len(items)
+        with ProcessPoolExecutor(max_workers=min(self._workers, len(items))) as pool:
+            futures = [pool.submit(function, item) for item in items]
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result()
+                except Exception as error:
+                    # Cancel whatever has not started; the context manager
+                    # joins the pool so the error never leaves orphans.
+                    for pending in futures[index + 1 :]:
+                        pending.cancel()
+                    if isinstance(error, EngineError):
+                        raise
+                    raise _wrap_failure(
+                        index, items[index], label, error, serial=False
+                    ) from error
+                if progress is not None:
+                    progress(index + 1, len(items))
+        return results  # type: ignore[return-value]
+
+
+def _describe_plan(plan: SessionPlan) -> str:
+    return plan.describe()
+
+
+def _wrap_failure(
+    index: int,
+    item: object,
+    label: Callable[[T], str] | None,
+    error: Exception,
+    serial: bool,
+) -> EngineError:
+    name = label(item) if label is not None else f"item {index}"  # type: ignore[arg-type]
+    where = "in-process" if serial else "in a worker process"
+    return EngineError(
+        f"batch item {index} ({name}) failed {where}: "
+        f"{type(error).__name__}: {error}"
+    )

@@ -44,6 +44,15 @@ class AttackError(ReproError):
     """Raised when the traffic-analysis pipeline cannot proceed."""
 
 
+class EngineError(ReproError):
+    """Raised when the batch execution engine cannot complete a batch.
+
+    Wraps failures from worker processes (including crashed workers) so a
+    failed batch surfaces as one clear error naming the failed plan instead
+    of a hang or a raw ``concurrent.futures`` exception.
+    """
+
+
 class FingerprintError(AttackError):
     """Raised when a record-length fingerprint is malformed or not trained."""
 

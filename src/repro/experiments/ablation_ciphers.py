@@ -23,13 +23,15 @@ from dataclasses import dataclass
 from repro.client.profiles import OperationalCondition
 from repro.client.viewer import ViewerBehavior
 from repro.core.evaluation import aggregate_json_identification_accuracy, evaluate_attack_result
-from repro.core.features import extract_client_records
 from repro.core.inference import infer_choices
 from repro.core.pipeline import WhiteMirrorAttack
+from repro.engine.cache import RecordCache
+from repro.engine.executor import BatchExecutor
+from repro.engine.plan import SessionPlan
 from repro.exceptions import AttackError
 from repro.narrative.bandersnatch import build_bandersnatch_script
 from repro.narrative.graph import StoryGraph
-from repro.streaming.session import SessionConfig, SessionResult, simulate_session
+from repro.streaming.session import SessionConfig, SessionResult
 from repro.tls.ciphers import DEFAULT_CIPHER_SUITE
 from repro.utils.rng import derive_seed
 
@@ -101,6 +103,7 @@ def reproduce_cipher_ablation(
     seed: int = 9,
     graph: StoryGraph | None = None,
     condition: OperationalCondition | None = None,
+    workers: int | None = None,
 ) -> CipherAblationResult:
     """Sweep the victim's cipher suite against fixed and re-trained fingerprints."""
     if sessions_per_suite <= 0 or training_sessions <= 0:
@@ -113,10 +116,10 @@ def reproduce_cipher_ablation(
     )
     behavior = ViewerBehavior("20-25", "male", "centrist", "happy")
 
-    def _sessions(cipher_suite: str, count: int, tag: str) -> list[SessionResult]:
+    def _plans(cipher_suite: str, count: int, tag: str) -> list[SessionPlan]:
         config = SessionConfig(cipher_suite=cipher_suite, cross_traffic_enabled=False)
         return [
-            simulate_session(
+            SessionPlan(
                 graph=graph,
                 condition=condition,
                 behavior=behavior,
@@ -127,11 +130,35 @@ def reproduce_cipher_ablation(
             for index in range(count)
         ]
 
+    # The whole suite sweep — GCM calibration, per-suite victims and
+    # per-suite adaptive training — goes to the engine as one batch.
+    batches: dict[str, list[SessionPlan]] = {
+        "train-gcm": _plans(DEFAULT_CIPHER_SUITE, training_sessions, "cipher-train-gcm")
+    }
+    for cipher_suite in ABLATION_CIPHER_SUITES:
+        batches[f"victim/{cipher_suite}"] = _plans(
+            cipher_suite, sessions_per_suite, "cipher-victim"
+        )
+        batches[f"adaptive/{cipher_suite}"] = _plans(
+            cipher_suite, training_sessions, "cipher-train-adaptive"
+        )
+    flat_plans = [plan for group in batches.values() for plan in group]
+    flat_sessions = BatchExecutor(workers).execute(flat_plans)
+    sessions_by_group: dict[str, list[SessionResult]] = {}
+    cursor = 0
+    for name, group in batches.items():
+        sessions_by_group[name] = flat_sessions[cursor : cursor + len(group)]
+        cursor += len(group)
+
+    # One shared cache: each victim trace is extracted once even though both
+    # the non-adaptive and the adaptive fingerprints attack it.
+    cache = RecordCache()
+
     def _accuracy(attack: WhiteMirrorAttack, sessions: list[SessionResult]) -> float:
         fingerprint = attack.library.get(condition.fingerprint_key)
         evaluations = []
         for session in sessions:
-            records = extract_client_records(session.trace, server_ip=session.trace.server_ip)
+            records = cache.records_for(session.trace, server_ip=session.trace.server_ip)
             labels = fingerprint.classify(records)
             inferred = infer_choices(records, labels)
             evaluations.append(
@@ -145,17 +172,15 @@ def reproduce_cipher_ablation(
         return aggregate_json_identification_accuracy(evaluations)
 
     # Non-adaptive attacker: trained once under the calibration suite.
-    gcm_attack = WhiteMirrorAttack(graph=graph)
-    gcm_attack.train(_sessions(DEFAULT_CIPHER_SUITE, training_sessions, "cipher-train-gcm"))
+    gcm_attack = WhiteMirrorAttack(graph=graph, record_cache=cache)
+    gcm_attack.train(sessions_by_group["train-gcm"])
 
     scores: list[CipherScore] = []
     for cipher_suite in ABLATION_CIPHER_SUITES:
-        victims = _sessions(cipher_suite, sessions_per_suite, "cipher-victim")
+        victims = sessions_by_group[f"victim/{cipher_suite}"]
         non_adaptive = _accuracy(gcm_attack, victims)
-        adaptive_attack = WhiteMirrorAttack(graph=graph)
-        adaptive_attack.train(
-            _sessions(cipher_suite, training_sessions, "cipher-train-adaptive")
-        )
+        adaptive_attack = WhiteMirrorAttack(graph=graph, record_cache=cache)
+        adaptive_attack.train(sessions_by_group[f"adaptive/{cipher_suite}"])
         adaptive = _accuracy(adaptive_attack, victims)
         scores.append(
             CipherScore(

@@ -21,9 +21,11 @@ from repro.core.evaluation import (
     aggregate_json_identification_accuracy,
     evaluate_attack_result,
 )
-from repro.core.features import extract_client_records
 from repro.core.inference import infer_choices
 from repro.core.pipeline import WhiteMirrorAttack
+from repro.engine.cache import RecordCache
+from repro.engine.executor import BatchExecutor
+from repro.engine.plan import SessionPlan
 from repro.exceptions import AttackError
 from repro.ml.base import Classifier
 from repro.ml.interval import IntervalClassifier
@@ -33,7 +35,6 @@ from repro.ml.naive_bayes import GaussianNaiveBayes
 from repro.ml.tree import DecisionTreeClassifier
 from repro.narrative.bandersnatch import build_bandersnatch_script
 from repro.narrative.graph import StoryGraph
-from repro.streaming.session import SessionResult, simulate_session
 from repro.utils.rng import derive_seed
 
 
@@ -115,6 +116,7 @@ def reproduce_classifier_ablation(
     seed: int = 6,
     graph: StoryGraph | None = None,
     condition: OperationalCondition | None = None,
+    workers: int | None = None,
 ) -> ClassifierAblationResult:
     """Compare the band rule with generic estimators on one environment."""
     if train_count <= 0 or test_count <= 0:
@@ -131,9 +133,9 @@ def reproduce_classifier_ablation(
         ViewerBehavior(">30", "undisclosed", "undisclosed", "sad"),
     ]
 
-    def _sessions(count: int, tag: str) -> list[SessionResult]:
+    def _plans(count: int, tag: str) -> list[SessionPlan]:
         return [
-            simulate_session(
+            SessionPlan(
                 graph=graph,
                 condition=condition,
                 behavior=behaviors[index % len(behaviors)],
@@ -143,13 +145,20 @@ def reproduce_classifier_ablation(
             for index in range(count)
         ]
 
-    train_sessions = _sessions(train_count, "clf-train")
-    test_sessions = _sessions(test_count, "clf-test")
+    train_plans = _plans(train_count, "clf-train")
+    test_plans = _plans(test_count, "clf-test")
+    sessions = BatchExecutor(workers).execute(train_plans + test_plans)
+    train_sessions = sessions[: len(train_plans)]
+    test_sessions = sessions[len(train_plans) :]
 
     scores: list[ClassifierScore] = []
 
+    # One extraction pass per trace serves the band rule, the generic
+    # estimators' training data and every estimator's test classification.
+    cache = RecordCache()
+
     # -- the paper's band rule -------------------------------------------------
-    attack = WhiteMirrorAttack(graph=graph)
+    attack = WhiteMirrorAttack(graph=graph, record_cache=cache)
     attack.train(train_sessions)
     evaluations = attack.evaluate_sessions(test_sessions)
     scores.append(
@@ -164,12 +173,12 @@ def reproduce_classifier_ablation(
     train_records = [
         record
         for session in train_sessions
-        for record in extract_client_records(session.trace, server_ip=session.trace.server_ip)
+        for record in cache.records_for(session.trace, server_ip=session.trace.server_ip)
     ]
     test_data = [
         (
             session,
-            extract_client_records(session.trace, server_ip=session.trace.server_ip),
+            cache.records_for(session.trace, server_ip=session.trace.server_ip),
         )
         for session in test_sessions
     ]

@@ -16,13 +16,14 @@ from dataclasses import dataclass
 from repro.client.profiles import OperationalCondition
 from repro.client.viewer import ViewerBehavior
 from repro.core.evaluation import aggregate_json_identification_accuracy, evaluate_attack_result
-from repro.core.features import extract_client_records
 from repro.core.inference import infer_choices
 from repro.core.pipeline import WhiteMirrorAttack
+from repro.engine.cache import RecordCache
+from repro.engine.executor import BatchExecutor
+from repro.engine.plan import SessionPlan
 from repro.exceptions import AttackError
 from repro.narrative.bandersnatch import build_bandersnatch_script
 from repro.narrative.graph import StoryGraph
-from repro.streaming.session import SessionResult, simulate_session
 from repro.utils.rng import derive_seed
 
 #: The environments included in the transfer matrix (one condition each).
@@ -89,6 +90,7 @@ def reproduce_transfer_ablation(
     seed: int = 8,
     graph: StoryGraph | None = None,
     conditions: tuple[OperationalCondition, ...] = DEFAULT_TRANSFER_CONDITIONS,
+    workers: int | None = None,
 ) -> TransferAblationResult:
     """Build the fingerprint transfer matrix across client environments."""
     if sessions_per_environment <= 0 or training_sessions_per_environment <= 0:
@@ -98,9 +100,9 @@ def reproduce_transfer_ablation(
     )
     behavior = ViewerBehavior("20-25", "male", "centrist", "happy")
 
-    def _sessions(condition: OperationalCondition, count: int, tag: str) -> list[SessionResult]:
+    def _plans(condition: OperationalCondition, count: int, tag: str) -> list[SessionPlan]:
         return [
-            simulate_session(
+            SessionPlan(
                 graph=graph,
                 condition=condition,
                 behavior=behavior,
@@ -110,19 +112,44 @@ def reproduce_transfer_ablation(
             for index in range(count)
         ]
 
+    # One engine batch for the whole grid: per-environment training sessions
+    # followed by per-environment test sessions.
+    train_plans = [
+        plan
+        for condition in conditions
+        for plan in _plans(condition, training_sessions_per_environment, "transfer-train")
+    ]
+    test_plan_groups = [
+        _plans(condition, sessions_per_environment, "transfer-test")
+        for condition in conditions
+    ]
+    flat_test_plans = [plan for group in test_plan_groups for plan in group]
+    sessions = BatchExecutor(workers).execute(train_plans + flat_test_plans)
+    train_sessions_flat = sessions[: len(train_plans)]
+    test_sessions_flat = sessions[len(train_plans) :]
+
+    # A cache shared across every attack instance: each test trace is
+    # extracted once, no matter how many fingerprints attack it.
+    cache = RecordCache()
+
     # Train one attack per environment.
     attacks: dict[str, WhiteMirrorAttack] = {}
-    for condition in conditions:
-        attack = WhiteMirrorAttack(graph=graph)
-        attack.train(_sessions(condition, training_sessions_per_environment, "transfer-train"))
+    for position, condition in enumerate(conditions):
+        attack = WhiteMirrorAttack(graph=graph, record_cache=cache)
+        attack.train(
+            train_sessions_flat[
+                position * training_sessions_per_environment : (position + 1)
+                * training_sessions_per_environment
+            ]
+        )
         attacks[condition.fingerprint_key] = attack
 
     # Evaluate every (trained-on, attacked) pair.
     test_sessions = {
-        condition.fingerprint_key: _sessions(
-            condition, sessions_per_environment, "transfer-test"
-        )
-        for condition in conditions
+        condition.fingerprint_key: test_sessions_flat[
+            position * sessions_per_environment : (position + 1) * sessions_per_environment
+        ]
+        for position, condition in enumerate(conditions)
     }
     environments = tuple(condition.fingerprint_key for condition in conditions)
     matrix: dict[str, dict[str, float]] = {}
@@ -133,7 +160,7 @@ def reproduce_transfer_ablation(
         for attacked in environments:
             evaluations = []
             for session in test_sessions[attacked]:
-                records = extract_client_records(
+                records = cache.records_for(
                     session.trace, server_ip=session.trace.server_ip
                 )
                 labels = fingerprint.classify(records)

@@ -7,10 +7,11 @@ from dataclasses import dataclass
 from repro.baselines.comparison import ComparisonResult, run_comparison
 from repro.client.profiles import OperationalCondition
 from repro.client.viewer import ViewerBehavior
+from repro.engine.executor import BatchExecutor
+from repro.engine.plan import SessionPlan
 from repro.exceptions import AttackError
 from repro.narrative.bandersnatch import build_bandersnatch_script
 from repro.narrative.graph import StoryGraph
-from repro.streaming.session import SessionResult, simulate_session
 from repro.utils.rng import derive_seed
 
 
@@ -42,6 +43,7 @@ def reproduce_baseline_comparison(
     seed: int = 4,
     graph: StoryGraph | None = None,
     condition: OperationalCondition | None = None,
+    workers: int | None = None,
 ) -> BaselineComparisonResult:
     """Run the intra-video branch identification task for every technique."""
     if train_count <= 0 or test_count <= 0:
@@ -58,9 +60,9 @@ def reproduce_baseline_comparison(
         ViewerBehavior(">30", "undisclosed", "undisclosed", "sad"),
     ]
 
-    def _sessions(count: int, tag: str, offset: int) -> list[SessionResult]:
+    def _plans(count: int, tag: str, offset: int) -> list[SessionPlan]:
         return [
-            simulate_session(
+            SessionPlan(
                 graph=graph,
                 condition=condition,
                 behavior=behaviors[index % len(behaviors)],
@@ -70,8 +72,11 @@ def reproduce_baseline_comparison(
             for index in range(count)
         ]
 
-    train_sessions = _sessions(train_count, "baseline-train", 0)
-    test_sessions = _sessions(test_count, "baseline-test", 1000)
+    train_plans = _plans(train_count, "baseline-train", 0)
+    test_plans = _plans(test_count, "baseline-test", 1000)
+    sessions = BatchExecutor(workers).execute(train_plans + test_plans)
+    train_sessions = sessions[: len(train_plans)]
+    test_sessions = sessions[len(train_plans) :]
     comparison = run_comparison(train_sessions, test_sessions, graph)
     return BaselineComparisonResult(
         comparison=comparison,

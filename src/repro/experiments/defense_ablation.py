@@ -11,10 +11,11 @@ from repro.defenses.compression import CompressStateReports
 from repro.defenses.evaluation import DefenseEvaluation, evaluate_defenses
 from repro.defenses.padding import PadToConstant, PadToMultiple
 from repro.defenses.splitting import SplitRecords
+from repro.engine.executor import BatchExecutor
+from repro.engine.plan import SessionPlan
 from repro.exceptions import DefenseError
 from repro.narrative.bandersnatch import build_bandersnatch_script
 from repro.narrative.graph import StoryGraph
-from repro.streaming.session import SessionResult, simulate_session
 from repro.utils.rng import derive_seed
 
 
@@ -84,6 +85,7 @@ def reproduce_defense_ablation(
     graph: StoryGraph | None = None,
     condition: OperationalCondition | None = None,
     defenses: list[RecordDefense] | None = None,
+    workers: int | None = None,
 ) -> DefenseAblationResult:
     """Evaluate the standard defence suite against an adaptive attacker."""
     if train_count <= 0 or test_count <= 0:
@@ -99,9 +101,9 @@ def reproduce_defense_ablation(
         ViewerBehavior("25-30", "female", "liberal", "stressed"),
     ]
 
-    def _sessions(count: int, tag: str) -> list[SessionResult]:
+    def _plans(count: int, tag: str) -> list[SessionPlan]:
         return [
-            simulate_session(
+            SessionPlan(
                 graph=graph,
                 condition=condition,
                 behavior=behaviors[index % len(behaviors)],
@@ -111,8 +113,11 @@ def reproduce_defense_ablation(
             for index in range(count)
         ]
 
-    train_sessions = _sessions(train_count, "defense-train")
-    test_sessions = _sessions(test_count, "defense-test")
+    train_plans = _plans(train_count, "defense-train")
+    test_plans = _plans(test_count, "defense-test")
+    sessions = BatchExecutor(workers).execute(train_plans + test_plans)
+    train_sessions = sessions[: len(train_plans)]
+    test_sessions = sessions[len(train_plans) :]
     evaluations = evaluate_defenses(
         defenses if defenses is not None else standard_defense_suite(),
         train_sessions,

@@ -17,10 +17,12 @@ from dataclasses import dataclass
 
 from repro.client.viewer import ViewerBehavior
 from repro.client.profiles import OperationalCondition
+from repro.engine.executor import BatchExecutor
+from repro.engine.plan import SessionPlan
 from repro.exceptions import StreamingError
 from repro.narrative.bandersnatch import build_minimal_interactive_script
 from repro.streaming.events import EventKind
-from repro.streaming.session import SessionConfig, SessionResult, simulate_session
+from repro.streaming.session import SessionConfig, SessionResult
 
 
 @dataclass(frozen=True)
@@ -71,15 +73,16 @@ def reproduce_figure1(seed: int = 1, condition: OperationalCondition | None = No
         "linux", "desktop", "firefox", "wired", "noon"
     )
     behavior = ViewerBehavior("20-25", "undisclosed", "undisclosed", "happy")
-    session = simulate_session(
+    plan = SessionPlan(
         graph=graph,
         condition=condition,
         behavior=behavior,
         seed=seed,
         config=SessionConfig(cross_traffic_enabled=False),
-        forced_choices=[True, False],
+        forced_choices=(True, False),
         session_id="figure1-walkthrough",
     )
+    (session,) = BatchExecutor().execute([plan])
     protocol_events: list[tuple[str, str]] = []
     for event in session.events:
         if event.kind in _PROTOCOL_EVENT_KINDS:

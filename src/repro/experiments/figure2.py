@@ -18,11 +18,17 @@ from dataclasses import dataclass
 
 from repro.client.profiles import OperationalCondition, figure2_conditions
 from repro.client.viewer import ViewerBehavior
-from repro.core.features import LABEL_OTHER, LABEL_TYPE1, LABEL_TYPE2, extract_client_records
+from repro.core.features import (
+    LABEL_OTHER,
+    LABEL_TYPE1,
+    LABEL_TYPE2,
+    extract_client_records,
+)
+from repro.engine.executor import BatchExecutor
+from repro.engine.plan import SessionPlan
 from repro.exceptions import AttackError
 from repro.narrative.bandersnatch import build_bandersnatch_script
 from repro.narrative.graph import StoryGraph
-from repro.streaming.session import simulate_session
 from repro.utils.histogram import Histogram, LengthBin, bins_from_edges
 from repro.utils.rng import derive_seed
 
@@ -115,27 +121,40 @@ def reproduce_figure2(
     sessions_per_condition: int = 4,
     seed: int = 2,
     graph: StoryGraph | None = None,
+    workers: int | None = None,
 ) -> Figure2Result:
-    """Simulate sessions under both Figure 2 conditions and bin the record lengths."""
+    """Simulate sessions under both Figure 2 conditions and bin the record lengths.
+
+    The condition × session grid is submitted to the engine as one batch;
+    ``workers`` selects serial or process-pool execution.
+    """
     if sessions_per_condition <= 0:
         raise AttackError("need at least one session per condition")
     graph = graph or build_bandersnatch_script(
         trunk_segment_minutes=1.5, branch_segment_minutes=1.0, ending_minutes=2.0
     )
     behavior = ViewerBehavior("25-30", "female", "liberal", "happy")
+    conditions = figure2_conditions()
+    plans = [
+        SessionPlan(
+            graph=graph,
+            condition=condition,
+            behavior=behavior,
+            seed=derive_seed(seed, "figure2", condition.key, index),
+            session_id=f"figure2-{condition.fingerprint_key}-{index}",
+        )
+        for condition in conditions
+        for index in range(sessions_per_condition)
+    ]
+    sessions = BatchExecutor(workers).execute(plans)
     distributions: list[ConditionDistribution] = []
-    for condition in figure2_conditions():
+    for position, condition in enumerate(conditions):
         bins = paper_bins_for(condition.fingerprint_key)
         histogram = Histogram(bins=bins, categories=CATEGORIES)
         observed = 0
-        for index in range(sessions_per_condition):
-            session = simulate_session(
-                graph=graph,
-                condition=condition,
-                behavior=behavior,
-                seed=derive_seed(seed, "figure2", condition.key, index),
-                session_id=f"figure2-{condition.fingerprint_key}-{index}",
-            )
+        for session in sessions[
+            position * sessions_per_condition : (position + 1) * sessions_per_condition
+        ]:
             records = extract_client_records(
                 session.trace, server_ip=session.trace.server_ip
             )

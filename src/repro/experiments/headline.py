@@ -24,12 +24,13 @@ from repro.core.evaluation import (
     worst_case_accuracy,
 )
 from repro.core.pipeline import WhiteMirrorAttack
+from repro.engine.executor import BatchExecutor
+from repro.engine.plan import SessionPlan
 from repro.exceptions import AttackError
 from repro.experiments.conditions import headline_conditions
 from repro.narrative.bandersnatch import build_bandersnatch_script
 from repro.narrative.graph import StoryGraph
-from repro.streaming.session import SessionResult, simulate_session
-from repro.utils.rng import RandomSource, derive_seed
+from repro.utils.rng import derive_seed
 
 #: The number the paper reports for the worst case.
 PAPER_WORST_CASE_ACCURACY = 0.96
@@ -115,26 +116,24 @@ class HeadlineResult:
         return rows
 
 
-def _simulate_batch(
+def _batch_plans(
     graph: StoryGraph,
     condition: OperationalCondition,
     count: int,
     seed: int,
     tag: str,
-) -> list[SessionResult]:
-    sessions: list[SessionResult] = []
-    for index in range(count):
-        behavior = _BEHAVIOR_POOL[index % len(_BEHAVIOR_POOL)]
-        sessions.append(
-            simulate_session(
-                graph=graph,
-                condition=condition,
-                behavior=behavior,
-                seed=derive_seed(seed, tag, condition.key, index),
-                session_id=f"{tag}-{condition.key}-{index}",
-            )
+) -> list[SessionPlan]:
+    """Plans for one condition's sessions (seeds independent of batch order)."""
+    return [
+        SessionPlan(
+            graph=graph,
+            condition=condition,
+            behavior=_BEHAVIOR_POOL[index % len(_BEHAVIOR_POOL)],
+            seed=derive_seed(seed, tag, condition.key, index),
+            session_id=f"{tag}-{condition.key}-{index}",
         )
-    return sessions
+        for index in range(count)
+    ]
 
 
 def reproduce_headline(
@@ -143,10 +142,14 @@ def reproduce_headline(
     seed: int = 3,
     conditions: list[OperationalCondition] | None = None,
     graph: StoryGraph | None = None,
+    workers: int | None = None,
 ) -> HeadlineResult:
     """Run the Section V experiment.
 
     ``sessions_per_condition`` defaults to the paper's 10 viewing sessions.
+    The whole condition × session grid (training and test) is simulated as
+    one engine batch; ``workers`` selects serial or process-pool execution
+    and does not change the result.
     """
     if sessions_per_condition <= 0 or training_sessions_per_condition <= 0:
         raise AttackError("session counts must be positive")
@@ -155,24 +158,38 @@ def reproduce_headline(
     )
     conditions = conditions or headline_conditions()
 
-    attack = WhiteMirrorAttack(graph=graph)
-    training: list[SessionResult] = []
+    # One batch for the full grid: every condition's training sessions, then
+    # every condition's test sessions, all seeded independently of order.
+    train_plans: list[SessionPlan] = []
     for condition in conditions:
-        training.extend(
-            _simulate_batch(
+        train_plans.extend(
+            _batch_plans(
                 graph, condition, training_sessions_per_condition, seed, "headline-train"
             )
         )
+    test_plans: list[SessionPlan] = []
+    for condition in conditions:
+        test_plans.extend(
+            _batch_plans(
+                graph, condition, sessions_per_condition, seed + 1, "headline-test"
+            )
+        )
+    executor = BatchExecutor(workers)
+    sessions = executor.execute(train_plans + test_plans)
+    training = sessions[: len(train_plans)]
+    test_sessions_flat = sessions[len(train_plans) :]
+
+    attack = WhiteMirrorAttack(graph=graph)
     attack.train(training)
 
     per_condition: list[ConditionAccuracy] = []
     all_evaluations = []
     json_accuracy_by_condition: dict[str, float] = {}
     choice_accuracy_by_condition: dict[str, float] = {}
-    for condition in conditions:
-        test_sessions = _simulate_batch(
-            graph, condition, sessions_per_condition, seed + 1, "headline-test"
-        )
+    for position, condition in enumerate(conditions):
+        test_sessions = test_sessions_flat[
+            position * sessions_per_condition : (position + 1) * sessions_per_condition
+        ]
         evaluations = attack.evaluate_sessions(test_sessions)
         all_evaluations.extend(evaluations)
         json_accuracy = aggregate_json_identification_accuracy(evaluations)

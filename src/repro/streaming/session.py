@@ -18,6 +18,7 @@ paper's attack uses — record lengths, directions, ordering and coarse timing.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -119,6 +120,36 @@ class SessionResult:
     def transmitted_state_message_kinds(self) -> list[str]:
         """Kinds of the state messages that actually reached the wire."""
         return [message.kind for message in self.state_messages]
+
+    def fingerprint(self) -> str:
+        """Stable digest of everything observable in this result.
+
+        Covers every captured packet (timing, direction, sequencing, payload
+        bytes), the ground-truth path and the transmitted state messages.
+        Two results with the same fingerprint are byte-identical for every
+        purpose the attack and the experiments care about — the engine's
+        serial/parallel equivalence tests compare these instead of deep
+        structures.
+        """
+        hasher = hashlib.sha256()
+        for packet in self.trace.packets:
+            hasher.update(
+                f"{packet.timestamp!r}|{packet.direction.value}|"
+                f"{packet.sequence_number}|{packet.wire_length}|"
+                f"{int(packet.is_retransmission)}\n".encode("utf-8")
+            )
+            hasher.update(packet.payload)
+        hasher.update("|".join(self.path.segment_ids).encode("utf-8"))
+        for choice in self.path.choices:
+            hasher.update(
+                f"{choice.question_id}|{choice.selected_label}|"
+                f"{int(choice.took_default)}|{choice.decision_time_seconds!r}\n".encode("utf-8")
+            )
+        for message in self.state_messages:
+            hasher.update(
+                f"{message.kind}|{message.question_id}|{message.size_bytes}\n".encode("utf-8")
+            )
+        return hasher.hexdigest()
 
 
 class InteractiveStreamingSession:

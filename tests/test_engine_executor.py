@@ -1,0 +1,207 @@
+"""Engine contract tests: ordering, serial/parallel determinism, failure surfacing."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.classifier import MLRecordClassifier
+from repro.core.pipeline import WhiteMirrorAttack
+from repro.dataset.collection import collect_dataset
+from repro.dataset.population import generate_population
+from repro.engine import BatchExecutor, EngineError, RecordCache, SessionPlan
+from repro.exceptions import ReproError
+from repro.ml.interval import IntervalClassifier
+from repro.streaming.session import SessionConfig
+from repro.utils.rng import derive_seed
+
+
+@pytest.fixture(scope="module")
+def quick_config() -> SessionConfig:
+    return SessionConfig(cross_traffic_enabled=False)
+
+
+@pytest.fixture(scope="module")
+def engine_plans(minimal_graph, ubuntu_condition, default_behavior, quick_config):
+    """Four small, independently seeded plans over the minimal script."""
+    return [
+        SessionPlan(
+            graph=minimal_graph,
+            condition=ubuntu_condition,
+            behavior=default_behavior,
+            seed=derive_seed(77, "engine-test", index),
+            config=quick_config,
+            session_id=f"engine-{index}",
+        )
+        for index in range(4)
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results(engine_plans):
+    return BatchExecutor().execute(engine_plans)
+
+
+@pytest.fixture(scope="module")
+def parallel_results(engine_plans):
+    return BatchExecutor(workers=2).execute(engine_plans)
+
+
+class TestWorkerResolution:
+    def test_none_and_one_are_serial(self):
+        assert not BatchExecutor().parallel
+        assert not BatchExecutor(workers=1).parallel
+        assert BatchExecutor().workers == 1
+
+    def test_zero_means_all_cores(self):
+        assert BatchExecutor(workers=0).workers >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(EngineError, match="non-negative"):
+            BatchExecutor(workers=-2)
+
+    def test_engine_error_is_repro_error(self):
+        assert issubclass(EngineError, ReproError)
+
+
+class TestPlanOrderPreservation:
+    def test_parallel_results_in_plan_order(self, engine_plans, parallel_results):
+        assert [result.session_id for result in parallel_results] == [
+            plan.session_id for plan in engine_plans
+        ]
+
+    def test_progress_reaches_total(self, engine_plans):
+        seen: list[tuple[int, int]] = []
+        BatchExecutor(workers=2).execute(
+            engine_plans, progress=lambda done, total: seen.append((done, total))
+        )
+        assert seen[-1] == (len(engine_plans), len(engine_plans))
+        assert [done for done, _total in seen] == sorted(done for done, _total in seen)
+
+
+class TestSerialParallelDeterminism:
+    def test_results_byte_identical(self, serial_results, parallel_results):
+        assert [r.fingerprint() for r in serial_results] == [
+            r.fingerprint() for r in parallel_results
+        ]
+        assert serial_results == parallel_results
+
+    def test_plan_matches_direct_simulation(self, engine_plans, serial_results):
+        # A plan executed anywhere reproduces simulate_session exactly.
+        assert engine_plans[0].execute().fingerprint() == serial_results[0].fingerprint()
+
+    def test_headline_parallel_matches_serial(
+        self, minimal_graph, ubuntu_condition, windows_condition
+    ):
+        from repro.experiments.headline import reproduce_headline
+
+        kwargs = dict(
+            sessions_per_condition=1,
+            training_sessions_per_condition=1,
+            conditions=[ubuntu_condition, windows_condition],
+            graph=minimal_graph,
+        )
+        serial = reproduce_headline(**kwargs)
+        parallel = reproduce_headline(workers=2, **kwargs)
+        assert serial == parallel
+
+    def test_collect_dataset_parallel_matches_serial(self):
+        viewers = generate_population(3, seed=5)
+        serial = collect_dataset(viewers, dataset_seed=5)
+        parallel = collect_dataset(viewers, dataset_seed=5, workers=2)
+        assert [p.session.fingerprint() for p in serial] == [
+            p.session.fingerprint() for p in parallel
+        ]
+        assert serial == parallel
+
+
+class TestFailureSurfacing:
+    def test_worker_failure_raises_engine_error(
+        self, engine_plans, minimal_graph, ubuntu_condition, default_behavior, quick_config
+    ):
+        # A negative seed is rejected inside the worker; the batch must fail
+        # with one clear engine error naming the plan, not hang.
+        bad = SessionPlan(
+            graph=minimal_graph,
+            condition=ubuntu_condition,
+            behavior=default_behavior,
+            seed=-1,
+            config=quick_config,
+            session_id="bad-plan",
+        )
+        with pytest.raises(EngineError, match="bad-plan"):
+            BatchExecutor(workers=2).execute(engine_plans[:1] + [bad])
+
+    def test_serial_failure_raises_engine_error(
+        self, minimal_graph, ubuntu_condition, default_behavior, quick_config
+    ):
+        bad = SessionPlan(
+            graph=minimal_graph,
+            condition=ubuntu_condition,
+            behavior=default_behavior,
+            seed=-1,
+            config=quick_config,
+            session_id="bad-serial",
+        )
+        with pytest.raises(EngineError, match="bad-serial"):
+            BatchExecutor().execute([bad])
+
+    def test_map_wraps_function_errors(self):
+        with pytest.raises(EngineError, match="item 0"):
+            BatchExecutor().map(_always_fails, [1, 2, 3])
+
+
+class TestRecordCache:
+    def test_one_extraction_serves_train_and_ml_train(self, minimal_graph, serial_results):
+        attack = WhiteMirrorAttack(graph=minimal_graph)
+        attack.train(serial_results)
+        attack.train_ml_classifier(
+            serial_results, MLRecordClassifier(IntervalClassifier(margin=8))
+        )
+        stats = attack.record_cache.stats
+        assert stats.misses == len(serial_results)
+        assert stats.hits >= len(serial_results)
+
+    def test_attack_reuses_training_extraction(self, minimal_graph, serial_results):
+        attack = WhiteMirrorAttack(graph=minimal_graph)
+        attack.train(serial_results)
+        attack.attack_session(serial_results[0])
+        assert attack.record_cache.stats.misses == len(serial_results)
+
+    def test_shared_cache_across_attacks(self, minimal_graph, serial_results):
+        cache = RecordCache()
+        first = WhiteMirrorAttack(graph=minimal_graph, record_cache=cache)
+        second = WhiteMirrorAttack(graph=minimal_graph, record_cache=cache)
+        first.train(serial_results)
+        second.train(serial_results)
+        assert cache.stats.misses == len(serial_results)
+        assert cache.stats.hits == len(serial_results)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_cache_pickles_empty(self, serial_results):
+        cache = RecordCache()
+        cache.records_for(serial_results[0].trace, server_ip=serial_results[0].trace.server_ip)
+        restored = pickle.loads(pickle.dumps(cache))
+        assert len(restored) == 0
+        assert restored.stats.misses == 1
+
+    def test_evaluate_sessions_parallel_matches_serial(self, minimal_graph, serial_results):
+        attack = WhiteMirrorAttack(graph=minimal_graph)
+        attack.train(serial_results)
+        serial = attack.evaluate_sessions(serial_results)
+        parallel = attack.evaluate_sessions(serial_results, parallel=True, workers=2)
+        assert serial == parallel
+        # An explicit worker count enables the pool without the flag.
+        assert attack.evaluate_sessions(serial_results, workers=2) == serial
+
+    def test_attack_batch_parallel_matches_serial(self, minimal_graph, serial_results):
+        attack = WhiteMirrorAttack(graph=minimal_graph)
+        attack.train(serial_results)
+        serial = attack.attack_batch(serial_results)
+        parallel = attack.attack_batch(serial_results, workers=2)
+        assert serial == parallel
+
+
+def _always_fails(_item: int) -> None:
+    raise ValueError("synthetic failure")
