@@ -1,0 +1,104 @@
+"""Shard scaling benchmark: streaming generation in O(shard) memory.
+
+Generates the same population through the in-memory path
+(:meth:`IITMBandersnatchDataset.generate`, which materialises every session)
+and through sharded streaming generation
+(:func:`repro.dataset.shards.generate_sharded_dataset`, which persists each
+data point as the engine completes it), measuring the peak Python-heap
+allocation of each with ``tracemalloc``.
+
+Two properties are asserted on every run:
+
+* correctness — the sharded run writes byte-identical per-viewer pcaps and
+  an identical merged summary to the in-memory dataset saved directly;
+* memory — doubling the population roughly doubles the in-memory path's
+  peak, while the streaming path's peak stays bounded by the (fixed) shard
+  size rather than the population.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.dataset.iitm import IITMBandersnatchDataset
+from repro.dataset.shards import generate_sharded_dataset
+from repro.streaming.session import SessionConfig
+
+from conftest import run_once
+
+SEED = 33
+SHARD_SIZE = 2
+SMALL_POPULATION = 4
+LARGE_POPULATION = 8
+CONFIG = SessionConfig(cross_traffic_enabled=False)
+
+
+def _peak_bytes(function, *args, **kwargs) -> tuple[int, object]:
+    """Run ``function`` and return (peak traced allocation, result)."""
+    tracemalloc.start()
+    try:
+        result = function(*args, **kwargs)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, result
+
+
+def _generate_in_memory(viewer_count: int) -> IITMBandersnatchDataset:
+    return IITMBandersnatchDataset.generate(
+        viewer_count=viewer_count, seed=SEED, config=CONFIG
+    )
+
+
+def _generate_sharded(directory, viewer_count: int):
+    return generate_sharded_dataset(
+        directory,
+        viewer_count=viewer_count,
+        shard_count=viewer_count // SHARD_SIZE,
+        seed=SEED,
+        config=CONFIG,
+    )
+
+
+def test_streaming_peak_memory_bounded_by_shard(benchmark, tmp_path):
+    in_memory_small_peak, _ = _peak_bytes(_generate_in_memory, SMALL_POPULATION)
+    in_memory_large_peak, reference = _peak_bytes(_generate_in_memory, LARGE_POPULATION)
+    streaming_small_peak, _ = _peak_bytes(
+        _generate_sharded, tmp_path / "small", SMALL_POPULATION
+    )
+    streaming_large_peak, sharded = run_once(
+        benchmark, _peak_bytes, _generate_sharded, tmp_path / "large", LARGE_POPULATION
+    )
+
+    # Correctness: sharded + streaming generation reproduces the in-memory
+    # dataset byte for byte.
+    reference_dir = tmp_path / "reference"
+    reference.save(reference_dir)
+    assert sharded.summary() == reference.summary()
+    shard_pcaps = {
+        pcap.name: pcap
+        for shard_dir in sharded.shard_directories()
+        for pcap in (shard_dir / "traces").glob("*.pcap")
+    }
+    reference_pcaps = sorted((reference_dir / "traces").glob("*.pcap"))
+    assert len(reference_pcaps) == LARGE_POPULATION == len(shard_pcaps)
+    for pcap in reference_pcaps:
+        assert pcap.read_bytes() == shard_pcaps[pcap.name].read_bytes()
+
+    in_memory_growth = in_memory_large_peak / in_memory_small_peak
+    streaming_growth = streaming_large_peak / streaming_small_peak
+    print(
+        f"\npeak heap, {SMALL_POPULATION} -> {LARGE_POPULATION} viewers "
+        f"(shard size {SHARD_SIZE}):\n"
+        f"  in-memory: {in_memory_small_peak / 1e6:.1f} MB -> "
+        f"{in_memory_large_peak / 1e6:.1f} MB ({in_memory_growth:.2f}x)\n"
+        f"  streaming: {streaming_small_peak / 1e6:.1f} MB -> "
+        f"{streaming_large_peak / 1e6:.1f} MB ({streaming_growth:.2f}x)"
+    )
+
+    # Memory: the streaming path's peak is set by the shard, not the
+    # population — doubling the population must not double it — and it
+    # undercuts materialising the whole population.
+    assert streaming_large_peak < in_memory_large_peak
+    assert streaming_growth < 1.5
+    assert streaming_growth < in_memory_growth

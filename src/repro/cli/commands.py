@@ -5,50 +5,77 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
+from repro.client.profiles import OperationalCondition
 from repro.core.features import extract_client_records
 from repro.core.fingerprint import FingerprintLibrary
-from repro.core.inference import infer_choices
-from repro.core.pipeline import WhiteMirrorAttack
-from repro.dataset.collection import default_study_script
-from repro.dataset.format import load_dataset_metadata
-from repro.dataset.iitm import IITMBandersnatchDataset
-from repro.exceptions import ReproError
+from repro.core.pipeline import AttackResult, PcapAttackTask, WhiteMirrorAttack
+from repro.dataset.collection import collect_dataset, default_study_script
+from repro.dataset.format import METADATA_FILENAME, load_dataset_metadata
+from repro.dataset.iitm import DatasetSummary, IITMBandersnatchDataset
+from repro.dataset.population import Viewer
+from repro.dataset.shards import generate_sharded_dataset
+from repro.exceptions import DatasetError, ReproError
 from repro.experiments.report import format_table
 from repro.net.capture import CapturedTrace
 from repro.net.packet import Direction
 from repro.streaming.session import SessionConfig
 from repro.utils.stats import summarize
 
+#: Viewer address assumed when neither the flags nor dataset metadata name one.
+DEFAULT_CLIENT_IP = "192.168.1.23"
 
-def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
-    """``repro generate-dataset``: build and persist a synthetic dataset."""
-    config = SessionConfig(cross_traffic_enabled=not arguments.no_cross_traffic)
-    print(f"generating {arguments.viewers} viewers (seed {arguments.seed})...")
-    dataset = IITMBandersnatchDataset.generate(
-        viewer_count=arguments.viewers,
-        seed=arguments.seed,
-        config=config,
-        progress=lambda done, total: print(f"  {done}/{total} sessions", end="\r"),
-        workers=arguments.workers,
-    )
-    print()
-    metadata_path = dataset.save(arguments.output, write_pcaps=not arguments.no_pcaps)
-    summary = dataset.summary()
-    print(f"wrote {metadata_path}")
+
+def _print_summary(summary: DatasetSummary) -> None:
     print(
         f"viewers={summary.viewer_count} conditions={summary.distinct_conditions} "
         f"choices={summary.total_choices} packets={summary.total_packets}"
     )
+
+
+def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
+    """``repro generate-dataset``: build and persist a synthetic dataset.
+
+    Generation always streams: each viewer's session is persisted as the
+    engine completes it, so peak memory is bounded by the in-flight window
+    (and, with ``--shards``, per-shard state) rather than the population.
+    """
+    config = SessionConfig(cross_traffic_enabled=not arguments.no_cross_traffic)
+    progress = lambda done, total: print(f"  {done}/{total} sessions", end="\r")  # noqa: E731
+    if arguments.shards is not None:
+        print(
+            f"generating {arguments.viewers} viewers (seed {arguments.seed}) "
+            f"across {arguments.shards} shards..."
+        )
+        dataset = generate_sharded_dataset(
+            arguments.output,
+            viewer_count=arguments.viewers,
+            shard_count=arguments.shards,
+            seed=arguments.seed,
+            config=config,
+            workers=arguments.workers,
+            write_pcaps=not arguments.no_pcaps,
+            progress=progress,
+        )
+        print()
+        for shard in dataset.shard_summaries:
+            print(f"  {shard.directory}: viewers={shard.viewer_count}")
+        print(f"wrote {dataset.manifest_path}")
+        _print_summary(dataset.summary())
+        return 0
+    print(f"generating {arguments.viewers} viewers (seed {arguments.seed})...")
+    metadata_path, summary = IITMBandersnatchDataset.generate_streaming(
+        arguments.output,
+        viewer_count=arguments.viewers,
+        seed=arguments.seed,
+        config=config,
+        progress=progress,
+        workers=arguments.workers,
+        write_pcaps=not arguments.no_pcaps,
+    )
+    print()
+    print(f"wrote {metadata_path}")
+    _print_summary(summary)
     return 0
-
-
-def _split_dataset_entries(metadata: dict, train_fraction: float) -> tuple[list[dict], list[dict]]:
-    entries = list(metadata["entries"])
-    if not 0.0 < train_fraction < 1.0:
-        raise ReproError("train fraction must be in (0, 1)")
-    split_point = max(1, int(round(len(entries) * train_fraction)))
-    split_point = min(split_point, len(entries) - 1) if len(entries) > 1 else 1
-    return entries[:split_point], entries[split_point:]
 
 
 def cmd_train(arguments: argparse.Namespace) -> int:
@@ -58,16 +85,27 @@ def cmd_train(arguments: argparse.Namespace) -> int:
     design), so training re-simulates the calibration viewers' sessions from
     the dataset metadata — exactly what the researcher who generated the
     dataset can do, and what a real attacker does by recording their own
-    sessions.
+    sessions.  The viewers are rebuilt from the metadata entries, so any
+    saved dataset directory works, including a single shard of a sharded
+    population.
     """
+    if not 0.0 < arguments.train_fraction < 1.0:
+        raise ReproError(
+            f"--train-fraction must be in (0, 1), got {arguments.train_fraction}"
+        )
     directory = Path(arguments.dataset)
     metadata = load_dataset_metadata(directory)
-    dataset = IITMBandersnatchDataset.generate(
-        viewer_count=int(metadata["viewer_count"]),
-        seed=_dataset_seed_from_metadata(metadata),
+    seed = _dataset_seed_from_metadata(metadata)
+    graph = default_study_script()
+    viewers = [Viewer.from_dict(entry["viewer"]) for entry in metadata["entries"]]
+    points = collect_dataset(
+        viewers,
+        dataset_seed=seed,
+        graph=graph,
         config=SessionConfig(cross_traffic_enabled=True),
         workers=getattr(arguments, "workers", None),
     )
+    dataset = IITMBandersnatchDataset(points=points, graph=graph, seed=seed)
     train_points, _ = dataset.train_test_split(test_fraction=1.0 - arguments.train_fraction)
     attack = WhiteMirrorAttack(graph=dataset.graph, band_margin=arguments.margin)
     attack.train([point.session for point in train_points])
@@ -97,41 +135,167 @@ def _dataset_seed_from_metadata(metadata: dict) -> int:
     return int(metadata["seed"])
 
 
-def cmd_attack(arguments: argparse.Namespace) -> int:
-    """``repro attack``: recover choices from a single pcap."""
-    library = FingerprintLibrary.load(arguments.fingerprints)
-    trace = CapturedTrace.from_pcap(
-        arguments.pcap,
-        client_ip=arguments.client_ip,
-        server_ip=arguments.server_ip or "0.0.0.0",
-    )
-    records = extract_client_records(trace, server_ip=arguments.server_ip)
-    fingerprint = library.get(arguments.environment)
-    labels = fingerprint.classify(records)
-    inferred = infer_choices(records, labels)
-    graph = default_study_script()
-    rows = []
-    for event in inferred.events:
-        rows.append(
-            {
-                "question": event.index + 1,
-                "shown_at_s": round(event.question_shown_at, 2),
-                "choice": "default" if event.took_default else "NON-DEFAULT",
-            }
-        )
-    print(format_table(rows, f"Recovered choices ({arguments.environment})"))
-    if inferred.choice_count:
-        from repro.core.inference import reconstruct_path
-        from repro.core.profiling import profile_from_path
+def _metadata_entries_near(directory: Path) -> dict[str, dict]:
+    """Dataset metadata entries keyed by pcap filename, if a dataset is near.
 
-        path = reconstruct_path(graph, inferred)
-        profile = profile_from_path(path)
-        trait_rows = [
-            {"trait": trait, "revealed_value": label}
-            for trait, label in profile.as_dict().items()
-        ]
+    Looks for ``metadata.json`` in ``directory`` and its parent, covering
+    both a dataset directory itself and its ``traces/`` subdirectory.  A
+    capture with an entry inherits its recorded addresses, environment and
+    ground truth; captures without one fall back to the CLI flags.
+    """
+    for candidate in (directory, directory.parent):
+        if not (candidate / METADATA_FILENAME).exists():
+            continue
+        try:
+            metadata = load_dataset_metadata(candidate)
+        except DatasetError:
+            continue
+        return {
+            Path(str(entry["trace_file"])).name: entry
+            for entry in metadata["entries"]
+            if "trace_file" in entry
+        }
+    return {}
+
+
+def _entry_environment(entry: dict | None) -> str | None:
+    if entry is None:
+        return None
+    condition = OperationalCondition.from_dict(entry["viewer"]["condition"])
+    return condition.fingerprint_key
+
+
+def _entry_truth(entry: dict | None) -> tuple[bool, ...] | None:
+    if entry is None:
+        return None
+    return tuple(bool(choice["took_default"]) for choice in entry["choices"])
+
+
+def _build_task(
+    pcap: Path, entry: dict | None, arguments: argparse.Namespace
+) -> PcapAttackTask:
+    environment = arguments.environment or _entry_environment(entry)
+    if environment is None:
+        raise ReproError(
+            f"cannot determine the environment of {pcap}: pass --environment "
+            "or attack captures that sit next to their dataset metadata.json"
+        )
+    client_ip = arguments.client_ip or (entry or {}).get("client_ip") or DEFAULT_CLIENT_IP
+    server_ip = arguments.server_ip or (entry or {}).get("server_ip")
+    return PcapAttackTask(
+        path=str(pcap),
+        condition_key=environment,
+        client_ip=str(client_ip),
+        server_ip=str(server_ip) if server_ip is not None else None,
+    )
+
+
+def _choice_rows(result: AttackResult) -> list[dict[str, object]]:
+    return [
+        {
+            "question": event.index + 1,
+            "shown_at_s": round(event.question_shown_at, 2),
+            "choice": "default" if event.took_default else "NON-DEFAULT",
+        }
+        for event in result.inferred.events
+    ]
+
+
+def _print_profile(result: AttackResult) -> None:
+    if result.profile is None:
+        return
+    trait_rows = [
+        {"trait": trait, "revealed_value": label}
+        for trait, label in result.profile.as_dict().items()
+    ]
+    print()
+    print(format_table(trait_rows, "Behavioural profile implied by the recovered path"))
+
+
+def cmd_attack(arguments: argparse.Namespace) -> int:
+    """``repro attack``: recover choices from a pcap or a directory of pcaps."""
+    target = Path(arguments.pcap)
+    if target.is_dir():
+        return _attack_directory(arguments, target)
+    return _attack_single(arguments, target)
+
+
+def _attack_single(arguments: argparse.Namespace, target: Path) -> int:
+    entry = _metadata_entries_near(target.parent).get(target.name)
+    task = _build_task(target, entry, arguments)
+    library = FingerprintLibrary.load(arguments.fingerprints)
+    attack = WhiteMirrorAttack(graph=default_study_script(), library=library)
+    result = attack.attack_pcap(
+        task.path,
+        condition_key=task.condition_key,
+        client_ip=task.client_ip,
+        server_ip=task.server_ip,
+    )
+    print(format_table(_choice_rows(result), f"Recovered choices ({task.condition_key})"))
+    _print_profile(result)
+    return 0
+
+
+def _attack_directory(arguments: argparse.Namespace, target: Path) -> int:
+    pcaps = sorted(target.glob("*.pcap"))
+    if not pcaps and (target / "traces").is_dir():
+        # A dataset directory was given; its captures live one level down.
+        target = target / "traces"
+        pcaps = sorted(target.glob("*.pcap"))
+    if not pcaps:
+        raise ReproError(f"no .pcap files found under {target}")
+    entries = _metadata_entries_near(target)
+    library = FingerprintLibrary.load(arguments.fingerprints)
+    tasks: list[PcapAttackTask] = []
+    truths: list[tuple[bool, ...] | None] = []
+    skipped: list[str] = []
+    for pcap in pcaps:
+        entry = entries.get(pcap.name)
+        task = _build_task(pcap, entry, arguments)
+        if task.condition_key not in library:
+            skipped.append(f"{pcap.name} ({task.condition_key})")
+            continue
+        tasks.append(task)
+        truths.append(_entry_truth(entry))
+    for name in skipped:
+        print(f"skipping {name}: environment not in the fingerprint library")
+    if not tasks:
+        raise ReproError(
+            "no attackable captures: none of the environments are in the "
+            "fingerprint library"
+        )
+    attack = WhiteMirrorAttack(graph=default_study_script(), library=library)
+    recovered_choices = 0
+    correct_questions = 0
+    truth_questions = 0
+    workers = getattr(arguments, "workers", None)
+    for task, truth, result in zip(
+        tasks, truths, attack.iter_attack_pcaps(tasks, workers=workers)
+    ):
+        title = f"Recovered choices — {Path(task.path).name} ({task.condition_key})"
+        print(format_table(_choice_rows(result), title))
         print()
-        print(format_table(trait_rows, "Behavioural profile implied by the recovered path"))
+        recovered_choices += result.inferred.choice_count
+        if truth is not None:
+            pattern = result.recovered_pattern
+            correct_questions += sum(
+                1 for index, expected in enumerate(truth)
+                if index < len(pattern) and pattern[index] == expected
+            )
+            truth_questions += len(truth)
+    aggregate = (
+        f"aggregate: attacked {len(tasks)}/{len(pcaps)} captures, "
+        f"recovered {recovered_choices} choices"
+    )
+    if truth_questions:
+        accuracy = correct_questions / truth_questions
+        aggregate += (
+            f", choice accuracy {correct_questions}/{truth_questions} "
+            f"({accuracy:.1%})"
+        )
+    else:
+        aggregate += " (no ground truth available)"
+    print(aggregate)
     return 0
 
 

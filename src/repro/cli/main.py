@@ -47,6 +47,16 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--no-cross-traffic", action="store_true", help="disable background cross traffic"
     )
+    generate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "split the population into N on-disk shards (shard-000/, ...), "
+            "generated one at a time with bounded memory; omit for a single "
+            "dataset directory"
+        ),
+    )
     add_workers_argument(generate)
     generate.set_defaults(handler=commands.cmd_generate_dataset)
 
@@ -68,17 +78,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     attack = subparsers.add_parser(
         "attack",
-        help="run the attack on a pcap file using a fingerprint library",
+        help="run the attack on a pcap (or a directory of pcaps) using a fingerprint library",
     )
-    attack.add_argument("pcap", help="capture file of the victim session")
+    attack.add_argument(
+        "pcap",
+        help=(
+            "capture file of the victim session, or a directory of .pcap "
+            "files (e.g. a dataset's traces/ directory) to attack in batch"
+        ),
+    )
     attack.add_argument("fingerprints", help="fingerprint library JSON written by 'train'")
     attack.add_argument(
         "--environment",
-        required=True,
-        help="victim environment key, e.g. linux/firefox",
+        default=None,
+        help=(
+            "victim environment key, e.g. linux/firefox; optional when the "
+            "captures sit next to their dataset metadata.json, which records "
+            "each viewer's environment"
+        ),
     )
-    attack.add_argument("--client-ip", default="192.168.1.23", help="viewer's IP in the capture")
-    attack.add_argument("--server-ip", default=None, help="streaming server IP (default: largest flow)")
+    attack.add_argument(
+        "--client-ip",
+        default=None,
+        help=f"viewer's IP in the capture (default: from metadata, else {commands.DEFAULT_CLIENT_IP})",
+    )
+    attack.add_argument(
+        "--server-ip",
+        default=None,
+        help="streaming server IP (default: from metadata, else the largest flow)",
+    )
+    add_workers_argument(attack)
     attack.set_defaults(handler=commands.cmd_attack)
 
     reproduce = subparsers.add_parser(

@@ -17,13 +17,14 @@ evaluation can fan out over the engine's process pool
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
-from typing import Iterable, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.classifier import MLRecordClassifier, RecordTypeClassifier
 from repro.core.evaluation import AttackEvaluation, evaluate_attack_result
-from repro.core.features import ClientRecord
+from repro.core.features import ClientRecord, select_streaming_flow
 from repro.core.fingerprint import FingerprintLibrary
 from repro.core.inference import InferredChoices, infer_choices, reconstruct_path
 from repro.core.profiling import BehavioralProfile, profile_from_path
@@ -60,6 +61,54 @@ class AttackResult:
             inferred=self.inferred,
             ground_truth_path=result.path,
         )
+
+
+def load_attack_trace(
+    path: str | Path, client_ip: str, server_ip: str | None = None
+) -> CapturedTrace:
+    """Parse a victim pcap, resolving the streaming server address **once**.
+
+    When the observer does not know the server address, the streaming
+    connection is identified by the largest-downlink-flow heuristic and the
+    trace's ``server_ip`` is set to that flow's server — so every later stage
+    (record extraction, caching, reporting) sees the same resolved address
+    instead of each re-deciding which flow is the streaming flow.
+    """
+    trace = CapturedTrace.from_pcap(
+        path, client_ip=client_ip, server_ip=server_ip or "0.0.0.0"
+    )
+    if server_ip is None:
+        flow = select_streaming_flow(trace)
+        trace = replace(trace, server_ip=flow.five_tuple.server.ip)
+    return trace
+
+
+@dataclass(frozen=True)
+class PcapAttackTask:
+    """One capture file to attack: where it is and how to read it."""
+
+    path: str
+    condition_key: str
+    client_ip: str
+    server_ip: str | None = None
+
+    def describe(self) -> str:
+        """Short identity used in engine error messages."""
+        return f"{Path(self.path).name} ({self.condition_key})"
+
+
+def _attack_pcap_task(attack: "WhiteMirrorAttack", task: PcapAttackTask) -> AttackResult:
+    """Module-level worker task for parallel pcap attacks (must be picklable)."""
+    return attack.attack_pcap(
+        task.path,
+        condition_key=task.condition_key,
+        client_ip=task.client_ip,
+        server_ip=task.server_ip,
+    )
+
+
+def _describe_pcap_task(task: PcapAttackTask) -> str:
+    return task.describe()
 
 
 def _attack_chunk(
@@ -113,6 +162,11 @@ class WhiteMirrorAttack:
         instances (or experiment code that also inspects records) reuse each
         other's per-trace extraction work; by default each attack carries
         its own.
+    library:
+        Optional pre-trained fingerprint library (e.g. loaded from the JSON
+        the CLI's ``train`` command writes).  When supplied the attack is
+        ready to use without calling :meth:`train`; further training adds to
+        the given library in place.
     """
 
     def __init__(
@@ -120,12 +174,13 @@ class WhiteMirrorAttack:
         graph: StoryGraph | None = None,
         band_margin: int = 8,
         record_cache: RecordCache | None = None,
+        library: FingerprintLibrary | None = None,
     ) -> None:
         if band_margin < 0:
             raise AttackError("band margin must be non-negative")
         self._graph = graph
         self._margin = band_margin
-        self._library = FingerprintLibrary()
+        self._library = library if library is not None else FingerprintLibrary()
         self._records = record_cache if record_cache is not None else RecordCache()
 
     # -- training ------------------------------------------------------------
@@ -217,6 +272,57 @@ class WhiteMirrorAttack:
             session.trace,
             condition_key=session.condition.fingerprint_key,
             server_ip=session.trace.server_ip,
+        )
+
+    def attack_pcap(
+        self,
+        path: str | Path,
+        condition_key: str,
+        client_ip: str,
+        server_ip: str | None = None,
+    ) -> AttackResult:
+        """Run the full attack on one capture file.
+
+        The trace is parsed through :func:`load_attack_trace`, so the
+        streaming flow is resolved once and the same server address feeds
+        both the capture metadata and record extraction.
+        """
+        trace = load_attack_trace(path, client_ip=client_ip, server_ip=server_ip)
+        return self.attack_trace(
+            trace, condition_key=condition_key, server_ip=trace.server_ip
+        )
+
+    def iter_attack_pcaps(
+        self,
+        tasks: Sequence[PcapAttackTask],
+        workers: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> Iterator[AttackResult]:
+        """Attack a batch of capture files, yielding results in task order.
+
+        Fans record extraction + classification out through the engine's
+        streaming :meth:`repro.engine.BatchExecutor.imap` path: with
+        ``workers > 1`` each pcap is parsed and attacked in a worker process,
+        and results stream back as their input slot completes, so a directory
+        of thousands of captures never materialises in memory.  Serial and
+        parallel iteration yield identical results.
+
+        Unlike :meth:`attack_batch` (whose payloads are whole in-memory
+        traces, hence its one-chunk-per-worker shipping), a pcap task is
+        just a path: the attack state pickled with each submission is a few
+        KB against the hundreds of KB of capture parsing it buys, so
+        per-task submission — and with it per-capture streaming granularity
+        — is the better trade here.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            raise AttackError("no capture files to attack")
+        executor = BatchExecutor(workers)
+        yield from executor.imap(
+            partial(_attack_pcap_task, self),
+            tasks,
+            progress=progress,
+            label=_describe_pcap_task,
         )
 
     def attack_batch(

@@ -7,6 +7,12 @@ offline, so this package generates the synthetic equivalent: a viewer
 population spanning the same attribute grid, one simulated viewing session
 per viewer, ground-truth choices recorded alongside, and (optionally) each
 trace persisted as a pcap file next to a JSON metadata index.
+
+Populations beyond memory scale go through the streaming and sharding
+layers: :func:`iter_collect_dataset` yields points as the engine completes
+them, :class:`DatasetWriter` persists them one at a time, and
+:mod:`repro.dataset.shards` splits a population into independent on-disk
+shard directories whose summaries merge back into one population summary.
 """
 
 from repro.dataset.attributes import (
@@ -15,10 +21,36 @@ from repro.dataset.attributes import (
     table1_rows,
 )
 from repro.dataset.population import Viewer, generate_population
-from repro.dataset.collection import DataPoint, collect_datapoint, collect_dataset
-from repro.dataset.format import load_dataset_metadata, save_dataset_metadata
-from repro.dataset.loader import LoadedDataPoint, LoadedDataset, load_released_dataset
-from repro.dataset.iitm import DatasetSummary, IITMBandersnatchDataset
+from repro.dataset.collection import (
+    DataPoint,
+    collect_datapoint,
+    collect_dataset,
+    iter_collect_dataset,
+)
+from repro.dataset.format import (
+    DatasetWriter,
+    load_dataset_metadata,
+    save_dataset_metadata,
+)
+from repro.dataset.loader import (
+    LoadedDataPoint,
+    LoadedDataset,
+    iter_released_points,
+    load_released_dataset,
+)
+from repro.dataset.iitm import (
+    DatasetSummary,
+    IITMBandersnatchDataset,
+    SummaryAccumulator,
+)
+from repro.dataset.shards import (
+    ShardedDataset,
+    ShardSlice,
+    ShardSummary,
+    generate_sharded_dataset,
+    merge_shard_summaries,
+    plan_shards,
+)
 
 __all__ = [
     "BEHAVIORAL_ATTRIBUTES",
@@ -29,11 +61,21 @@ __all__ = [
     "DataPoint",
     "collect_datapoint",
     "collect_dataset",
+    "iter_collect_dataset",
+    "DatasetWriter",
     "load_dataset_metadata",
     "save_dataset_metadata",
     "LoadedDataPoint",
     "LoadedDataset",
+    "iter_released_points",
     "load_released_dataset",
     "DatasetSummary",
     "IITMBandersnatchDataset",
+    "SummaryAccumulator",
+    "ShardedDataset",
+    "ShardSlice",
+    "ShardSummary",
+    "generate_sharded_dataset",
+    "merge_shard_summaries",
+    "plan_shards",
 ]

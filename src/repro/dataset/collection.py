@@ -10,7 +10,7 @@ process-pool execution; both produce byte-identical data points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.dataset.population import Viewer
 from repro.engine.executor import BatchExecutor
@@ -173,3 +173,32 @@ def collect_dataset(
         DataPoint(viewer=viewer, session=session)
         for viewer, session in zip(viewers, sessions)
     ]
+
+
+def iter_collect_dataset(
+    viewers: Sequence[Viewer],
+    dataset_seed: int = 0,
+    graph: StoryGraph | None = None,
+    config: SessionConfig | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    workers: int | None = None,
+    executor: BatchExecutor | None = None,
+    window: int | None = None,
+) -> Iterator[DataPoint]:
+    """Streaming variant of :func:`collect_dataset`.
+
+    Yields data points one at a time, in viewer order, through
+    :meth:`repro.engine.BatchExecutor.iexecute`: at most a bounded window of
+    sessions is in flight (or, on the serial path, exactly one), so peak
+    memory is independent of the population size.  Every session is seeded
+    via :func:`repro.utils.rng.derive_seed` from the dataset seed and the
+    viewer id, so the yielded points are byte-identical to the ones
+    :func:`collect_dataset` returns for the same arguments.
+    """
+    plans = build_collection_plans(
+        viewers, dataset_seed=dataset_seed, graph=graph, config=config
+    )
+    executor = executor or BatchExecutor(workers)
+    sessions = executor.iexecute(plans, progress=progress, window=window)
+    for viewer, session in zip(viewers, sessions):
+        yield DataPoint(viewer=viewer, session=session)

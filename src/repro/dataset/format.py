@@ -12,6 +12,34 @@ A saved dataset is a directory::
 The metadata deliberately never contains the record-length features — they
 must be re-derived from the pcaps, keeping the saved artefact equivalent to
 what a real study would release.
+
+Large populations are persisted **sharded**: the population is split into
+deterministic contiguous slices (see :mod:`repro.dataset.shards`) and each
+slice is saved as an independent dataset directory in exactly the layout
+above, side by side under one root with a manifest describing the split::
+
+    dataset/
+      shards.json          # manifest: seed, shard count, per-shard summaries
+      shard-000/
+        metadata.json      # a complete, self-contained dataset index
+        traces/
+          viewer-000.pcap
+          ...
+      shard-001/
+        metadata.json
+        traces/
+          viewer-004.pcap
+          ...
+
+Every shard is a valid standalone dataset (``repro train`` and ``repro
+attack`` work on a single shard directory), and because session seeds derive
+from the dataset seed and the viewer id alone, the pcaps inside a shard are
+byte-identical to the ones an unsharded save of the same population writes.
+
+Writing happens incrementally through :class:`DatasetWriter`, which persists
+one data point at a time (the streaming generation path hands points over as
+the engine completes them), accumulating only the small JSON entries in
+memory; :func:`save_dataset_metadata` is the one-shot wrapper over it.
 """
 
 from __future__ import annotations
@@ -28,6 +56,97 @@ TRACES_DIRNAME = "traces"
 FORMAT_VERSION = 1
 
 
+class DatasetWriter:
+    """Incremental dataset writer: persist data points as they arrive.
+
+    Streams a dataset to disk one :class:`DataPoint` at a time — each call
+    to :meth:`add` writes the point's pcap immediately (when ``write_pcaps``
+    is on) and keeps only its JSON metadata entry in memory, so writing an
+    ``n``-viewer dataset needs O(1) session objects alive rather than O(n).
+    :meth:`close` (or exiting the context manager without an error) writes
+    ``metadata.json``; the resulting directory is byte-identical to what
+    :func:`save_dataset_metadata` produces for the same points.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        dataset_name: str = "iitm-bandersnatch-synthetic",
+        write_pcaps: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._traces_dir = self._directory / TRACES_DIRNAME
+        self._dataset_name = dataset_name
+        self._write_pcaps = write_pcaps
+        self._seed = seed
+        self._entries: list[dict[str, object]] = []
+        self._closed = False
+
+    @property
+    def directory(self) -> Path:
+        """The dataset directory being written."""
+        return self._directory
+
+    @property
+    def metadata_path(self) -> Path:
+        """Where ``metadata.json`` lives (written on :meth:`close`)."""
+        return self._directory / METADATA_FILENAME
+
+    @property
+    def entry_count(self) -> int:
+        """Data points persisted so far."""
+        return len(self._entries)
+
+    def add(self, point: DataPoint) -> dict[str, object]:
+        """Persist one data point; returns its metadata entry."""
+        if self._closed:
+            raise DatasetError("dataset writer is already closed")
+        entry = point.metadata()
+        if self._write_pcaps:
+            self._traces_dir.mkdir(parents=True, exist_ok=True)
+            pcap_path = self._traces_dir / f"{point.viewer.viewer_id}.pcap"
+            point.session.trace.to_pcap(pcap_path)
+            entry["trace_file"] = str(pcap_path.relative_to(self._directory))
+            entry["client_ip"] = point.session.trace.client_ip
+            entry["server_ip"] = point.session.trace.server_ip
+        self._entries.append(entry)
+        return entry
+
+    def close(self) -> Path:
+        """Write ``metadata.json`` and seal the writer; returns its path.
+
+        Idempotent: closing twice returns the same path without rewriting.
+        """
+        if self._closed:
+            return self.metadata_path
+        if not self._entries:
+            raise DatasetError("cannot save an empty dataset")
+        metadata: dict[str, object] = {
+            "name": self._dataset_name,
+            "format_version": FORMAT_VERSION,
+            "viewer_count": len(self._entries),
+            "entries": self._entries,
+        }
+        if self._seed is not None:
+            # Stored so tooling (e.g. the CLI's `train` command) can regenerate
+            # the labelled sessions; a real released dataset would omit it.
+            metadata["seed"] = int(self._seed)
+        self.metadata_path.write_text(json.dumps(metadata, indent=2), encoding="utf-8")
+        self._closed = True
+        return self.metadata_path
+
+    def __enter__(self) -> "DatasetWriter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        # A failed generation run must not masquerade as a complete dataset,
+        # so the index is only written on a clean exit.
+        if exc_type is None:
+            self.close()
+
+
 def save_dataset_metadata(
     points: Sequence[DataPoint],
     directory: str | Path,
@@ -41,33 +160,12 @@ def save_dataset_metadata(
     """
     if not points:
         raise DatasetError("cannot save an empty dataset")
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    traces_dir = directory / TRACES_DIRNAME
-    entries: list[dict[str, object]] = []
-    for point in points:
-        entry = point.metadata()
-        if write_pcaps:
-            traces_dir.mkdir(parents=True, exist_ok=True)
-            pcap_path = traces_dir / f"{point.viewer.viewer_id}.pcap"
-            point.session.trace.to_pcap(pcap_path)
-            entry["trace_file"] = str(pcap_path.relative_to(directory))
-            entry["client_ip"] = point.session.trace.client_ip
-            entry["server_ip"] = point.session.trace.server_ip
-        entries.append(entry)
-    metadata = {
-        "name": dataset_name,
-        "format_version": FORMAT_VERSION,
-        "viewer_count": len(points),
-        "entries": entries,
-    }
-    if seed is not None:
-        # Stored so tooling (e.g. the CLI's `train` command) can regenerate the
-        # labelled sessions; a real released dataset would omit it.
-        metadata["seed"] = int(seed)
-    metadata_path = directory / METADATA_FILENAME
-    metadata_path.write_text(json.dumps(metadata, indent=2), encoding="utf-8")
-    return metadata_path
+    with DatasetWriter(
+        directory, dataset_name=dataset_name, write_pcaps=write_pcaps, seed=seed
+    ) as writer:
+        for point in points:
+            writer.add(point)
+    return writer.metadata_path
 
 
 def load_dataset_metadata(directory: str | Path) -> dict[str, object]:

@@ -14,8 +14,13 @@ from typing import Callable, Sequence
 
 from repro.client.profiles import OperationalCondition
 from repro.dataset.attributes import table1_rows
-from repro.dataset.collection import DataPoint, collect_dataset, default_study_script
-from repro.dataset.format import save_dataset_metadata
+from repro.dataset.collection import (
+    DataPoint,
+    collect_dataset,
+    default_study_script,
+    iter_collect_dataset,
+)
+from repro.dataset.format import DatasetWriter, save_dataset_metadata
 from repro.dataset.population import Viewer, attribute_marginals, generate_population
 from repro.exceptions import DatasetError
 from repro.narrative.graph import StoryGraph
@@ -39,6 +44,53 @@ class DatasetSummary:
         if self.total_choices == 0:
             raise DatasetError("summary has no choices")
         return self.non_default_choices / self.total_choices
+
+
+class SummaryAccumulator:
+    """Builds a :class:`DatasetSummary` incrementally from streamed points.
+
+    The streaming generation paths discard each :class:`DataPoint` right
+    after persisting it, so the aggregate statistics have to be folded in as
+    points pass through; the resulting summary is identical to calling
+    :meth:`IITMBandersnatchDataset.summary` on the materialised dataset.
+    """
+
+    def __init__(self) -> None:
+        self._viewer_count = 0
+        self._total_choices = 0
+        self._non_default_choices = 0
+        self._total_packets = 0
+        self._condition_keys: set[str] = set()
+
+    def add(self, point: DataPoint) -> None:
+        """Fold one data point into the running totals."""
+        self._viewer_count += 1
+        self._total_choices += point.session.path.choice_count
+        self._non_default_choices += point.session.path.non_default_count
+        self._total_packets += point.session.trace.packet_count
+        self._condition_keys.add(point.viewer.condition.key)
+
+    @property
+    def viewer_count(self) -> int:
+        """Data points accumulated so far."""
+        return self._viewer_count
+
+    @property
+    def condition_keys(self) -> tuple[str, ...]:
+        """Sorted distinct operational-condition keys seen so far."""
+        return tuple(sorted(self._condition_keys))
+
+    def summary(self) -> DatasetSummary:
+        """The summary of everything accumulated so far."""
+        if self._viewer_count == 0:
+            raise DatasetError("no data points accumulated")
+        return DatasetSummary(
+            viewer_count=self._viewer_count,
+            total_choices=self._total_choices,
+            non_default_choices=self._non_default_choices,
+            distinct_conditions=len(self._condition_keys),
+            total_packets=self._total_packets,
+        )
 
 
 class IITMBandersnatchDataset:
@@ -85,6 +137,46 @@ class IITMBandersnatchDataset:
             workers=workers,
         )
         return cls(points=points, graph=graph, seed=seed)
+
+    @classmethod
+    def generate_streaming(
+        cls,
+        directory: str | Path,
+        viewer_count: int = 100,
+        seed: int = 0,
+        graph: StoryGraph | None = None,
+        config: SessionConfig | None = None,
+        progress: Callable[[int, int], None] | None = None,
+        workers: int | None = None,
+        write_pcaps: bool = True,
+    ) -> tuple[Path, DatasetSummary]:
+        """Generate the dataset straight to disk without materialising it.
+
+        The streaming counterpart of :meth:`generate` + :meth:`save`: each
+        data point is persisted through a :class:`DatasetWriter` as the
+        engine completes it and then discarded, so peak memory holds one
+        session (serial) or the engine's in-flight window (parallel) rather
+        than the whole population.  The written directory is byte-identical
+        to ``generate(...).save(directory)`` for the same arguments.
+
+        Returns the metadata path and the dataset's summary, which is
+        identical to the in-memory dataset's :meth:`summary`.
+        """
+        graph = graph or default_study_script()
+        viewers = generate_population(viewer_count, seed=seed)
+        accumulator = SummaryAccumulator()
+        with DatasetWriter(directory, write_pcaps=write_pcaps, seed=seed) as writer:
+            for point in iter_collect_dataset(
+                viewers,
+                dataset_seed=seed,
+                graph=graph,
+                config=config,
+                progress=progress,
+                workers=workers,
+            ):
+                writer.add(point)
+                accumulator.add(point)
+        return writer.metadata_path, accumulator.summary()
 
     # -- access --------------------------------------------------------------
 

@@ -97,13 +97,25 @@ def _point_from_entry(directory: Path, entry: dict) -> LoadedDataPoint:
     )
 
 
+def iter_released_points(directory: str | Path):
+    """Lazily yield a saved dataset's viewers, one parsed pcap at a time.
+
+    The streaming counterpart of :func:`load_released_dataset`: only the
+    metadata index is read up front, and each trace is parsed when its point
+    is requested — :meth:`repro.dataset.shards.ShardedDataset.iter_points`
+    walks populations far larger than memory through this.
+    """
+    directory = Path(directory)
+    metadata = load_dataset_metadata(directory)
+    for entry in metadata["entries"]:
+        yield _point_from_entry(directory, entry)
+
+
 def load_released_dataset(directory: str | Path) -> LoadedDataset:
     """Reload every viewer of a saved dataset (traces re-parsed from pcap)."""
     directory = Path(directory)
     metadata = load_dataset_metadata(directory)
-    points = tuple(
-        _point_from_entry(directory, entry) for entry in metadata["entries"]
-    )
+    points = tuple(iter_released_points(directory))
     if not points:
         raise DatasetError(f"dataset at {directory} contains no viewers")
     return LoadedDataset(name=str(metadata["name"]), points=points)

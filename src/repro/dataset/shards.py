@@ -1,0 +1,379 @@
+"""Sharded dataset generation: million-viewer populations in bounded memory.
+
+The paper evaluates over a 100-viewer dataset that fits comfortably in
+memory; the roadmap's target populations do not.  This module splits a
+population into deterministic contiguous **shards**, streams each shard to
+disk as an independent dataset directory (``shard-000/metadata.json`` plus
+its ``traces/``, exactly the standalone layout :mod:`repro.dataset.format`
+describes), and merges the per-shard summaries into one population summary.
+
+Shard membership is a pure function of ``(viewer_count, shard_count)`` and
+never touches a session's bytes: every session seed derives from the dataset
+seed and the viewer id alone (:func:`repro.utils.rng.derive_seed` in
+:func:`repro.dataset.collection.collection_plan`), so regenerating the same
+population with a different shard count — or no sharding at all — produces
+byte-identical per-viewer pcaps.  That equivalence is asserted by the shard
+tests and the ``bench_shard_scaling`` benchmark.
+
+Peak memory during generation is O(shard), not O(population): each shard is
+generated through :func:`repro.dataset.collection.iter_collect_dataset` and
+persisted point by point, and only the merged summary statistics survive the
+shard's lifetime.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.dataset.collection import default_study_script, iter_collect_dataset
+from repro.dataset.format import DatasetWriter, load_dataset_metadata
+from repro.dataset.iitm import DatasetSummary, SummaryAccumulator
+from repro.dataset.loader import LoadedDataPoint, iter_released_points
+from repro.dataset.population import generate_population
+from repro.exceptions import DatasetError
+from repro.narrative.graph import StoryGraph
+from repro.streaming.session import SessionConfig
+
+SHARDS_MANIFEST_FILENAME = "shards.json"
+SHARDS_FORMAT_VERSION = 1
+
+
+def shard_dirname(index: int) -> str:
+    """Canonical directory name of shard ``index`` (``shard-000`` style)."""
+    if index < 0:
+        raise DatasetError(f"shard index must be non-negative, got {index}")
+    return f"shard-{index:03d}"
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One shard's slice of the population: viewers ``[start, stop)``."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise DatasetError(f"shard index must be non-negative, got {self.index}")
+        if not 0 <= self.start < self.stop:
+            raise DatasetError(f"invalid shard slice [{self.start}, {self.stop})")
+
+    @property
+    def viewer_count(self) -> int:
+        """Number of viewers in the shard."""
+        return self.stop - self.start
+
+    @property
+    def dirname(self) -> str:
+        """The shard's on-disk directory name."""
+        return shard_dirname(self.index)
+
+
+def plan_shards(viewer_count: int, shard_count: int) -> list[ShardSlice]:
+    """Split a population into balanced, contiguous, deterministic shards.
+
+    Shard sizes differ by at most one viewer.  Membership depends only on
+    ``(viewer_count, shard_count)``; session seeds derive from viewer ids,
+    so the split has no effect on any session's bytes.
+    """
+    if viewer_count <= 0:
+        raise DatasetError(f"population size must be positive, got {viewer_count}")
+    if shard_count <= 0:
+        raise DatasetError(f"shard count must be positive, got {shard_count}")
+    if shard_count > viewer_count:
+        raise DatasetError(
+            f"cannot split {viewer_count} viewers into {shard_count} shards"
+        )
+    size, remainder = divmod(viewer_count, shard_count)
+    slices: list[ShardSlice] = []
+    start = 0
+    for index in range(shard_count):
+        stop = start + size + (1 if index < remainder else 0)
+        slices.append(ShardSlice(index=index, start=start, stop=stop))
+        start = stop
+    return slices
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """One shard's aggregate statistics, as stored in the shards manifest."""
+
+    index: int
+    directory: str
+    viewer_count: int
+    total_choices: int
+    non_default_choices: int
+    total_packets: int
+    condition_keys: tuple[str, ...]
+
+    def to_dataset_summary(self) -> DatasetSummary:
+        """This shard viewed as a standalone dataset summary."""
+        return DatasetSummary(
+            viewer_count=self.viewer_count,
+            total_choices=self.total_choices,
+            non_default_choices=self.non_default_choices,
+            distinct_conditions=len(self.condition_keys),
+            total_packets=self.total_packets,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly form for the shards manifest."""
+        return {
+            "index": self.index,
+            "directory": self.directory,
+            "viewer_count": self.viewer_count,
+            "total_choices": self.total_choices,
+            "non_default_choices": self.non_default_choices,
+            "total_packets": self.total_packets,
+            "condition_keys": list(self.condition_keys),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ShardSummary":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            index=int(data["index"]),  # type: ignore[arg-type]
+            directory=str(data["directory"]),
+            viewer_count=int(data["viewer_count"]),  # type: ignore[arg-type]
+            total_choices=int(data["total_choices"]),  # type: ignore[arg-type]
+            non_default_choices=int(data["non_default_choices"]),  # type: ignore[arg-type]
+            total_packets=int(data["total_packets"]),  # type: ignore[arg-type]
+            condition_keys=tuple(str(key) for key in data["condition_keys"]),  # type: ignore[union-attr]
+        )
+
+
+def merge_shard_summaries(summaries: Sequence[ShardSummary]) -> DatasetSummary:
+    """Merge per-shard summaries into one population summary.
+
+    Counts add; distinct conditions are the union of the shards' condition
+    keys (a condition present in two shards counts once).  Merging the
+    shards of a population yields exactly the summary the unsharded
+    in-memory dataset reports.
+    """
+    if not summaries:
+        raise DatasetError("no shard summaries to merge")
+    condition_keys: set[str] = set()
+    for summary in summaries:
+        condition_keys.update(summary.condition_keys)
+    return DatasetSummary(
+        viewer_count=sum(summary.viewer_count for summary in summaries),
+        total_choices=sum(summary.total_choices for summary in summaries),
+        non_default_choices=sum(summary.non_default_choices for summary in summaries),
+        distinct_conditions=len(condition_keys),
+        total_packets=sum(summary.total_packets for summary in summaries),
+    )
+
+
+class ShardedDataset:
+    """A sharded on-disk dataset: a manifest plus per-shard directories."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        name: str,
+        seed: int,
+        viewer_count: int,
+        shard_summaries: Sequence[ShardSummary],
+    ) -> None:
+        if not shard_summaries:
+            raise DatasetError("a sharded dataset needs at least one shard")
+        self._directory = Path(directory)
+        self._name = name
+        self._seed = seed
+        self._viewer_count = viewer_count
+        self._shard_summaries = tuple(shard_summaries)
+
+    @property
+    def directory(self) -> Path:
+        """The dataset's root directory."""
+        return self._directory
+
+    @property
+    def name(self) -> str:
+        """The dataset's name."""
+        return self._name
+
+    @property
+    def seed(self) -> int:
+        """The root seed the population was generated from."""
+        return self._seed
+
+    @property
+    def viewer_count(self) -> int:
+        """Total viewers across all shards."""
+        return self._viewer_count
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards."""
+        return len(self._shard_summaries)
+
+    @property
+    def shard_summaries(self) -> tuple[ShardSummary, ...]:
+        """Per-shard aggregate statistics, in shard order."""
+        return self._shard_summaries
+
+    def shard_directories(self) -> list[Path]:
+        """Absolute paths of the shard directories, in shard order."""
+        return [
+            self._directory / summary.directory for summary in self._shard_summaries
+        ]
+
+    def summary(self) -> DatasetSummary:
+        """The merged population summary."""
+        return merge_shard_summaries(self._shard_summaries)
+
+    def iter_points(self) -> Iterator[LoadedDataPoint]:
+        """Iterate every viewer's loaded data point, lazily, in viewer order.
+
+        Shards are opened one at a time and each point is parsed from its
+        pcap on demand, so iterating a population never holds more than one
+        point (plus one shard's metadata index) in memory.
+        """
+        for shard_directory in self.shard_directories():
+            yield from iter_released_points(shard_directory)
+
+    def __iter__(self) -> Iterator[LoadedDataPoint]:
+        return self.iter_points()
+
+    def __len__(self) -> int:
+        return self._viewer_count
+
+    @property
+    def manifest_path(self) -> Path:
+        """Where the shards manifest lives."""
+        return self._directory / SHARDS_MANIFEST_FILENAME
+
+    def save_manifest(self) -> Path:
+        """Write the shards manifest; returns its path."""
+        manifest = {
+            "name": self._name,
+            "format_version": SHARDS_FORMAT_VERSION,
+            "seed": self._seed,
+            "viewer_count": self._viewer_count,
+            "shard_count": self.shard_count,
+            "shards": [summary.as_dict() for summary in self._shard_summaries],
+        }
+        self.manifest_path.write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        return self.manifest_path
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ShardedDataset":
+        """Load a sharded dataset from its manifest.
+
+        Only the manifest and each shard's metadata index are validated up
+        front; pcaps are parsed lazily by :meth:`iter_points`.
+        """
+        directory = Path(directory)
+        manifest_path = directory / SHARDS_MANIFEST_FILENAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise DatasetError(f"cannot load shards manifest: {error}") from error
+        for key in ("name", "format_version", "seed", "viewer_count", "shards"):
+            if key not in manifest:
+                raise DatasetError(f"shards manifest is missing the {key!r} field")
+        if manifest["format_version"] != SHARDS_FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported shards manifest version {manifest['format_version']}"
+            )
+        summaries = [ShardSummary.from_dict(entry) for entry in manifest["shards"]]
+        if sum(summary.viewer_count for summary in summaries) != int(
+            manifest["viewer_count"]
+        ):
+            raise DatasetError(
+                "shards manifest viewer count does not match its shards"
+            )
+        for summary in summaries:
+            shard_directory = directory / summary.directory
+            metadata = load_dataset_metadata(shard_directory)
+            if metadata["viewer_count"] != summary.viewer_count:
+                raise DatasetError(
+                    f"shard {summary.directory} holds {metadata['viewer_count']} "
+                    f"viewers but the manifest records {summary.viewer_count}"
+                )
+        return cls(
+            directory=directory,
+            name=str(manifest["name"]),
+            seed=int(manifest["seed"]),
+            viewer_count=int(manifest["viewer_count"]),
+            shard_summaries=summaries,
+        )
+
+
+def generate_sharded_dataset(
+    directory: str | Path,
+    viewer_count: int,
+    shard_count: int,
+    seed: int = 0,
+    graph: StoryGraph | None = None,
+    config: SessionConfig | None = None,
+    workers: int | None = None,
+    write_pcaps: bool = True,
+    dataset_name: str = "iitm-bandersnatch-synthetic",
+    progress: Callable[[int, int], None] | None = None,
+) -> ShardedDataset:
+    """Generate a population as shards, streaming each shard to disk.
+
+    Only the viewer attributes of the whole population (cheap: a few strings
+    per viewer) plus one in-flight window of sessions exist in memory at any
+    time; sessions are persisted through :class:`DatasetWriter` as the engine
+    completes them.  ``progress`` is invoked as ``(done_viewers,
+    viewer_count)`` across the whole population.
+
+    Returns the :class:`ShardedDataset`, with its manifest already written.
+    """
+    directory = Path(directory)
+    graph = graph or default_study_script()
+    slices = plan_shards(viewer_count, shard_count)
+    viewers = generate_population(viewer_count, seed=seed)
+    directory.mkdir(parents=True, exist_ok=True)
+    shard_summaries: list[ShardSummary] = []
+    done = 0
+    for shard_slice in slices:
+        accumulator = SummaryAccumulator()
+        with DatasetWriter(
+            directory / shard_slice.dirname,
+            dataset_name=dataset_name,
+            write_pcaps=write_pcaps,
+            seed=seed,
+        ) as writer:
+            for point in iter_collect_dataset(
+                viewers[shard_slice.start : shard_slice.stop],
+                dataset_seed=seed,
+                graph=graph,
+                config=config,
+                workers=workers,
+            ):
+                writer.add(point)
+                accumulator.add(point)
+                done += 1
+                if progress is not None:
+                    progress(done, viewer_count)
+        summary = accumulator.summary()
+        shard_summaries.append(
+            ShardSummary(
+                index=shard_slice.index,
+                directory=shard_slice.dirname,
+                viewer_count=summary.viewer_count,
+                total_choices=summary.total_choices,
+                non_default_choices=summary.non_default_choices,
+                total_packets=summary.total_packets,
+                condition_keys=accumulator.condition_keys,
+            )
+        )
+    dataset = ShardedDataset(
+        directory=directory,
+        name=dataset_name,
+        seed=seed,
+        viewer_count=viewer_count,
+        shard_summaries=shard_summaries,
+    )
+    dataset.save_manifest()
+    return dataset

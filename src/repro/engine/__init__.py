@@ -27,7 +27,11 @@ Components
     a hang.  Because all randomness flows through
     :func:`repro.utils.rng.derive_seed`, serial and parallel execution of
     the same plans produce byte-identical results — that equivalence is the
-    engine's core correctness contract.
+    engine's core correctness contract.  For batches too large to
+    materialise, ``imap``/``iexecute`` are the streaming variants: order-
+    preserving generators with a bounded in-flight window, the same failure
+    model, and the same byte-equivalence — the sharded dataset pipeline
+    (:mod:`repro.dataset.shards`) runs entirely on them.
 
 :class:`~repro.engine.cache.RecordCache`
     Memoises :func:`repro.core.features.extract_client_records` per trace,

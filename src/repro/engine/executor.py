@@ -8,6 +8,12 @@ order.  A serial in-process path (``workers=None`` or ``1``) exists both as
 the zero-dependency fallback and as the reference the determinism tests
 compare parallel runs against.
 
+Batches too large to materialise go through the streaming variants
+:meth:`BatchExecutor.imap` / :meth:`BatchExecutor.iexecute`: order-preserving
+generators that keep at most a bounded window of items in flight and yield
+each result as its input slot completes, with the same failure model and the
+same serial/parallel byte-equivalence as the list-returning methods.
+
 Failure model: a plan that raises inside a worker — or a worker process that
 dies outright (``BrokenProcessPool``) — surfaces as a single
 :class:`repro.exceptions.EngineError` naming the failed item, with the
@@ -18,8 +24,9 @@ propagates, so a crashed batch never hangs the caller.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro.engine.plan import SessionPlan
 from repro.exceptions import EngineError
@@ -83,6 +90,20 @@ class BatchExecutor:
         """Simulate every plan and return the results in plan order."""
         return self.map(_execute_plan, plans, progress=progress, label=_describe_plan)
 
+    def iexecute(
+        self,
+        plans: Sequence[SessionPlan],
+        progress: ProgressCallback | None = None,
+        window: int | None = None,
+    ) -> Iterator[SessionResult]:
+        """Streaming variant of :meth:`execute`: yield results in plan order.
+
+        See :meth:`imap` for the windowing and failure semantics.
+        """
+        return self.imap(
+            _execute_plan, plans, progress=progress, label=_describe_plan, window=window
+        )
+
     def map(
         self,
         function: Callable[[T], R],
@@ -101,6 +122,38 @@ class BatchExecutor:
         if not self.parallel or len(items) <= 1:
             return self._run_serial(function, items, progress, label)
         return self._run_parallel(function, items, progress, label)
+
+    def imap(
+        self,
+        function: Callable[[T], R],
+        items: Sequence[T],
+        progress: ProgressCallback | None = None,
+        label: Callable[[T], str] | None = None,
+        window: int | None = None,
+    ) -> Iterator[R]:
+        """Lazily apply ``function`` to every item, preserving input order.
+
+        The streaming counterpart of :meth:`map`: an order-preserving
+        generator that yields each result as soon as its *input slot* has
+        completed, instead of materialising the whole batch.  On the parallel
+        path at most ``window`` items (default ``2 × workers``) are in flight
+        at once, so memory stays bounded by the window however long the input
+        is; on the serial path items are executed one ``next()`` at a time.
+
+        Failures follow the :meth:`execute` model — the first failed item
+        surfaces as a single :class:`EngineError` naming it, outstanding
+        futures are cancelled and the pool is shut down before the error
+        propagates.  Abandoning the generator early also shuts the pool down.
+        Because the items carry their own seeds, serial and parallel
+        iteration produce byte-identical results in the same order.
+
+        ``progress`` is invoked as ``(yielded, total)`` each time a result
+        is handed to the consumer.
+        """
+        items = list(items)
+        if not self.parallel or len(items) <= 1:
+            return self._iter_serial(function, items, progress, label)
+        return self._iter_parallel(function, items, progress, label, window)
 
     # -- internal ----------------------------------------------------------
 
@@ -132,23 +185,94 @@ class BatchExecutor:
     ) -> list[R]:
         results: list[R | None] = [None] * len(items)
         with ProcessPoolExecutor(max_workers=min(self._workers, len(items))) as pool:
-            futures = [pool.submit(function, item) for item in items]
-            for index, future in enumerate(futures):
+            futures: dict[Future, int] = {
+                pool.submit(function, item): index for index, item in enumerate(items)
+            }
+            # Harvest in completion order so progress reflects work actually
+            # done (input-order harvesting would stall the callback on a slow
+            # early item); results still land in their input slots.
+            completed = 0
+            for future in as_completed(futures):
+                index = futures[future]
                 try:
                     results[index] = future.result()
                 except Exception as error:
                     # Cancel whatever has not started; the context manager
                     # joins the pool so the error never leaves orphans.
-                    for pending in futures[index + 1 :]:
+                    for pending in futures:
                         pending.cancel()
                     if isinstance(error, EngineError):
                         raise
                     raise _wrap_failure(
                         index, items[index], label, error, serial=False
                     ) from error
+                completed += 1
                 if progress is not None:
-                    progress(index + 1, len(items))
+                    progress(completed, len(items))
         return results  # type: ignore[return-value]
+
+    def _iter_serial(
+        self,
+        function: Callable[[T], R],
+        items: list[T],
+        progress: ProgressCallback | None,
+        label: Callable[[T], str] | None,
+    ) -> Iterator[R]:
+        for index, item in enumerate(items):
+            try:
+                result = function(item)
+            except EngineError:
+                raise
+            except Exception as error:
+                raise _wrap_failure(index, item, label, error, serial=True) from error
+            if progress is not None:
+                progress(index + 1, len(items))
+            yield result
+
+    def _iter_parallel(
+        self,
+        function: Callable[[T], R],
+        items: list[T],
+        progress: ProgressCallback | None,
+        label: Callable[[T], str] | None,
+        window: int | None,
+    ) -> Iterator[R]:
+        if window is None:
+            window = 2 * self._workers
+        if window < 1:
+            raise EngineError(f"in-flight window must be positive, got {window}")
+        total = len(items)
+        pool = ProcessPoolExecutor(max_workers=min(self._workers, total))
+        in_flight: deque[Future] = deque()
+        next_index = 0
+        yielded = 0
+        try:
+            while next_index < total and len(in_flight) < window:
+                in_flight.append(pool.submit(function, items[next_index]))
+                next_index += 1
+            while in_flight:
+                future = in_flight.popleft()
+                try:
+                    result = future.result()
+                except Exception as error:
+                    for pending in in_flight:
+                        pending.cancel()
+                    if isinstance(error, EngineError):
+                        raise
+                    raise _wrap_failure(
+                        yielded, items[yielded], label, error, serial=False
+                    ) from error
+                if next_index < total:
+                    in_flight.append(pool.submit(function, items[next_index]))
+                    next_index += 1
+                yielded += 1
+                if progress is not None:
+                    progress(yielded, total)
+                yield result
+        finally:
+            # Runs on exhaustion, failure and abandonment alike: nothing the
+            # consumer does can leave orphaned worker processes behind.
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 def _describe_plan(plan: SessionPlan) -> str:

@@ -25,9 +25,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
-    def test_attack_requires_environment(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["attack", "x.pcap", "lib.json"])
+    def test_attack_without_environment_or_metadata_fails(self, tmp_path, capsys):
+        # --environment is optional at parse time (dataset metadata can
+        # supply it per capture), but attacking a bare pcap without either
+        # source must fail cleanly, naming the flag.
+        exit_code = main(["attack", str(tmp_path / "x.pcap"), str(tmp_path / "lib.json")])
+        assert exit_code == 1
+        assert "--environment" in capsys.readouterr().err
 
 
 class TestGenerateInspectTrainAttack:
@@ -111,6 +115,66 @@ class TestGenerateInspectTrainAttack:
         assert "Recovered choices" in output
         assert "Behavioural profile" in output
 
+    def test_train_rejects_out_of_range_fraction(self, dataset_dir, tmp_path, capsys):
+        exit_code = main(
+            [
+                "train",
+                str(dataset_dir),
+                str(tmp_path / "unused.json"),
+                "--train-fraction",
+                "1.5",
+            ]
+        )
+        assert exit_code == 1
+        assert "--train-fraction" in capsys.readouterr().err
+
+    def test_attack_single_pcap_resolves_environment_from_metadata(
+        self, dataset_dir, tmp_path, capsys
+    ):
+        library_path = tmp_path / "fingerprints-meta.json"
+        main(["train", str(dataset_dir), str(library_path), "--train-fraction", "0.67"])
+        metadata = json.loads((dataset_dir / "metadata.json").read_text())
+        library = json.loads(library_path.read_text())
+        entry = next(
+            (
+                e
+                for e in metadata["entries"]
+                if "/".join(
+                    (
+                        e["viewer"]["condition"]["operating_system"],
+                        e["viewer"]["condition"]["browser"],
+                    )
+                )
+                in library
+            ),
+            None,
+        )
+        if entry is None:
+            pytest.skip("no viewer environment in the calibration half")
+        capsys.readouterr()
+        # No --environment / --client-ip / --server-ip: all from metadata.
+        exit_code = main(
+            ["attack", str(dataset_dir / entry["trace_file"]), str(library_path)]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Recovered choices" in output
+
+    def test_attack_directory_prints_aggregate_accuracy(
+        self, dataset_dir, tmp_path, capsys
+    ):
+        library_path = tmp_path / "fingerprints-dir.json"
+        main(["train", str(dataset_dir), str(library_path), "--train-fraction", "0.67"])
+        capsys.readouterr()
+        exit_code = main(
+            ["attack", str(dataset_dir / "traces"), str(library_path)]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Recovered choices" in output
+        assert "aggregate: attacked" in output
+        assert "choice accuracy" in output
+
     def test_attack_with_unknown_environment_fails_cleanly(self, dataset_dir, tmp_path, capsys):
         library_path = tmp_path / "fingerprints2.json"
         main(["train", str(dataset_dir), str(library_path)])
@@ -134,6 +198,52 @@ class TestGenerateInspectTrainAttack:
         exit_code = main(["inspect", str(tmp_path / "missing.pcap")])
         assert exit_code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestShardedGeneration:
+    """`generate-dataset --shards N` writes independent shard directories."""
+
+    @pytest.fixture(scope="class")
+    def sharded_dir(self, tmp_path_factory) -> Path:
+        directory = tmp_path_factory.mktemp("cli-sharded")
+        exit_code = main(
+            [
+                "generate-dataset",
+                str(directory),
+                "--viewers",
+                "4",
+                "--seed",
+                "5",
+                "--shards",
+                "2",
+                "--no-cross-traffic",
+            ]
+        )
+        assert exit_code == 0
+        return directory
+
+    def test_shard_layout_on_disk(self, sharded_dir):
+        manifest = json.loads((sharded_dir / "shards.json").read_text())
+        assert manifest["shard_count"] == 2
+        assert manifest["viewer_count"] == 4
+        assert manifest["seed"] == 5
+        for shard in ("shard-000", "shard-001"):
+            metadata = json.loads((sharded_dir / shard / "metadata.json").read_text())
+            assert metadata["viewer_count"] == 2
+            assert len(list((sharded_dir / shard / "traces").glob("*.pcap"))) == 2
+
+    def test_shard_is_a_standalone_dataset(self, sharded_dir, tmp_path, capsys):
+        # A single shard trains and gets attacked like any saved dataset.
+        library_path = tmp_path / "shard-fingerprints.json"
+        exit_code = main(["train", str(sharded_dir / "shard-000"), str(library_path)])
+        assert exit_code == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["attack", str(sharded_dir / "shard-000" / "traces"), str(library_path)]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "aggregate: attacked" in output
 
 
 class TestReproduceCommand:

@@ -153,6 +153,56 @@ class TestPersistence:
         )
         assert restored.packet_count > 100
 
+    def test_round_trip_preserves_packet_counts_and_ground_truth(
+        self, tmp_path, small_dataset
+    ):
+        # save → load → per-entry pcap re-read: every entry's re-parsed trace
+        # matches the packet count recorded at save time, and the ground
+        # truth survives untouched.
+        directory = tmp_path / "dataset"
+        small_dataset.save(directory)
+        metadata = load_dataset_metadata(directory)
+        assert len(metadata["entries"]) == len(small_dataset.points)
+        for entry, point in zip(metadata["entries"], small_dataset.points):
+            restored = CapturedTrace.from_pcap(
+                directory / entry["trace_file"],
+                client_ip=entry["client_ip"],
+                server_ip=entry["server_ip"],
+            )
+            assert restored.packet_count == entry["packet_count"]
+            assert restored.packet_count == point.session.trace.packet_count
+            truth = tuple(bool(c["took_default"]) for c in entry["choices"])
+            assert truth == point.ground_truth_choices
+            labels = tuple(str(c["selected_label"]) for c in entry["choices"])
+            assert labels == point.selected_labels
+
+    def test_incremental_writer_matches_one_shot_save(self, tmp_path, small_dataset):
+        from repro.dataset.format import DatasetWriter
+
+        one_shot = tmp_path / "one-shot"
+        streamed = tmp_path / "streamed"
+        small_dataset.save(one_shot)
+        with DatasetWriter(streamed, seed=small_dataset.seed) as writer:
+            for point in small_dataset.points:
+                writer.add(point)
+        assert (streamed / "metadata.json").read_bytes() == (
+            one_shot / "metadata.json"
+        ).read_bytes()
+        for pcap in sorted((one_shot / "traces").glob("*.pcap")):
+            assert pcap.read_bytes() == (streamed / "traces" / pcap.name).read_bytes()
+
+    def test_writer_rejects_empty_and_reuse_after_close(self, tmp_path, small_dataset):
+        from repro.dataset.format import DatasetWriter
+
+        with pytest.raises(DatasetError):
+            DatasetWriter(tmp_path / "empty").close()
+        writer = DatasetWriter(tmp_path / "sealed", seed=0)
+        writer.add(small_dataset.points[0])
+        path = writer.close()
+        assert path == writer.close()  # idempotent
+        with pytest.raises(DatasetError):
+            writer.add(small_dataset.points[1])
+
     def test_metadata_contains_no_feature_leakage(self, tmp_path, small_dataset):
         directory = tmp_path / "dataset"
         small_dataset.save(directory, write_pcaps=False)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pickle
+import time
 
 import pytest
 
@@ -79,6 +80,28 @@ class TestPlanOrderPreservation:
         assert seen[-1] == (len(engine_plans), len(engine_plans))
         assert [done for done, _total in seen] == sorted(done for done, _total in seen)
 
+    def test_parallel_progress_reports_completions_as_they_happen(self, tmp_path):
+        # Item 0 is slow and touches a sentinel file when it finishes; with
+        # two workers the fast items finish first, so the first progress
+        # callback must arrive while the sentinel is still absent — the old
+        # input-order harvesting stalled every callback behind the slow
+        # head-of-line item.  (Sentinel, not wall clock: pool startup time
+        # on a loaded machine must not flip the outcome.)
+        sentinel = tmp_path / "slow-item-done"
+        items = [(1.5, str(sentinel)), (0.0, ""), (0.0, ""), (0.0, "")]
+        sentinel_seen_at_callback: list[bool] = []
+        results = BatchExecutor(workers=2).map(
+            _sleep_then_touch,
+            items,
+            progress=lambda done, total: sentinel_seen_at_callback.append(
+                sentinel.exists()
+            ),
+        )
+        assert results == [seconds for seconds, _path in items]  # input-ordered
+        assert len(sentinel_seen_at_callback) == len(items)
+        assert sentinel_seen_at_callback[0] is False
+        assert sentinel_seen_at_callback[-1] is True
+
 
 class TestSerialParallelDeterminism:
     def test_results_byte_identical(self, serial_results, parallel_results):
@@ -114,6 +137,90 @@ class TestSerialParallelDeterminism:
             p.session.fingerprint() for p in parallel
         ]
         assert serial == parallel
+
+
+class TestStreamingImap:
+    def test_iexecute_matches_execute_serial_and_parallel(
+        self, engine_plans, serial_results
+    ):
+        streamed_serial = list(BatchExecutor().iexecute(engine_plans))
+        streamed_parallel = list(BatchExecutor(workers=2).iexecute(engine_plans))
+        assert [r.fingerprint() for r in streamed_serial] == [
+            r.fingerprint() for r in serial_results
+        ]
+        assert streamed_serial == serial_results
+        assert streamed_parallel == serial_results
+
+    def test_results_yielded_in_input_order(self, engine_plans):
+        streamed = BatchExecutor(workers=2).iexecute(engine_plans)
+        assert [result.session_id for result in streamed] == [
+            plan.session_id for plan in engine_plans
+        ]
+
+    def test_serial_imap_is_lazy(self):
+        calls: list[int] = []
+
+        def record(item: int) -> int:
+            calls.append(item)
+            return item * 2
+
+        iterator = BatchExecutor().imap(record, [1, 2, 3])
+        assert calls == []
+        assert next(iterator) == 2
+        assert calls == [1]
+        assert list(iterator) == [4, 6]
+        assert calls == [1, 2, 3]
+
+    def test_imap_matches_map(self):
+        items = list(range(7))
+        serial = BatchExecutor().map(_double, items)
+        assert list(BatchExecutor().imap(_double, items)) == serial
+        assert list(BatchExecutor(workers=2).imap(_double, items)) == serial
+
+    def test_bounded_window_still_complete_and_ordered(self):
+        items = list(range(9))
+        streamed = BatchExecutor(workers=2).imap(_double, items, window=2)
+        assert list(streamed) == [item * 2 for item in items]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(EngineError, match="window"):
+            list(BatchExecutor(workers=2).imap(_double, [1, 2, 3], window=0))
+
+    def test_imap_progress_reaches_total(self, engine_plans):
+        seen: list[tuple[int, int]] = []
+        list(
+            BatchExecutor(workers=2).iexecute(
+                engine_plans, progress=lambda done, total: seen.append((done, total))
+            )
+        )
+        assert seen[-1] == (len(engine_plans), len(engine_plans))
+        assert [done for done, _total in seen] == sorted(done for done, _total in seen)
+
+    def test_imap_failure_names_the_item(self):
+        with pytest.raises(EngineError, match="item 1"):
+            list(BatchExecutor().imap(_fails_on_two, [1, 2, 3]))
+        with pytest.raises(EngineError, match="item 1"):
+            list(BatchExecutor(workers=2).imap(_fails_on_two, [1, 2, 3]))
+
+    def test_iexecute_failure_names_the_plan(
+        self, engine_plans, minimal_graph, ubuntu_condition, default_behavior, quick_config
+    ):
+        bad = SessionPlan(
+            graph=minimal_graph,
+            condition=ubuntu_condition,
+            behavior=default_behavior,
+            seed=-1,
+            config=quick_config,
+            session_id="bad-stream",
+        )
+        with pytest.raises(EngineError, match="bad-stream"):
+            list(BatchExecutor(workers=2).iexecute(engine_plans[:1] + [bad]))
+
+    def test_abandoning_the_generator_shuts_the_pool_down(self, engine_plans):
+        iterator = BatchExecutor(workers=2).iexecute(engine_plans)
+        first = next(iterator)
+        assert first.session_id == engine_plans[0].session_id
+        iterator.close()  # must not hang or leak worker processes
 
 
 class TestFailureSurfacing:
@@ -205,3 +312,22 @@ class TestRecordCache:
 
 def _always_fails(_item: int) -> None:
     raise ValueError("synthetic failure")
+
+
+def _double(item: int) -> int:
+    return item * 2
+
+
+def _fails_on_two(item: int) -> int:
+    if item == 2:
+        raise ValueError("synthetic failure on 2")
+    return item
+
+
+def _sleep_then_touch(item: tuple[float, str]) -> float:
+    seconds, path = item
+    time.sleep(seconds)
+    if path:
+        with open(path, "w", encoding="utf-8"):
+            pass
+    return seconds
