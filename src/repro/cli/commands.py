@@ -10,10 +10,19 @@ from repro.core.features import extract_client_records
 from repro.core.fingerprint import FingerprintLibrary
 from repro.core.pipeline import AttackResult, PcapAttackTask, WhiteMirrorAttack
 from repro.dataset.collection import collect_dataset, default_study_script
-from repro.dataset.format import METADATA_FILENAME, load_dataset_metadata
+from repro.dataset.format import (
+    METADATA_FILENAME,
+    load_dataset_metadata,
+    session_config_from_metadata,
+)
 from repro.dataset.iitm import DatasetSummary, IITMBandersnatchDataset
-from repro.dataset.population import Viewer
-from repro.dataset.shards import generate_sharded_dataset
+from repro.dataset.population import viewers_from_metadata_entries
+from repro.dataset.shards import (
+    SHARD_GENERATED,
+    SHARDS_MANIFEST_FILENAME,
+    ShardedDataset,
+    generate_sharded_dataset,
+)
 from repro.exceptions import DatasetError, ReproError
 from repro.experiments.report import format_table
 from repro.net.capture import CapturedTrace
@@ -41,11 +50,17 @@ def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
     """
     config = SessionConfig(cross_traffic_enabled=not arguments.no_cross_traffic)
     progress = lambda done, total: print(f"  {done}/{total} sessions", end="\r")  # noqa: E731
+    if arguments.resume and arguments.shards is None:
+        raise ReproError("--resume requires --shards (only sharded runs checkpoint)")
     if arguments.shards is not None:
+        verb = "resuming" if arguments.resume else "generating"
         print(
-            f"generating {arguments.viewers} viewers (seed {arguments.seed}) "
+            f"{verb} {arguments.viewers} viewers (seed {arguments.seed}) "
             f"across {arguments.shards} shards..."
         )
+        # A shard reports e.g. "quarantined+generated" when a partial copy was
+        # moved aside before regeneration.
+        shard_states: dict[str, list[str]] = {}
         dataset = generate_sharded_dataset(
             arguments.output,
             viewer_count=arguments.viewers,
@@ -55,10 +70,15 @@ def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
             workers=arguments.workers,
             write_pcaps=not arguments.no_pcaps,
             progress=progress,
+            resume=arguments.resume,
+            status=lambda shard, state: shard_states.setdefault(
+                shard.dirname, []
+            ).append(state),
         )
         print()
         for shard in dataset.shard_summaries:
-            print(f"  {shard.directory}: viewers={shard.viewer_count}")
+            state = "+".join(shard_states.get(shard.directory, [SHARD_GENERATED]))
+            print(f"  {shard.directory}: viewers={shard.viewer_count} [{state}]")
         print(f"wrote {dataset.manifest_path}")
         _print_summary(dataset.summary())
         return 0
@@ -78,38 +98,7 @@ def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_train(arguments: argparse.Namespace) -> int:
-    """``repro train``: learn fingerprints from a saved dataset's pcaps.
-
-    The ground-truth labels needed for training do not live in the pcaps (by
-    design), so training re-simulates the calibration viewers' sessions from
-    the dataset metadata — exactly what the researcher who generated the
-    dataset can do, and what a real attacker does by recording their own
-    sessions.  The viewers are rebuilt from the metadata entries, so any
-    saved dataset directory works, including a single shard of a sharded
-    population.
-    """
-    if not 0.0 < arguments.train_fraction < 1.0:
-        raise ReproError(
-            f"--train-fraction must be in (0, 1), got {arguments.train_fraction}"
-        )
-    directory = Path(arguments.dataset)
-    metadata = load_dataset_metadata(directory)
-    seed = _dataset_seed_from_metadata(metadata)
-    graph = default_study_script()
-    viewers = [Viewer.from_dict(entry["viewer"]) for entry in metadata["entries"]]
-    points = collect_dataset(
-        viewers,
-        dataset_seed=seed,
-        graph=graph,
-        config=SessionConfig(cross_traffic_enabled=True),
-        workers=getattr(arguments, "workers", None),
-    )
-    dataset = IITMBandersnatchDataset(points=points, graph=graph, seed=seed)
-    train_points, _ = dataset.train_test_split(test_fraction=1.0 - arguments.train_fraction)
-    attack = WhiteMirrorAttack(graph=dataset.graph, band_margin=arguments.margin)
-    attack.train([point.session for point in train_points])
-    attack.library.save(arguments.output)
+def _print_fingerprints(attack: WhiteMirrorAttack, output: str) -> None:
     rows = [
         {
             "environment": key,
@@ -120,7 +109,97 @@ def cmd_train(arguments: argparse.Namespace) -> int:
         for key in sorted(attack.library.condition_keys)
     ]
     print(format_table(rows, "Learned fingerprints"))
-    print(f"wrote {arguments.output}")
+    print(f"wrote {output}")
+
+
+def _train_sharded(arguments: argparse.Namespace, directory: Path) -> int:
+    """``repro train --sharded``: fold a sharded dataset in shard by shard.
+
+    The whole sharded dataset is the attacker's calibration corpus (held-out
+    evaluation splits are the experiment drivers' job), so every shard's
+    sessions are re-simulated lazily and folded into the fingerprint
+    accumulator — peak memory holds one engine window of sessions regardless
+    of the population size, and the resulting library is identical to batch
+    training over every session at once.
+    """
+    if arguments.train_fraction is not None:
+        raise ReproError(
+            "--train-fraction applies to single-directory training only; "
+            "--sharded uses the whole sharded dataset as calibration data"
+        )
+    dataset = ShardedDataset.load(directory)
+    print(
+        f"incrementally training on {dataset.viewer_count} viewers across "
+        f"{dataset.shard_count} shards..."
+    )
+    attack = WhiteMirrorAttack(graph=default_study_script(), band_margin=arguments.margin)
+    attack.train_incremental(
+        dataset.iter_shard_training_sessions(
+            workers=getattr(arguments, "workers", None)
+        ),
+        progress=lambda folded: print(
+            f"  {folded}/{dataset.viewer_count} sessions", end="\r"
+        ),
+    )
+    print()
+    attack.library.save(arguments.output)
+    _print_fingerprints(attack, arguments.output)
+    return 0
+
+
+def cmd_train(arguments: argparse.Namespace) -> int:
+    """``repro train``: learn fingerprints from a saved dataset's pcaps.
+
+    The ground-truth labels needed for training do not live in the pcaps (by
+    design), so training re-simulates the calibration viewers' sessions from
+    the dataset metadata — exactly what the researcher who generated the
+    dataset can do, and what a real attacker does by recording their own
+    sessions.  The viewers are rebuilt from the metadata entries, so any
+    saved dataset directory works, including a single shard of a sharded
+    population; ``--sharded`` instead walks a whole sharded dataset root
+    shard by shard with bounded memory.
+    """
+    directory = Path(arguments.dataset)
+    if arguments.sharded:
+        return _train_sharded(arguments, directory)
+    train_fraction = (
+        0.5 if arguments.train_fraction is None else arguments.train_fraction
+    )
+    if not 0.0 < train_fraction < 1.0:
+        raise ReproError(
+            f"--train-fraction must be in (0, 1), got {train_fraction}"
+        )
+    try:
+        metadata = load_dataset_metadata(directory)
+    except DatasetError as error:
+        if (directory / SHARDS_MANIFEST_FILENAME).exists():
+            raise DatasetError(
+                f"{directory} is a sharded dataset root (it has a "
+                f"{SHARDS_MANIFEST_FILENAME}); train on it with --sharded, or "
+                "point at one of its shard directories"
+            ) from error
+        raise
+    seed = _dataset_seed_from_metadata(metadata)
+    graph = default_study_script()
+    viewers = viewers_from_metadata_entries(metadata["entries"], directory)
+    # Replay under the configuration that produced the dataset's pcaps;
+    # datasets from before configs were recorded fall back to defaults.
+    config = session_config_from_metadata(metadata) or SessionConfig()
+    points = collect_dataset(
+        viewers,
+        dataset_seed=seed,
+        graph=graph,
+        config=config,
+        workers=getattr(arguments, "workers", None),
+    )
+    dataset = IITMBandersnatchDataset(
+        points=points, graph=graph, seed=seed, config=config
+    )
+    train_points, _ = dataset.train_test_split(test_fraction=1.0 - train_fraction)
+    attack = WhiteMirrorAttack(graph=dataset.graph, band_margin=arguments.margin)
+    attack.train([point.session for point in train_points])
+    attack.library.save(arguments.output)
+    _print_fingerprints(attack, arguments.output)
     return 0
 
 
@@ -343,6 +422,40 @@ def cmd_reproduce(arguments: argparse.Namespace) -> int:
     chosen = arguments.experiment
     quick = arguments.quick
     workers = getattr(arguments, "workers", None)
+
+    if getattr(arguments, "dataset", None) is not None:
+        from repro.experiments import reproduce_headline_from_dataset
+
+        if chosen not in ("all", "headline"):
+            raise ReproError(
+                "--dataset drives the headline experiment; combine it with "
+                "--experiment headline (or all)"
+            )
+        if chosen == "all":
+            # Don't let the default "--experiment all" silently narrow: say
+            # what runs (the other artefacts need simulated condition grids).
+            print(
+                "note: --dataset drives the headline experiment only; "
+                "table1/figure1/figure2/baselines/defenses need simulated runs"
+            )
+        result = reproduce_headline_from_dataset(
+            arguments.dataset,
+            training_sessions_per_environment=1 if quick else 2,
+            workers=workers,
+        )
+        print(
+            format_table(
+                result.rows(),
+                f"Section V — choice recovery over {arguments.dataset}",
+            )
+        )
+        print(
+            f"calibrated on {result.training_sessions} sessions, evaluated "
+            f"{result.evaluated_sessions}; worst case: "
+            f"{result.worst_case_accuracy:.4f} "
+            f"(paper: {result.paper_worst_case_accuracy:.2f})"
+        )
+        return 0
 
     if chosen in ("all", "table1"):
         result = reproduce_table1(viewer_count=20 if quick else 100)

@@ -57,6 +57,17 @@ def build_parser() -> argparse.ArgumentParser:
             "dataset directory"
         ),
     )
+    generate.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "pick an interrupted sharded run back up: skip shards that "
+            "finalised cleanly, quarantine partial ones and regenerate only "
+            "the missing work (run with the same flags as the interrupted "
+            "run and the result is byte-identical to an uninterrupted one); "
+            "requires --shards"
+        ),
+    )
     add_workers_argument(generate)
     generate.set_defaults(handler=commands.cmd_generate_dataset)
 
@@ -69,8 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--train-fraction",
         type=float,
-        default=0.5,
-        help="fraction of viewers used for calibration (default 0.5)",
+        default=None,
+        help=(
+            "fraction of viewers used for calibration (default 0.5; "
+            "incompatible with --sharded, which uses every viewer)"
+        ),
+    )
+    train.add_argument(
+        "--sharded",
+        action="store_true",
+        help=(
+            "treat the dataset as a sharded root (shards.json + shard-*/) "
+            "and fold its shards into the fingerprints one at a time with "
+            "bounded memory"
+        ),
     )
     train.add_argument("--margin", type=int, default=8, help="band widening margin in bytes")
     add_workers_argument(train)
@@ -124,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="use reduced session counts for a fast smoke run",
+    )
+    reproduce.add_argument(
+        "--dataset",
+        default=None,
+        help=(
+            "run the headline experiment over a sharded dataset root written "
+            "by `generate-dataset --shards N` (incremental training + "
+            "streaming evaluation) instead of simulating the condition grid"
+        ),
     )
     add_workers_argument(reproduce)
     reproduce.set_defaults(handler=commands.cmd_reproduce)

@@ -27,7 +27,12 @@ from repro.core.features import (
     extract_client_records,
     record_length_series,
 )
-from repro.core.fingerprint import LengthBand, RecordLengthFingerprint, FingerprintLibrary
+from repro.core.fingerprint import (
+    FingerprintAccumulator,
+    FingerprintLibrary,
+    LengthBand,
+    RecordLengthFingerprint,
+)
 from repro.core.classifier import RecordTypeClassifier, MLRecordClassifier
 from repro.core.inference import ChoiceEvent, InferredChoices, infer_choices, reconstruct_path
 from repro.core.profiling import TraitEstimate, BehavioralProfile, profile_from_choices
@@ -48,6 +53,7 @@ __all__ = [
     "LengthBand",
     "RecordLengthFingerprint",
     "FingerprintLibrary",
+    "FingerprintAccumulator",
     "RecordTypeClassifier",
     "MLRecordClassifier",
     "ChoiceEvent",

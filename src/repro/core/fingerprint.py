@@ -7,6 +7,12 @@ A :class:`RecordLengthFingerprint` stores those two bands for one environment;
 a :class:`FingerprintLibrary` holds one fingerprint per environment
 (OS × browser) and is what the attacker trains during their controlled
 viewing sessions.
+
+Because a band is determined entirely by the minimum and maximum labelled
+length (plus the record count), learning folds: :class:`FingerprintAccumulator`
+keeps that O(environments) running state so training can stream calibration
+records shard by shard — discarding each batch as soon as it is observed —
+and still finalise into exactly the fingerprints batch learning produces.
 """
 
 from __future__ import annotations
@@ -144,6 +150,116 @@ class RecordLengthFingerprint:
             type2_band=LengthBand.from_values(type2_lengths, margin),
             training_records=len(records),
         )
+
+
+class _BandState:
+    """Running min/max of the labelled lengths seen so far for one type."""
+
+    __slots__ = ("minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.minimum: int | None = None
+        self.maximum: int | None = None
+
+    def observe(self, length: int) -> None:
+        if self.minimum is None or length < self.minimum:
+            self.minimum = length
+        if self.maximum is None or length > self.maximum:
+            self.maximum = length
+
+    def band(self, margin: int) -> LengthBand:
+        if self.minimum is None or self.maximum is None:
+            raise FingerprintError("no labelled lengths observed for this band")
+        return LengthBand(low=self.minimum, high=self.maximum).widened(margin)
+
+
+class _EnvironmentState:
+    """One environment's accumulated training state."""
+
+    __slots__ = ("type1", "type2", "record_count")
+
+    def __init__(self) -> None:
+        self.type1 = _BandState()
+        self.type2 = _BandState()
+        self.record_count = 0
+
+
+class FingerprintAccumulator:
+    """Streaming fingerprint learner: fold record batches, finalise once.
+
+    Batch learning (:meth:`RecordLengthFingerprint.learn`) needs every
+    training record of an environment in memory at once.  The accumulator
+    instead keeps only the running minimum/maximum labelled length per record
+    type and the record count — a band depends on nothing else — so an
+    arbitrarily large calibration corpus can be folded in shard by shard
+    (:meth:`repro.core.pipeline.WhiteMirrorAttack.train_incremental`) and the
+    finalised fingerprints are **identical** to batch learning over the
+    concatenation of every batch.
+    """
+
+    def __init__(self) -> None:
+        self._environments: dict[str, _EnvironmentState] = {}
+
+    @property
+    def condition_keys(self) -> tuple[str, ...]:
+        """Environments observed so far, in first-seen order."""
+        return tuple(self._environments.keys())
+
+    @property
+    def record_count(self) -> int:
+        """Total training records folded in so far, across environments."""
+        return sum(state.record_count for state in self._environments.values())
+
+    def observe(self, condition_key: str, records: Iterable[ClientRecord]) -> None:
+        """Fold one batch of labelled records of one environment.
+
+        Unlabelled or ``other``-labelled records count toward the
+        environment's record total (as batch learning counts them) but do
+        not move any band.
+        """
+        if not condition_key:
+            raise FingerprintError("accumulator needs a condition key")
+        state = self._environments.setdefault(condition_key, _EnvironmentState())
+        for record in records:
+            state.record_count += 1
+            if record.label == LABEL_TYPE1:
+                state.type1.observe(record.wire_length)
+            elif record.label == LABEL_TYPE2:
+                state.type2.observe(record.wire_length)
+
+    def fingerprint(self, condition_key: str, margin: int = 2) -> RecordLengthFingerprint:
+        """Finalise one environment's fingerprint from the accumulated state."""
+        try:
+            state = self._environments[condition_key]
+        except KeyError:
+            raise FingerprintError(
+                f"no records accumulated for environment {condition_key!r}; "
+                f"known environments: {sorted(self._environments)}"
+            ) from None
+        if state.type1.minimum is None:
+            raise FingerprintError(
+                f"no labelled type-1 records for environment {condition_key!r}"
+            )
+        if state.type2.minimum is None:
+            raise FingerprintError(
+                f"no labelled type-2 records for environment {condition_key!r}"
+            )
+        return RecordLengthFingerprint(
+            condition_key=condition_key,
+            type1_band=state.type1.band(margin),
+            type2_band=state.type2.band(margin),
+            training_records=state.record_count,
+        )
+
+    def finalize_into(
+        self, library: "FingerprintLibrary", margin: int = 2
+    ) -> "FingerprintLibrary":
+        """Finalise every accumulated environment into ``library``."""
+        if not self._environments:
+            raise FingerprintError("no training records accumulated")
+        for condition_key in self._environments:
+            library.add(self.fingerprint(condition_key, margin=margin))
+        return library
 
 
 class FingerprintLibrary:

@@ -25,7 +25,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.core.classifier import MLRecordClassifier, RecordTypeClassifier
 from repro.core.evaluation import AttackEvaluation, evaluate_attack_result
 from repro.core.features import ClientRecord, select_streaming_flow
-from repro.core.fingerprint import FingerprintLibrary
+from repro.core.fingerprint import FingerprintAccumulator, FingerprintLibrary
 from repro.core.inference import InferredChoices, infer_choices, reconstruct_path
 from repro.core.profiling import BehavioralProfile, profile_from_path
 from repro.engine.cache import RecordCache
@@ -222,6 +222,40 @@ class WhiteMirrorAttack:
         for key, records in grouped.items():
             self._library.learn(key, records, margin=self._margin)
         return self._library
+
+    def train_incremental(
+        self, shards: Iterable[Iterable[SessionResult]], progress: Callable[[int], None] | None = None
+    ) -> FingerprintLibrary:
+        """Learn fingerprints by folding labelled sessions in shard by shard.
+
+        The streaming counterpart of :meth:`train` for calibration corpora
+        that do not fit in memory: ``shards`` yields one batch of labelled
+        sessions per shard (e.g.
+        :meth:`repro.dataset.shards.ShardedDataset.iter_shard_training_sessions`),
+        and each session's records are folded into a running
+        :class:`~repro.core.fingerprint.FingerprintAccumulator` — only the
+        per-environment min/max/count state survives a shard, so peak memory
+        is O(shard), not O(corpus).  The finalised fingerprints are identical
+        to calling :meth:`train` once over the concatenation of every shard:
+        a band depends only on the extreme labelled lengths, which fold.
+
+        ``progress``, when given, is invoked with the running session count
+        after each session is folded.
+        """
+        accumulator = FingerprintAccumulator()
+        folded = 0
+        for shard_sessions in shards:
+            for session in shard_sessions:
+                accumulator.observe(
+                    session.condition.fingerprint_key,
+                    self._records_for(session.trace),
+                )
+                folded += 1
+                if progress is not None:
+                    progress(folded)
+        if folded == 0:
+            raise AttackError("no training sessions supplied")
+        return accumulator.finalize_into(self._library, margin=self._margin)
 
     def train_ml_classifier(
         self, sessions: Iterable[SessionResult], classifier: MLRecordClassifier

@@ -20,7 +20,11 @@ from repro.dataset.attributes import (
     OPERATIONAL_ATTRIBUTES,
     table1_rows,
 )
-from repro.dataset.population import Viewer, generate_population
+from repro.dataset.population import (
+    Viewer,
+    generate_population,
+    viewers_from_metadata_entries,
+)
 from repro.dataset.collection import (
     DataPoint,
     collect_datapoint,
@@ -29,8 +33,11 @@ from repro.dataset.collection import (
 )
 from repro.dataset.format import (
     DatasetWriter,
+    dataset_is_complete,
+    dataset_is_partial,
     load_dataset_metadata,
     save_dataset_metadata,
+    session_config_from_metadata,
 )
 from repro.dataset.loader import (
     LoadedDataPoint,
@@ -48,8 +55,11 @@ from repro.dataset.shards import (
     ShardSlice,
     ShardSummary,
     generate_sharded_dataset,
+    iter_shard_training_sessions,
     merge_shard_summaries,
     plan_shards,
+    quarantine_partial_shard,
+    shard_summary_from_metadata,
 )
 
 __all__ = [
@@ -58,13 +68,17 @@ __all__ = [
     "table1_rows",
     "Viewer",
     "generate_population",
+    "viewers_from_metadata_entries",
     "DataPoint",
     "collect_datapoint",
     "collect_dataset",
     "iter_collect_dataset",
     "DatasetWriter",
+    "dataset_is_complete",
+    "dataset_is_partial",
     "load_dataset_metadata",
     "save_dataset_metadata",
+    "session_config_from_metadata",
     "LoadedDataPoint",
     "LoadedDataset",
     "iter_released_points",
@@ -76,6 +90,9 @@ __all__ = [
     "ShardSlice",
     "ShardSummary",
     "generate_sharded_dataset",
+    "iter_shard_training_sessions",
     "merge_shard_summaries",
     "plan_shards",
+    "quarantine_partial_shard",
+    "shard_summary_from_metadata",
 ]

@@ -40,20 +40,57 @@ Writing happens incrementally through :class:`DatasetWriter`, which persists
 one data point at a time (the streaming generation path hands points over as
 the engine completes them), accumulating only the small JSON entries in
 memory; :func:`save_dataset_metadata` is the one-shot wrapper over it.
+
+A directory being written carries an ``.inprogress`` marker from the moment
+the writer opens until it finalises cleanly, and the metadata index itself is
+published atomically (written to a temporary file, then renamed into place).
+A crash therefore always leaves one of two unambiguous states behind: a
+complete dataset (``metadata.json`` present, no marker) or a partial one
+(marker present and/or no index) that resumable generation can detect and
+quarantine — never a directory that merely *looks* complete.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import asdict
 from pathlib import Path
 from typing import Sequence
 
 from repro.dataset.collection import DataPoint
-from repro.exceptions import DatasetError
+from repro.exceptions import DatasetError, StreamingError
+from repro.narrative.graph import StoryGraph
+from repro.streaming.session import SessionConfig
 
 METADATA_FILENAME = "metadata.json"
 TRACES_DIRNAME = "traces"
+INPROGRESS_FILENAME = ".inprogress"
 FORMAT_VERSION = 1
+
+
+def dataset_is_complete(directory: str | Path) -> bool:
+    """Whether ``directory`` holds a cleanly finalised dataset.
+
+    Complete means the metadata index exists *and* no ``.inprogress`` marker
+    is left over from an interrupted writer.  The index's contents are not
+    validated here; use :func:`load_dataset_metadata` for that.
+    """
+    directory = Path(directory)
+    return (directory / METADATA_FILENAME).exists() and not (
+        directory / INPROGRESS_FILENAME
+    ).exists()
+
+
+def dataset_is_partial(directory: str | Path) -> bool:
+    """Whether ``directory`` holds the debris of an interrupted write.
+
+    Partial means the directory exists but is not complete: either the
+    ``.inprogress`` marker survived a crash, or packet traces were written
+    without the metadata index ever being published.
+    """
+    directory = Path(directory)
+    return directory.exists() and not dataset_is_complete(directory)
 
 
 class DatasetWriter:
@@ -66,6 +103,11 @@ class DatasetWriter:
     :meth:`close` (or exiting the context manager without an error) writes
     ``metadata.json``; the resulting directory is byte-identical to what
     :func:`save_dataset_metadata` produces for the same points.
+
+    The writer drops an ``.inprogress`` marker into the directory on open and
+    removes it only after the metadata index has been atomically renamed into
+    place, so an interrupted run is always detectable (see
+    :func:`dataset_is_partial`).
     """
 
     def __init__(
@@ -74,6 +116,8 @@ class DatasetWriter:
         dataset_name: str = "iitm-bandersnatch-synthetic",
         write_pcaps: bool = True,
         seed: int | None = None,
+        config: SessionConfig | None = None,
+        graph: StoryGraph | None = None,
     ) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
@@ -81,8 +125,11 @@ class DatasetWriter:
         self._dataset_name = dataset_name
         self._write_pcaps = write_pcaps
         self._seed = seed
+        self._config = config
+        self._graph = graph
         self._entries: list[dict[str, object]] = []
         self._closed = False
+        self.inprogress_path.touch()
 
     @property
     def directory(self) -> Path:
@@ -93,6 +140,11 @@ class DatasetWriter:
     def metadata_path(self) -> Path:
         """Where ``metadata.json`` lives (written on :meth:`close`)."""
         return self._directory / METADATA_FILENAME
+
+    @property
+    def inprogress_path(self) -> Path:
+        """The marker that flags the directory as mid-write."""
+        return self._directory / INPROGRESS_FILENAME
 
     @property
     def entry_count(self) -> int:
@@ -133,7 +185,23 @@ class DatasetWriter:
             # Stored so tooling (e.g. the CLI's `train` command) can regenerate
             # the labelled sessions; a real released dataset would omit it.
             metadata["seed"] = int(self._seed)
-        self.metadata_path.write_text(json.dumps(metadata, indent=2), encoding="utf-8")
+        if self._config is not None:
+            # Stored so re-simulation (training, resume validation) replays
+            # the sessions under exactly the configuration that produced the
+            # pcaps, instead of trusting the caller to repeat unrecorded
+            # flags; like the seed, a real released dataset would omit it.
+            metadata["session_config"] = asdict(self._config)
+        if self._graph is not None:
+            # The story graph itself is code, not data; its digest is enough
+            # for re-simulation and resume to refuse a *different* script
+            # rather than silently replaying the wrong one.
+            metadata["graph_fingerprint"] = self._graph.fingerprint()
+        # Publish atomically: a reader (or a resumed run) can never observe a
+        # truncated index, only its presence or absence.
+        staging_path = self.metadata_path.with_name(METADATA_FILENAME + ".tmp")
+        staging_path.write_text(json.dumps(metadata, indent=2), encoding="utf-8")
+        os.replace(staging_path, self.metadata_path)
+        self.inprogress_path.unlink(missing_ok=True)
         self._closed = True
         return self.metadata_path
 
@@ -153,6 +221,8 @@ def save_dataset_metadata(
     dataset_name: str = "iitm-bandersnatch-synthetic",
     write_pcaps: bool = True,
     seed: int | None = None,
+    config: SessionConfig | None = None,
+    graph: StoryGraph | None = None,
 ) -> Path:
     """Write the metadata index (and optionally per-viewer pcaps).
 
@@ -161,11 +231,33 @@ def save_dataset_metadata(
     if not points:
         raise DatasetError("cannot save an empty dataset")
     with DatasetWriter(
-        directory, dataset_name=dataset_name, write_pcaps=write_pcaps, seed=seed
+        directory,
+        dataset_name=dataset_name,
+        write_pcaps=write_pcaps,
+        seed=seed,
+        config=config,
+        graph=graph,
     ) as writer:
         for point in points:
             writer.add(point)
     return writer.metadata_path
+
+
+def session_config_from_metadata(metadata: dict[str, object]) -> SessionConfig | None:
+    """The session configuration a dataset records, if any.
+
+    Datasets written before configs were recorded return ``None``; callers
+    fall back to their own default.
+    """
+    data = metadata.get("session_config")
+    if data is None:
+        return None
+    try:
+        return SessionConfig(**data)  # type: ignore[arg-type]
+    except (TypeError, ValueError, StreamingError) as error:
+        raise DatasetError(
+            f"dataset metadata records an invalid session_config: {error}"
+        ) from error
 
 
 def load_dataset_metadata(directory: str | Path) -> dict[str, object]:

@@ -101,12 +101,14 @@ class IITMBandersnatchDataset:
         points: Sequence[DataPoint],
         graph: StoryGraph,
         seed: int,
+        config: SessionConfig | None = None,
     ) -> None:
         if not points:
             raise DatasetError("a dataset must contain at least one data point")
         self._points = tuple(points)
         self._graph = graph
         self._seed = seed
+        self._config = config
 
     # -- construction -------------------------------------------------------
 
@@ -136,7 +138,7 @@ class IITMBandersnatchDataset:
             progress=progress,
             workers=workers,
         )
-        return cls(points=points, graph=graph, seed=seed)
+        return cls(points=points, graph=graph, seed=seed, config=config)
 
     @classmethod
     def generate_streaming(
@@ -165,7 +167,13 @@ class IITMBandersnatchDataset:
         graph = graph or default_study_script()
         viewers = generate_population(viewer_count, seed=seed)
         accumulator = SummaryAccumulator()
-        with DatasetWriter(directory, write_pcaps=write_pcaps, seed=seed) as writer:
+        with DatasetWriter(
+            directory,
+            write_pcaps=write_pcaps,
+            seed=seed,
+            config=config or SessionConfig(),
+            graph=graph,
+        ) as writer:
             for point in iter_collect_dataset(
                 viewers,
                 dataset_seed=seed,
@@ -287,5 +295,10 @@ class IITMBandersnatchDataset:
     def save(self, directory: str | Path, write_pcaps: bool = True) -> Path:
         """Persist metadata (and optionally pcaps) under ``directory``."""
         return save_dataset_metadata(
-            self._points, directory, write_pcaps=write_pcaps, seed=self._seed
+            self._points,
+            directory,
+            write_pcaps=write_pcaps,
+            seed=self._seed,
+            config=self._config or SessionConfig(),
+            graph=self._graph,
         )

@@ -53,6 +53,25 @@ class Viewer:
         )
 
 
+def viewers_from_metadata_entries(
+    entries: object, source: object
+) -> list[Viewer]:
+    """Rebuild the viewer list from a dataset's metadata entries.
+
+    Shared by every consumer that re-simulates a saved dataset's sessions
+    (``repro train``, shard-by-shard incremental training); a malformed
+    entry raises a :class:`DatasetError` naming ``source`` rather than a
+    bare ``KeyError``.
+    """
+    try:
+        return [Viewer.from_dict(entry["viewer"]) for entry in entries]  # type: ignore[index, union-attr]
+    except (KeyError, TypeError) as error:
+        raise DatasetError(
+            f"dataset metadata at {source} has a malformed viewer entry: "
+            f"{error!r}"
+        ) from error
+
+
 #: Marginal distributions used when sampling viewers.  They are deliberately
 #: non-uniform (most volunteers used wired desktops at noon, etc.) so the
 #: dataset has realistic class imbalance, while every value keeps non-zero

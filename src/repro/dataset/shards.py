@@ -19,26 +19,55 @@ Peak memory during generation is O(shard), not O(population): each shard is
 generated through :func:`repro.dataset.collection.iter_collect_dataset` and
 persisted point by point, and only the merged summary statistics survive the
 shard's lifetime.
+
+Generation is **resumable**: because every shard is finalised atomically
+(:class:`repro.dataset.format.DatasetWriter` keeps an ``.inprogress`` marker
+until the metadata index is renamed into place), a crashed run leaves each
+shard either complete or detectably partial.  ``resume=True`` skips complete
+shards (their summaries are recomputed from the metadata index alone — no
+pcap is re-read), quarantines partial ones aside, and regenerates only what
+is missing; the resumed output is byte-identical to an uninterrupted run
+because every session's bytes derive from ``(dataset seed, viewer id)``
+alone.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import os
+import re
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Mapping, Sequence
 
+from repro.client.profiles import OperationalCondition
 from repro.dataset.collection import default_study_script, iter_collect_dataset
-from repro.dataset.format import DatasetWriter, load_dataset_metadata
+from repro.dataset.format import (
+    DatasetWriter,
+    METADATA_FILENAME,
+    dataset_is_complete,
+    dataset_is_partial,
+    load_dataset_metadata,
+    session_config_from_metadata,
+)
 from repro.dataset.iitm import DatasetSummary, SummaryAccumulator
 from repro.dataset.loader import LoadedDataPoint, iter_released_points
-from repro.dataset.population import generate_population
+from repro.dataset.population import (
+    Viewer,
+    generate_population,
+    viewers_from_metadata_entries,
+)
 from repro.exceptions import DatasetError
 from repro.narrative.graph import StoryGraph
-from repro.streaming.session import SessionConfig
+from repro.streaming.session import SessionConfig, SessionResult
 
 SHARDS_MANIFEST_FILENAME = "shards.json"
 SHARDS_FORMAT_VERSION = 1
+
+#: Shard states reported to ``generate_sharded_dataset``'s status callback.
+SHARD_GENERATED = "generated"
+SHARD_SKIPPED = "skipped"
+SHARD_QUARANTINED = "quarantined"
 
 
 def shard_dirname(index: int) -> str:
@@ -168,6 +197,130 @@ def merge_shard_summaries(summaries: Sequence[ShardSummary]) -> DatasetSummary:
     )
 
 
+def shard_summary_from_metadata(
+    directory: str | Path,
+    index: int,
+    metadata: Mapping[str, object] | None = None,
+) -> ShardSummary:
+    """Rebuild a completed shard's summary from its metadata index alone.
+
+    Everything a :class:`ShardSummary` records (choice counts, packet counts,
+    condition keys) is present in the per-viewer metadata entries, so a
+    resumed run can account for an already-complete shard without re-parsing
+    a single pcap.  The result is identical to the summary the original
+    generation accumulated while streaming the shard.  ``metadata`` lets a
+    caller that already parsed the index pass it in instead of paying the
+    load twice.
+    """
+    directory = Path(directory)
+    if metadata is None:
+        metadata = load_dataset_metadata(directory)
+    total_choices = 0
+    non_default_choices = 0
+    total_packets = 0
+    condition_keys: set[str] = set()
+    try:
+        for entry in metadata["entries"]:
+            choices = entry["choices"]
+            total_choices += len(choices)
+            non_default_choices += sum(
+                1 for choice in choices if not choice["took_default"]
+            )
+            total_packets += int(entry["packet_count"])
+            condition = OperationalCondition.from_dict(entry["viewer"]["condition"])
+            condition_keys.add(condition.key)
+    except (KeyError, TypeError) as error:
+        raise DatasetError(
+            f"shard metadata at {directory} is malformed: {error!r}"
+        ) from error
+    return ShardSummary(
+        index=index,
+        directory=directory.name,
+        viewer_count=int(metadata["viewer_count"]),
+        total_choices=total_choices,
+        non_default_choices=non_default_choices,
+        total_packets=total_packets,
+        condition_keys=tuple(sorted(condition_keys)),
+    )
+
+
+def quarantine_partial_shard(shard_directory: str | Path) -> Path:
+    """Move a partially-written shard aside; returns its new location.
+
+    The debris is renamed to ``<shard>.quarantined-<n>`` (first free ``n``)
+    rather than deleted, so an operator can inspect what an interrupted run
+    left behind while the resumed run regenerates the shard from scratch.
+    """
+    shard_directory = Path(shard_directory)
+    if not shard_directory.exists():
+        raise DatasetError(f"no shard directory to quarantine at {shard_directory}")
+    for attempt in range(1000):
+        target = shard_directory.with_name(
+            f"{shard_directory.name}.quarantined-{attempt:03d}"
+        )
+        if not target.exists():
+            shard_directory.rename(target)
+            return target
+    raise DatasetError(
+        f"too many quarantined copies of {shard_directory.name}; clean them up"
+    )
+
+
+def iter_shard_training_sessions(
+    shard_directory: str | Path,
+    graph: StoryGraph | None = None,
+    config: SessionConfig | None = None,
+    workers: int | None = None,
+    viewer_filter: Callable[[Viewer], bool] | None = None,
+) -> Iterator[SessionResult]:
+    """Lazily re-simulate one shard's labelled calibration sessions.
+
+    The shard's viewers are rebuilt from its metadata entries and their
+    sessions replayed from the recorded generation seed through the streaming
+    collection path, so the yielded :class:`SessionResult`\\ s carry the
+    ground-truth record annotations that training needs while only an engine
+    window of sessions is ever alive.
+
+    ``viewer_filter`` selects a subset of the shard's viewers to simulate.
+    Every session's seed derives from the dataset seed and the viewer id
+    alone, so a filtered run yields sessions byte-identical to the
+    corresponding ones of an unfiltered run — callers that only need part of
+    a shard (e.g. a calibration split) never pay for the rest.
+    """
+    shard_directory = Path(shard_directory)
+    metadata = load_dataset_metadata(shard_directory)
+    if "seed" not in metadata:
+        raise DatasetError(
+            f"dataset metadata at {shard_directory} does not record its "
+            "generation seed, so its labelled sessions cannot be re-simulated"
+        )
+    graph = graph or default_study_script()
+    recorded_fingerprint = metadata.get("graph_fingerprint")
+    if recorded_fingerprint is not None and recorded_fingerprint != graph.fingerprint():
+        raise DatasetError(
+            f"dataset at {shard_directory} was generated with a different "
+            "story graph than the one supplied for re-simulation; replayed "
+            "sessions would not match the stored traces (pass the "
+            "generating graph)"
+        )
+    viewers = viewers_from_metadata_entries(metadata["entries"], shard_directory)
+    if viewer_filter is not None:
+        viewers = [viewer for viewer in viewers if viewer_filter(viewer)]
+        if not viewers:
+            return
+    for point in iter_collect_dataset(
+        viewers,
+        dataset_seed=int(metadata["seed"]),
+        graph=graph,
+        # The metadata records the generating configuration, so replayed
+        # sessions match the stored pcaps byte for byte; an explicit config
+        # (or a pre-recording dataset) falls back to the caller's choice.
+        config=config or session_config_from_metadata(metadata),
+        workers=workers,
+    ):
+        yield point.session
+
+
 class ShardedDataset:
     """A sharded on-disk dataset: a manifest plus per-shard directories."""
 
@@ -237,6 +390,45 @@ class ShardedDataset:
         for shard_directory in self.shard_directories():
             yield from iter_released_points(shard_directory)
 
+    def iter_shard_points(self) -> Iterator[Iterator[LoadedDataPoint]]:
+        """Iterate the population one shard at a time.
+
+        Yields, per shard, a lazy iterator over that shard's loaded data
+        points — the shape :meth:`repro.core.pipeline.WhiteMirrorAttack`'s
+        incremental consumers fold over: each shard's points can be processed
+        and discarded before the next shard's metadata is even opened.
+        """
+        for shard_directory in self.shard_directories():
+            yield iter_released_points(shard_directory)
+
+    def iter_shard_training_sessions(
+        self,
+        graph: StoryGraph | None = None,
+        config: SessionConfig | None = None,
+        workers: int | None = None,
+        viewer_filter: Callable[[Viewer], bool] | None = None,
+    ) -> Iterator[Iterator[SessionResult]]:
+        """Re-simulate the population's labelled sessions, one shard at a time.
+
+        The pcaps on disk carry no ground-truth labels (by design), so
+        calibration re-simulates each shard's sessions from its metadata
+        entries and the recorded seed — exactly what the researcher who
+        generated the dataset can do.  Yields one lazy session iterator per
+        shard (``viewer_filter`` restricts which viewers are simulated);
+        consumed shard by shard
+        (:meth:`repro.core.pipeline.WhiteMirrorAttack.train_incremental`),
+        peak memory holds one engine window of sessions, never the
+        population.
+        """
+        for shard_directory in self.shard_directories():
+            yield iter_shard_training_sessions(
+                shard_directory,
+                graph=graph,
+                config=config,
+                workers=workers,
+                viewer_filter=viewer_filter,
+            )
+
     def __iter__(self) -> Iterator[LoadedDataPoint]:
         return self.iter_points()
 
@@ -249,7 +441,12 @@ class ShardedDataset:
         return self._directory / SHARDS_MANIFEST_FILENAME
 
     def save_manifest(self) -> Path:
-        """Write the shards manifest; returns its path."""
+        """Write the shards manifest atomically; returns its path.
+
+        Same staging + rename pattern as the per-shard metadata index: a
+        reader can observe the manifest's presence or absence, never a
+        truncated write.
+        """
         manifest = {
             "name": self._name,
             "format_version": SHARDS_FORMAT_VERSION,
@@ -258,9 +455,9 @@ class ShardedDataset:
             "shard_count": self.shard_count,
             "shards": [summary.as_dict() for summary in self._shard_summaries],
         }
-        self.manifest_path.write_text(
-            json.dumps(manifest, indent=2), encoding="utf-8"
-        )
+        staging_path = self.manifest_path.with_name(SHARDS_MANIFEST_FILENAME + ".tmp")
+        staging_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        os.replace(staging_path, self.manifest_path)
         return self.manifest_path
 
     @classmethod
@@ -268,14 +465,34 @@ class ShardedDataset:
         """Load a sharded dataset from its manifest.
 
         Only the manifest and each shard's metadata index are validated up
-        front; pcaps are parsed lazily by :meth:`iter_points`.
+        front; pcaps are parsed lazily by :meth:`iter_points`.  Every failure
+        mode — a directory that is not a sharded dataset, a manifest with
+        missing fields, a shard left incomplete by an interrupted generation
+        run — raises a :class:`DatasetError` that says what was found and
+        what to do about it, never a bare ``KeyError``/``FileNotFoundError``.
         """
         directory = Path(directory)
         manifest_path = directory / SHARDS_MANIFEST_FILENAME
+        if not manifest_path.exists():
+            if (directory / METADATA_FILENAME).exists():
+                raise DatasetError(
+                    f"{directory} is a single (non-sharded) dataset directory: "
+                    f"it has a {METADATA_FILENAME} but no {SHARDS_MANIFEST_FILENAME}"
+                )
+            raise DatasetError(
+                f"{directory} is not a sharded dataset: no "
+                f"{SHARDS_MANIFEST_FILENAME} manifest found (generate one with "
+                "`repro generate-dataset --shards N`)"
+            )
         try:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as error:
             raise DatasetError(f"cannot load shards manifest: {error}") from error
+        if not isinstance(manifest, dict):
+            raise DatasetError(
+                f"shards manifest at {manifest_path} must be a JSON object, "
+                f"got {type(manifest).__name__}"
+            )
         for key in ("name", "format_version", "seed", "viewer_count", "shards"):
             if key not in manifest:
                 raise DatasetError(f"shards manifest is missing the {key!r} field")
@@ -283,7 +500,13 @@ class ShardedDataset:
             raise DatasetError(
                 f"unsupported shards manifest version {manifest['format_version']}"
             )
-        summaries = [ShardSummary.from_dict(entry) for entry in manifest["shards"]]
+        try:
+            summaries = [ShardSummary.from_dict(entry) for entry in manifest["shards"]]
+        except (KeyError, TypeError, ValueError) as error:
+            raise DatasetError(
+                f"shards manifest at {manifest_path} has a malformed shard "
+                f"entry: {error!r}"
+            ) from error
         if sum(summary.viewer_count for summary in summaries) != int(
             manifest["viewer_count"]
         ):
@@ -292,12 +515,31 @@ class ShardedDataset:
             )
         for summary in summaries:
             shard_directory = directory / summary.directory
+            if dataset_is_partial(shard_directory) or not shard_directory.exists():
+                raise DatasetError(
+                    f"shard {summary.directory} of {directory} is "
+                    f"{'incomplete' if shard_directory.exists() else 'missing'} "
+                    "(interrupted generation?); re-run "
+                    "`repro generate-dataset --shards N --resume` to repair it"
+                )
             metadata = load_dataset_metadata(shard_directory)
             if metadata["viewer_count"] != summary.viewer_count:
                 raise DatasetError(
                     f"shard {summary.directory} holds {metadata['viewer_count']} "
                     f"viewers but the manifest records {summary.viewer_count}"
                 )
+            # A shard from a different generation run must not be silently
+            # mixed in (e.g. a re-run with new parameters that crashed before
+            # rewriting every shard).
+            for field in ("seed", "name"):
+                if metadata.get(field) != manifest[field]:
+                    raise DatasetError(
+                        f"shard {summary.directory} records "
+                        f"{field}={metadata.get(field)!r} but the manifest "
+                        f"records {manifest[field]!r} (mixed generation "
+                        "runs?); re-run `repro generate-dataset --shards N "
+                        "--resume` to regenerate the foreign shards"
+                    )
         return cls(
             directory=directory,
             name=str(manifest["name"]),
@@ -305,6 +547,71 @@ class ShardedDataset:
             viewer_count=int(manifest["viewer_count"]),
             shard_summaries=summaries,
         )
+
+
+def _reusable_shard_summary(
+    shard_directory: Path,
+    shard_slice: ShardSlice,
+    viewers: Sequence[Viewer],
+    seed: int,
+    write_pcaps: bool,
+    dataset_name: str,
+    config: SessionConfig,
+    graph_fingerprint: str,
+) -> ShardSummary | None:
+    """The completed shard's summary, or ``None`` if it must be regenerated.
+
+    A shard is reusable only when it finalised cleanly *and* its metadata
+    provably belongs to this run: same dataset name, generation seed,
+    recorded session configuration and story-graph fingerprint, exactly the
+    viewer ids of this shard's population slice, and every trace file both
+    recorded and still on disk iff this run writes pcaps.  Anything else —
+    debris of a different population, a stale seed, a shard saved under
+    different flags, session config or script, a deleted pcap, a
+    half-written index — is treated as partial and handed to the quarantine
+    path.
+    """
+    if not dataset_is_complete(shard_directory):
+        return None
+    try:
+        metadata = load_dataset_metadata(shard_directory)
+    except DatasetError:
+        return None
+    if metadata.get("seed") != seed or metadata.get("name") != dataset_name:
+        return None
+    if metadata.get("session_config") != asdict(config):
+        return None
+    if metadata.get("graph_fingerprint") != graph_fingerprint:
+        return None
+    expected_ids = [
+        viewer.viewer_id for viewer in viewers[shard_slice.start : shard_slice.stop]
+    ]
+    try:
+        found_ids = [
+            str(entry["viewer"]["viewer_id"]) for entry in metadata["entries"]
+        ]
+        trace_files = [
+            entry.get("trace_file") for entry in metadata["entries"]
+        ]
+    except (KeyError, TypeError, AttributeError):
+        return None
+    if found_ids != expected_ids:
+        return None
+    if write_pcaps:
+        if any(
+            trace_file is None
+            or not (shard_directory / str(trace_file)).exists()
+            for trace_file in trace_files
+        ):
+            return None
+    elif any(trace_file is not None for trace_file in trace_files):
+        return None
+    try:
+        return shard_summary_from_metadata(
+            shard_directory, shard_slice.index, metadata=metadata
+        )
+    except DatasetError:
+        return None
 
 
 def generate_sharded_dataset(
@@ -318,6 +625,8 @@ def generate_sharded_dataset(
     write_pcaps: bool = True,
     dataset_name: str = "iitm-bandersnatch-synthetic",
     progress: Callable[[int, int], None] | None = None,
+    resume: bool = False,
+    status: Callable[[ShardSlice, str], None] | None = None,
 ) -> ShardedDataset:
     """Generate a population as shards, streaming each shard to disk.
 
@@ -327,22 +636,82 @@ def generate_sharded_dataset(
     completes them.  ``progress`` is invoked as ``(done_viewers,
     viewer_count)`` across the whole population.
 
+    With ``resume=True`` an interrupted run is picked up where it stopped:
+    shards that finalised cleanly (and verifiably belong to this population
+    and seed) are skipped without re-reading a pcap, partially-written shards
+    are moved aside via :func:`quarantine_partial_shard`, and only the
+    missing work is regenerated.  Session seeds derive from the dataset seed
+    and the viewer id alone, so the resumed directory is byte-identical to
+    one produced by a single uninterrupted run; shards whose recorded name,
+    seed, session configuration or pcap layout does not match this call's
+    arguments are detected and regenerated rather than absorbed.
+    ``status``, when given, is
+    invoked once per shard with the slice and one of ``SHARD_GENERATED``,
+    ``SHARD_SKIPPED`` or ``SHARD_QUARANTINED`` (a quarantined shard also
+    reports ``SHARD_GENERATED`` once regenerated).
+
     Returns the :class:`ShardedDataset`, with its manifest already written.
     """
     directory = Path(directory)
     graph = graph or default_study_script()
+    config = config or SessionConfig()
     slices = plan_shards(viewer_count, shard_count)
     viewers = generate_population(viewer_count, seed=seed)
     directory.mkdir(parents=True, exist_ok=True)
+    # Invalidate any previous run's manifest up front: it is rewritten only
+    # after every shard is in place, so a run that crashes mid-way can never
+    # leave a stale manifest pointing at a mixture of old and new shards.
+    (directory / SHARDS_MANIFEST_FILENAME).unlink(missing_ok=True)
+    # Shard directories beyond this run's plan (debris of an earlier run
+    # with a larger shard count) would otherwise survive untouched and look
+    # like valid data; move them aside with the other quarantined debris.
+    for existing in sorted(directory.iterdir()):
+        match = re.fullmatch(r"shard-(\d{3,})", existing.name)
+        if match and existing.is_dir() and int(match.group(1)) >= len(slices):
+            quarantine_partial_shard(existing)
+
+    def report(shard_slice: ShardSlice, state: str) -> None:
+        if status is not None:
+            status(shard_slice, state)
+
     shard_summaries: list[ShardSummary] = []
+    graph_fingerprint = graph.fingerprint()
     done = 0
     for shard_slice in slices:
+        shard_directory = directory / shard_slice.dirname
+        if resume:
+            summary = _reusable_shard_summary(
+                shard_directory,
+                shard_slice,
+                viewers,
+                seed,
+                write_pcaps,
+                dataset_name,
+                config,
+                graph_fingerprint,
+            )
+            if summary is not None:
+                shard_summaries.append(summary)
+                done += summary.viewer_count
+                report(shard_slice, SHARD_SKIPPED)
+                if progress is not None:
+                    progress(done, viewer_count)
+                continue
+        if shard_directory.exists():
+            # In-plan debris (a partial shard, or any previous run's shard
+            # when not resuming) is moved aside, never overwritten in place:
+            # stale pcaps surviving inside a rewritten shard would look like
+            # valid viewers to anything that globs the traces directory.
+            quarantine_partial_shard(shard_directory)
+            report(shard_slice, SHARD_QUARANTINED)
         accumulator = SummaryAccumulator()
         with DatasetWriter(
-            directory / shard_slice.dirname,
+            shard_directory,
             dataset_name=dataset_name,
             write_pcaps=write_pcaps,
             seed=seed,
+            config=config,
+            graph=graph,
         ) as writer:
             for point in iter_collect_dataset(
                 viewers[shard_slice.start : shard_slice.stop],
@@ -368,6 +737,7 @@ def generate_sharded_dataset(
                 condition_keys=accumulator.condition_keys,
             )
         )
+        report(shard_slice, SHARD_GENERATED)
     dataset = ShardedDataset(
         directory=directory,
         name=dataset_name,

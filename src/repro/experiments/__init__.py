@@ -10,7 +10,13 @@ from repro.experiments.conditions import headline_conditions
 from repro.experiments.table1 import Table1Result, reproduce_table1
 from repro.experiments.figure1 import Figure1Result, reproduce_figure1
 from repro.experiments.figure2 import Figure2Result, paper_bins_for, reproduce_figure2
-from repro.experiments.headline import HeadlineResult, reproduce_headline
+from repro.experiments.headline import (
+    DatasetHeadlineResult,
+    EnvironmentAccuracy,
+    HeadlineResult,
+    reproduce_headline,
+    reproduce_headline_from_dataset,
+)
 from repro.experiments.baseline_comparison import BaselineComparisonResult, reproduce_baseline_comparison
 from repro.experiments.defense_ablation import DefenseAblationResult, reproduce_defense_ablation
 from repro.experiments.ablation_classifiers import (
@@ -38,6 +44,9 @@ __all__ = [
     "reproduce_figure2",
     "HeadlineResult",
     "reproduce_headline",
+    "DatasetHeadlineResult",
+    "EnvironmentAccuracy",
+    "reproduce_headline_from_dataset",
     "BaselineComparisonResult",
     "reproduce_baseline_comparison",
     "DefenseAblationResult",

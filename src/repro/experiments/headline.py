@@ -10,20 +10,29 @@ environment, then evaluates choice recovery on ``sessions_per_condition``
 held-out sessions under every condition in the evaluation spread, and reports
 per-condition accuracy, the aggregate and — the paper's number — the worst
 case across conditions.
+
+:func:`reproduce_headline_from_dataset` is the scale-out variant: instead of
+simulating its own condition grid it consumes a **sharded on-disk dataset**
+directly, training incrementally shard by shard and streaming the evaluation,
+so the same experiment runs over populations far larger than memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.client.profiles import OperationalCondition
 from repro.client.viewer import ViewerBehavior
 from repro.core.evaluation import (
+    AttackEvaluation,
     aggregate_choice_accuracy,
     aggregate_json_identification_accuracy,
     worst_case_accuracy,
 )
 from repro.core.pipeline import WhiteMirrorAttack
+from repro.dataset.collection import default_study_script
+from repro.dataset.shards import ShardedDataset
 from repro.engine.executor import BatchExecutor
 from repro.engine.plan import SessionPlan
 from repro.exceptions import AttackError
@@ -44,6 +53,28 @@ _BEHAVIOR_POOL = [
 ]
 
 
+def _accuracy_row(
+    key_column: str,
+    key: str,
+    sessions: object,
+    json_identification_accuracy: object,
+    choice_accuracy: object,
+    exact_paths_recovered: object,
+) -> dict[str, object]:
+    """One row of a headline table, keyed by condition or environment.
+
+    Shared by the simulated-grid and dataset-driven result types so the two
+    ``repro reproduce`` tables cannot drift apart column-wise.
+    """
+    return {
+        key_column: key,
+        "sessions": sessions,
+        "json_identification_accuracy": json_identification_accuracy,
+        "choice_accuracy": choice_accuracy,
+        "exact_paths_recovered": exact_paths_recovered,
+    }
+
+
 @dataclass(frozen=True)
 class ConditionAccuracy:
     """Accuracy of the attack under one operational condition."""
@@ -57,13 +88,14 @@ class ConditionAccuracy:
 
     def as_row(self) -> dict[str, object]:
         """One row of the headline table."""
-        return {
-            "condition": self.condition.key,
-            "sessions": self.sessions,
-            "json_identification_accuracy": round(self.json_identification_accuracy, 4),
-            "choice_accuracy": round(self.choice_accuracy, 4),
-            "exact_paths_recovered": self.exact_paths_recovered,
-        }
+        return _accuracy_row(
+            "condition",
+            self.condition.key,
+            self.sessions,
+            round(self.json_identification_accuracy, 4),
+            round(self.choice_accuracy, 4),
+            self.exact_paths_recovered,
+        )
 
 
 @dataclass(frozen=True)
@@ -92,28 +124,245 @@ class HeadlineResult:
         """All per-condition rows plus the summary rows."""
         rows = [entry.as_row() for entry in self.per_condition]
         rows.append(
-            {
-                "condition": "AGGREGATE",
-                "sessions": sum(entry.sessions for entry in self.per_condition),
-                "json_identification_accuracy": round(
-                    self.aggregate_json_identification_accuracy, 4
-                ),
-                "choice_accuracy": round(self.aggregate_choice_accuracy, 4),
-                "exact_paths_recovered": sum(
-                    entry.exact_paths_recovered for entry in self.per_condition
-                ),
-            }
+            _accuracy_row(
+                "condition",
+                "AGGREGATE",
+                sum(entry.sessions for entry in self.per_condition),
+                round(self.aggregate_json_identification_accuracy, 4),
+                round(self.aggregate_choice_accuracy, 4),
+                sum(entry.exact_paths_recovered for entry in self.per_condition),
+            )
         )
         rows.append(
-            {
-                "condition": f"WORST CASE ({self.worst_case_condition})",
-                "sessions": "",
-                "json_identification_accuracy": round(self.worst_case_accuracy, 4),
-                "choice_accuracy": round(self.worst_case_choice_accuracy, 4),
-                "exact_paths_recovered": "",
-            }
+            _accuracy_row(
+                "condition",
+                f"WORST CASE ({self.worst_case_condition})",
+                "",
+                round(self.worst_case_accuracy, 4),
+                round(self.worst_case_choice_accuracy, 4),
+                "",
+            )
         )
         return rows
+
+
+class _EnvironmentScore:
+    """Streaming accumulator of one environment's evaluation sums.
+
+    Holds only counters, so evaluating a million-session dataset keeps
+    O(environments) state rather than a list of per-session evaluations.
+    The derived accuracies match the list-based aggregation helpers exactly.
+    """
+
+    __slots__ = (
+        "sessions",
+        "ground_truth_choices",
+        "correct_choices",
+        "json_denominator",
+        "correct_json_records",
+        "record_accuracy_sum",
+        "exact_paths",
+    )
+
+    def __init__(self) -> None:
+        self.sessions = 0
+        self.ground_truth_choices = 0
+        self.correct_choices = 0
+        self.json_denominator = 0
+        self.correct_json_records = 0
+        self.record_accuracy_sum = 0.0
+        self.exact_paths = 0
+
+    def add(self, evaluation: AttackEvaluation) -> None:
+        self.sessions += 1
+        self.ground_truth_choices += evaluation.ground_truth_choices
+        self.correct_choices += evaluation.correct_choices
+        self.json_denominator += (
+            evaluation.true_json_records + evaluation.false_positive_json_records
+        )
+        self.correct_json_records += evaluation.correct_json_records
+        self.record_accuracy_sum += evaluation.record_accuracy
+        self.exact_paths += 1 if evaluation.exact_path_recovered else 0
+
+    @property
+    def choice_accuracy(self) -> float:
+        if self.ground_truth_choices == 0:
+            raise AttackError("environment has no ground-truth choices to score")
+        return self.correct_choices / self.ground_truth_choices
+
+    @property
+    def json_identification_accuracy(self) -> float:
+        if self.json_denominator == 0:
+            raise AttackError("environment contains no state-report records to score")
+        return self.correct_json_records / self.json_denominator
+
+
+@dataclass(frozen=True)
+class EnvironmentAccuracy:
+    """Accuracy of the attack over one environment (OS × browser) of a dataset."""
+
+    environment: str
+    sessions: int
+    json_identification_accuracy: float
+    choice_accuracy: float
+    record_accuracy: float
+    exact_paths_recovered: int
+
+    def as_row(self) -> dict[str, object]:
+        """One row of the dataset headline table."""
+        return _accuracy_row(
+            "environment",
+            self.environment,
+            self.sessions,
+            round(self.json_identification_accuracy, 4),
+            round(self.choice_accuracy, 4),
+            self.exact_paths_recovered,
+        )
+
+
+@dataclass(frozen=True)
+class DatasetHeadlineResult:
+    """The Section V result reproduced over a sharded on-disk dataset."""
+
+    per_environment: list[EnvironmentAccuracy]
+    aggregate_json_identification_accuracy: float
+    aggregate_choice_accuracy: float
+    worst_case_environment: str
+    worst_case_accuracy: float
+    worst_case_choice_accuracy: float
+    training_sessions: int
+    evaluated_sessions: int
+    paper_worst_case_accuracy: float = PAPER_WORST_CASE_ACCURACY
+
+    def rows(self) -> list[dict[str, object]]:
+        """All per-environment rows plus the summary rows."""
+        rows = [entry.as_row() for entry in self.per_environment]
+        rows.append(
+            _accuracy_row(
+                "environment",
+                "AGGREGATE",
+                self.evaluated_sessions,
+                round(self.aggregate_json_identification_accuracy, 4),
+                round(self.aggregate_choice_accuracy, 4),
+                sum(entry.exact_paths_recovered for entry in self.per_environment),
+            )
+        )
+        rows.append(
+            _accuracy_row(
+                "environment",
+                f"WORST CASE ({self.worst_case_environment})",
+                "",
+                round(self.worst_case_accuracy, 4),
+                round(self.worst_case_choice_accuracy, 4),
+                "",
+            )
+        )
+        return rows
+
+
+def reproduce_headline_from_dataset(
+    dataset: ShardedDataset | str | Path,
+    training_sessions_per_environment: int = 2,
+    margin: int = 8,
+    graph: StoryGraph | None = None,
+    workers: int | None = None,
+) -> DatasetHeadlineResult:
+    """Run the Section V experiment over a sharded on-disk dataset.
+
+    The calibration/evaluation split — each environment's first
+    ``training_sessions_per_environment`` viewers (in viewer order)
+    calibrate, the rest are attacked — is decided from the shard metadata
+    alone (a viewer's environment is recorded there), so every session is
+    re-simulated **exactly once**, in the pass that needs it:
+
+    1. **Calibrate** — the calibration viewers' sessions are folded into the
+       fingerprints shard by shard via
+       :meth:`~repro.core.pipeline.WhiteMirrorAttack.train_incremental`;
+    2. **Evaluate** — every remaining viewer's session is attacked and
+       scored, the per-environment sums accumulating in O(environments)
+       counters.
+
+    Sessions are re-simulated from the shard metadata (the released pcaps
+    carry no labels, by design), exactly as ``repro train`` does; simulation
+    seeds derive from viewer ids alone, so a split run yields the same
+    sessions an unsplit walk would.
+    """
+    if training_sessions_per_environment <= 0:
+        raise AttackError("training session count must be positive")
+    if not isinstance(dataset, ShardedDataset):
+        dataset = ShardedDataset.load(dataset)
+    graph = graph or default_study_script()
+
+    # Pass 1: fold each environment's leading viewers into the fingerprints.
+    # The calibration assignment is made inside the viewer filter, which the
+    # iteration helper calls exactly once per viewer in dataset order while
+    # rebuilding each shard's viewer list anyway — no separate metadata pass.
+    calibration_ids: set[str] = set()
+    seen: dict[str, int] = {}
+
+    def assign_to_calibration(viewer) -> bool:
+        key = viewer.condition.fingerprint_key
+        seen[key] = seen.get(key, 0) + 1
+        if seen[key] <= training_sessions_per_environment:
+            calibration_ids.add(viewer.viewer_id)
+            return True
+        return False
+
+    attack = WhiteMirrorAttack(graph=graph, band_margin=margin)
+    attack.train_incremental(
+        dataset.iter_shard_training_sessions(
+            graph=graph, workers=workers, viewer_filter=assign_to_calibration
+        )
+    )
+
+    # Pass 2: attack and score every held-out session, streaming.
+    scores: dict[str, _EnvironmentScore] = {}
+    for shard_sessions in dataset.iter_shard_training_sessions(
+        graph=graph,
+        workers=workers,
+        viewer_filter=lambda viewer: viewer.viewer_id not in calibration_ids,
+    ):
+        for session in shard_sessions:
+            key = session.condition.fingerprint_key
+            evaluation = attack.attack_session(session).evaluate_against(session)
+            scores.setdefault(key, _EnvironmentScore()).add(evaluation)
+    if not scores:
+        raise AttackError(
+            "no sessions left to evaluate: every session was used for "
+            "calibration (lower training_sessions_per_environment or use a "
+            "larger dataset)"
+        )
+
+    per_environment = [
+        EnvironmentAccuracy(
+            environment=key,
+            sessions=score.sessions,
+            json_identification_accuracy=score.json_identification_accuracy,
+            choice_accuracy=score.choice_accuracy,
+            record_accuracy=score.record_accuracy_sum / score.sessions,
+            exact_paths_recovered=score.exact_paths,
+        )
+        for key, score in sorted(scores.items())
+    ]
+    # Per-environment construction above already guarantees every summed
+    # denominator is positive (the accuracy properties raise otherwise).
+    total_choices = sum(score.ground_truth_choices for score in scores.values())
+    total_correct = sum(score.correct_choices for score in scores.values())
+    json_denominator = sum(score.json_denominator for score in scores.values())
+    json_correct = sum(score.correct_json_records for score in scores.values())
+    worst_environment, worst_accuracy = worst_case_accuracy(
+        {entry.environment: entry.json_identification_accuracy for entry in per_environment}
+    )
+    return DatasetHeadlineResult(
+        per_environment=per_environment,
+        aggregate_json_identification_accuracy=json_correct / json_denominator,
+        aggregate_choice_accuracy=total_correct / total_choices,
+        worst_case_environment=worst_environment,
+        worst_case_accuracy=worst_accuracy,
+        worst_case_choice_accuracy=scores[worst_environment].choice_accuracy,
+        training_sessions=len(calibration_ids),
+        evaluated_sessions=sum(score.sessions for score in scores.values()),
+    )
 
 
 def _batch_plans(

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Iterable, Iterator
 
 import networkx as nx
@@ -219,6 +221,51 @@ class StoryGraph:
         """
         condensation = nx.condensation(self._graph)
         return int(nx.dag_longest_path_length(condensation))
+
+    def fingerprint(self) -> str:
+        """A stable digest of the script's structure and timings.
+
+        Two graphs share a fingerprint iff they describe the same title,
+        segments (ids, titles, durations, endings) and choice points (ids,
+        prompts, sources, timeouts and options) — everything a simulated
+        session's bytes can depend on.  Datasets record it so that
+        re-simulation and resumable generation can detect being handed a
+        different script than the one that produced the stored traces.
+        """
+        canonical = {
+            "title": self._title,
+            "root": self._root_segment_id,
+            "segments": [
+                [
+                    segment.segment_id,
+                    segment.title,
+                    segment.duration_seconds,
+                    segment.is_ending,
+                ]
+                for segment in sorted(
+                    self._segments.values(), key=lambda s: s.segment_id
+                )
+            ],
+            "choice_points": [
+                [
+                    point.question_id,
+                    point.prompt,
+                    point.source_segment_id,
+                    point.timeout_seconds,
+                    [
+                        [option.label, option.target_segment_id, option.is_default]
+                        for option in point.options
+                    ],
+                ]
+                for point in sorted(
+                    self._choice_points.values(), key=lambda p: p.question_id
+                )
+            ],
+        }
+        digest = hashlib.sha256(
+            json.dumps(canonical, sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()
 
     def to_networkx(self) -> nx.DiGraph:
         """Return a copy of the underlying ``networkx`` graph."""

@@ -246,6 +246,115 @@ class TestShardedGeneration:
         assert "aggregate: attacked" in output
 
 
+class TestResumableGenerationAndShardedTraining:
+    """`--resume` repairs interrupted runs; `train --sharded` folds shards in."""
+
+    @pytest.fixture(scope="class")
+    def sharded_dir(self, tmp_path_factory) -> Path:
+        directory = tmp_path_factory.mktemp("cli-resume")
+        exit_code = main(
+            [
+                "generate-dataset",
+                str(directory),
+                "--viewers",
+                "4",
+                "--seed",
+                "5",
+                "--shards",
+                "2",
+                "--no-cross-traffic",
+            ]
+        )
+        assert exit_code == 0
+        return directory
+
+    def test_resume_requires_shards(self, tmp_path, capsys):
+        exit_code = main(
+            ["generate-dataset", str(tmp_path), "--viewers", "2", "--resume"]
+        )
+        assert exit_code == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_resume_repairs_a_damaged_shard(self, sharded_dir, capsys):
+        reference = (sharded_dir / "shard-001" / "metadata.json").read_bytes()
+        (sharded_dir / "shard-001" / "metadata.json").unlink()
+        exit_code = main(
+            [
+                "generate-dataset",
+                str(sharded_dir),
+                "--viewers",
+                "4",
+                "--seed",
+                "5",
+                "--shards",
+                "2",
+                "--no-cross-traffic",
+                "--resume",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "shard-000: viewers=2 [skipped]" in output
+        assert "shard-001: viewers=2 [quarantined+generated]" in output
+        assert (sharded_dir / "shard-001" / "metadata.json").read_bytes() == reference
+
+    def test_train_sharded_then_attack(self, sharded_dir, tmp_path, capsys):
+        library_path = tmp_path / "sharded-fingerprints.json"
+        exit_code = main(
+            ["train", str(sharded_dir), str(library_path), "--sharded"]
+        )
+        assert exit_code == 0
+        assert json.loads(library_path.read_text())
+        capsys.readouterr()
+        exit_code = main(
+            ["attack", str(sharded_dir / "shard-001" / "traces"), str(library_path)]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "aggregate: attacked" in output
+
+    def test_train_on_sharded_root_suggests_the_flag(
+        self, sharded_dir, tmp_path, capsys
+    ):
+        exit_code = main(["train", str(sharded_dir), str(tmp_path / "lib.json")])
+        assert exit_code == 1
+        assert "--sharded" in capsys.readouterr().err
+
+    def test_train_sharded_rejects_train_fraction(
+        self, sharded_dir, tmp_path, capsys
+    ):
+        exit_code = main(
+            [
+                "train",
+                str(sharded_dir),
+                str(tmp_path / "lib.json"),
+                "--sharded",
+                "--train-fraction",
+                "0.5",
+            ]
+        )
+        assert exit_code == 1
+        assert "--train-fraction" in capsys.readouterr().err
+
+    def test_reproduce_dataset_drives_the_headline_experiment(
+        self, sharded_dir, capsys
+    ):
+        exit_code = main(
+            ["reproduce", "--dataset", str(sharded_dir), "--quick"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "choice recovery over" in output
+        assert "WORST CASE" in output
+
+    def test_reproduce_dataset_rejects_other_experiments(self, sharded_dir, capsys):
+        exit_code = main(
+            ["reproduce", "--experiment", "table1", "--dataset", str(sharded_dir)]
+        )
+        assert exit_code == 1
+        assert "headline" in capsys.readouterr().err
+
+
 class TestReproduceCommand:
     def test_quick_figure1_reproduction(self, capsys):
         exit_code = main(["reproduce", "--experiment", "figure1", "--quick"])

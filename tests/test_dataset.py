@@ -182,7 +182,12 @@ class TestPersistence:
         one_shot = tmp_path / "one-shot"
         streamed = tmp_path / "streamed"
         small_dataset.save(one_shot)
-        with DatasetWriter(streamed, seed=small_dataset.seed) as writer:
+        with DatasetWriter(
+            streamed,
+            seed=small_dataset.seed,
+            config=SessionConfig(cross_traffic_enabled=False),
+            graph=small_dataset.graph,
+        ) as writer:
             for point in small_dataset.points:
                 writer.add(point)
         assert (streamed / "metadata.json").read_bytes() == (

@@ -183,7 +183,7 @@ class TestShardedDatasetLoad:
         ]
 
     def test_load_rejects_missing_manifest(self, tmp_path):
-        with pytest.raises(DatasetError, match="shards manifest"):
+        with pytest.raises(DatasetError, match="not a sharded dataset"):
             ShardedDataset.load(tmp_path)
 
     def test_load_rejects_viewer_count_mismatch(self, tmp_path, sharded):
