@@ -1,0 +1,77 @@
+"""Shard-level parallel generation benchmark: serial vs ``shard_workers``.
+
+PR 2/3 made shards independent, resumable dataset directories, but one
+machine still generated them one after another.  ``shard_workers`` fans whole
+shards out over a process pool — multiplying the per-session ``workers``
+fan-out — so this benchmark measures the wall-clock speedup of a shard-level
+pool over the serial path on the same plan, and asserts the property that
+makes the parallelism free to adopt: the two runs' outputs (every pcap,
+every metadata index, the shards manifest) are **byte-identical**.
+
+Session simulation dominates shard generation and sessions are seeded from
+``(dataset seed, viewer id)`` alone, so shards parallelise embarrassingly;
+with 2 shard workers the expected speedup approaches 2x minus the pool's
+spawn/pickle overhead (small against hundreds of milliseconds per session).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.dataset.format import snapshot_dataset_files
+from repro.dataset.shards import generate_sharded_dataset
+from repro.streaming.session import SessionConfig
+
+from conftest import run_once
+
+SEED = 53
+VIEWERS = 6
+SHARDS = 3
+SHARD_WORKERS = 3
+CONFIG = SessionConfig(cross_traffic_enabled=False)
+
+
+def _generate(directory: Path, shard_workers: int | None = None):
+    return generate_sharded_dataset(
+        directory,
+        viewer_count=VIEWERS,
+        shard_count=SHARDS,
+        seed=SEED,
+        config=CONFIG,
+        shard_workers=shard_workers,
+    )
+
+
+def test_shard_worker_speedup_with_byte_identical_output(benchmark, tmp_path):
+    started = time.perf_counter()
+    serial = _generate(tmp_path / "serial")
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_once(
+        benchmark, _generate, tmp_path / "parallel", shard_workers=SHARD_WORKERS
+    )
+    parallel_seconds = time.perf_counter() - started
+
+    # Correctness first: the shard-level pool must change nothing but the
+    # wall clock.  Every file — pcaps, per-shard metadata, the manifest — is
+    # compared byte for byte.
+    assert parallel.summary() == serial.summary()
+    assert snapshot_dataset_files(tmp_path / "parallel") == snapshot_dataset_files(
+        tmp_path / "serial"
+    )
+
+    speedup = serial_seconds / parallel_seconds
+    print(
+        f"\nshard generation, {VIEWERS} viewers across {SHARDS} shards:\n"
+        f"  serial:                  {serial_seconds:.2f}s\n"
+        f"  shard_workers={SHARD_WORKERS}:         {parallel_seconds:.2f}s "
+        f"({speedup:.2f}x)"
+    )
+
+    # The pool must pay for itself: shard generation is dominated by session
+    # simulation (hundreds of milliseconds per session against a few
+    # milliseconds of spawn/pickle overhead), so even a loaded CI box sees
+    # the parallel run no slower than serial plus a modest safety factor.
+    assert parallel_seconds < serial_seconds * 1.25

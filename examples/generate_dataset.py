@@ -10,10 +10,18 @@ under ``./iitm-bandersnatch-synthetic``.
 
 Run with ``python examples/generate_dataset.py [viewer_count]`` — the default
 of 20 viewers keeps the run short; pass 100 for the paper-scale dataset.
+
+Run with ``python examples/generate_dataset.py stitch-demo`` instead for the
+distributed-generation walkthrough: two "machines" generate disjoint shard
+subsets of one plan into two roots, the roots are merged (what rsync does
+between real machines), ``stitch`` verifies and publishes the combined
+manifest, and the per-machine fingerprint accumulator states are merged into
+a calibration library identical to single-machine training.
 """
 
 from __future__ import annotations
 
+import shutil
 import sys
 from pathlib import Path
 
@@ -22,7 +30,90 @@ from repro.experiments.report import format_table
 from repro.streaming.session import SessionConfig
 
 
+def stitch_demo() -> None:
+    """Split one generation plan across two roots, stitch, merge fingerprints.
+
+    Everything below maps one-to-one onto the CLI::
+
+        machine A: repro generate-dataset a/ --viewers 6 --shards 3 --only-shards 0-1
+        machine B: repro generate-dataset b/ --viewers 6 --shards 3 --only-shards 2
+        rsync a/ b/ under merged/, then: repro stitch merged/
+        per machine: repro train ... --sharded --save-state state.json
+        merge:       repro merge-fingerprints state-a.json state-b.json -o lib.json
+    """
+    from repro.core.fingerprint import FingerprintAccumulator, FingerprintLibrary
+    from repro.core.pipeline import WhiteMirrorAttack
+    from repro.dataset.shards import (
+        ShardedDataset,
+        generate_shard_subset,
+        iter_shard_training_sessions,
+        stitch_sharded_dataset,
+    )
+
+    base = Path("stitch-demo")
+    if base.exists():
+        shutil.rmtree(base)
+    viewer_count, shard_count, seed = 6, 3, 2019
+    config = SessionConfig(cross_traffic_enabled=False)
+    plans = {"machine-a": (0, 1), "machine-b": (2,)}
+
+    print(f"plan: {viewer_count} viewers across {shard_count} shards (seed {seed})")
+    states = []
+    for machine, selection in plans.items():
+        root = base / machine
+        print(f"{machine}: generating shards {','.join(map(str, selection))}...")
+        summaries = generate_shard_subset(
+            root,
+            viewer_count=viewer_count,
+            shard_count=shard_count,
+            only_shards=selection,
+            seed=seed,
+            config=config,
+        )
+        # Each machine also folds its local shards into a fingerprint
+        # accumulator and serialises the running state (`train --sharded
+        # --save-state`): calibration travels as a few hundred bytes of
+        # min/max/count state, not as pcaps.
+        attack = WhiteMirrorAttack()
+        accumulator = FingerprintAccumulator()
+        attack.train_incremental(
+            (
+                iter_shard_training_sessions(root / summary.directory)
+                for summary in summaries
+            ),
+            accumulator=accumulator,
+        )
+        state_path = base / f"{machine}-state.json"
+        accumulator.save(state_path)
+        states.append(state_path)
+        print(f"{machine}: wrote {len(summaries)} shard(s) and {state_path}")
+
+    merged_root = base / "merged"
+    merged_root.mkdir()
+    for machine in plans:
+        for shard in sorted((base / machine).glob("shard-*")):
+            shutil.copytree(shard, merged_root / shard.name)  # rsync stand-in
+    dataset = stitch_sharded_dataset(merged_root)
+    print(f"stitched {dataset.shard_count} shards -> {dataset.manifest_path}")
+
+    merged = FingerprintAccumulator()
+    for state_path in states:
+        merged.merge(FingerprintAccumulator.load(state_path))
+    merged_library = FingerprintLibrary()
+    merged.finalize_into(merged_library, margin=8)
+
+    single = WhiteMirrorAttack()
+    single.train_incremental(
+        ShardedDataset.load(merged_root).iter_shard_training_sessions()
+    )
+    identical = merged_library.as_dict() == single.library.as_dict()
+    print(f"merged library == single-machine training: {identical}")
+
+
 def main() -> None:
+    if len(sys.argv) > 1 and sys.argv[1] == "stitch-demo":
+        stitch_demo()
+        return
     viewer_count = int(sys.argv[1]) if len(sys.argv) > 1 else 20
     output_dir = Path("iitm-bandersnatch-synthetic")
 

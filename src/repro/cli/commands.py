@@ -7,7 +7,7 @@ from pathlib import Path
 
 from repro.client.profiles import OperationalCondition
 from repro.core.features import extract_client_records
-from repro.core.fingerprint import FingerprintLibrary
+from repro.core.fingerprint import FingerprintAccumulator, FingerprintLibrary
 from repro.core.pipeline import AttackResult, PcapAttackTask, WhiteMirrorAttack
 from repro.dataset.collection import collect_dataset, default_study_script
 from repro.dataset.format import (
@@ -21,7 +21,14 @@ from repro.dataset.shards import (
     SHARD_GENERATED,
     SHARDS_MANIFEST_FILENAME,
     ShardedDataset,
+    discover_shard_directories,
+    generate_shard_subset,
     generate_sharded_dataset,
+    iter_shard_training_sessions,
+    load_consistent_shard_metadata,
+    merge_shard_summaries,
+    parse_shard_selection,
+    stitch_sharded_dataset,
 )
 from repro.exceptions import DatasetError, ReproError
 from repro.experiments.report import format_table
@@ -52,15 +59,60 @@ def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
     progress = lambda done, total: print(f"  {done}/{total} sessions", end="\r")  # noqa: E731
     if arguments.resume and arguments.shards is None:
         raise ReproError("--resume requires --shards (only sharded runs checkpoint)")
+    if arguments.shard_workers is not None and arguments.shards is None:
+        raise ReproError(
+            "--shard-workers requires --shards (only sharded runs fan whole "
+            "shards out)"
+        )
+    if arguments.only_shards is not None and arguments.shards is None:
+        raise ReproError(
+            "--only-shards requires --shards (the selection names shards of "
+            "the full plan)"
+        )
     if arguments.shards is not None:
         verb = "resuming" if arguments.resume else "generating"
+        # A shard reports e.g. "quarantined+generated" when a partial copy was
+        # moved aside before regeneration.
+        shard_states: dict[str, list[str]] = {}
+        record_state = lambda shard, state: shard_states.setdefault(  # noqa: E731
+            shard.dirname, []
+        ).append(state)
+        if arguments.only_shards is not None:
+            selection = parse_shard_selection(arguments.only_shards, arguments.shards)
+            print(
+                f"{verb} shards {','.join(str(i) for i in selection)} of "
+                f"{arguments.viewers} viewers (seed {arguments.seed}) "
+                f"across {arguments.shards} shards..."
+            )
+            summaries = generate_shard_subset(
+                arguments.output,
+                viewer_count=arguments.viewers,
+                shard_count=arguments.shards,
+                only_shards=selection,
+                seed=arguments.seed,
+                config=config,
+                workers=arguments.workers,
+                shard_workers=arguments.shard_workers,
+                write_pcaps=not arguments.no_pcaps,
+                progress=progress,
+                resume=arguments.resume,
+                status=record_state,
+            )
+            print()
+            for shard in summaries:
+                state = "+".join(shard_states.get(shard.directory, [SHARD_GENERATED]))
+                print(f"  {shard.directory}: viewers={shard.viewer_count} [{state}]")
+            print(
+                f"wrote {len(summaries)} of {arguments.shards} shards under "
+                f"{arguments.output} (no manifest; once every machine's "
+                "shards sit under one root, publish it with `repro stitch`)"
+            )
+            _print_summary(merge_shard_summaries(summaries))
+            return 0
         print(
             f"{verb} {arguments.viewers} viewers (seed {arguments.seed}) "
             f"across {arguments.shards} shards..."
         )
-        # A shard reports e.g. "quarantined+generated" when a partial copy was
-        # moved aside before regeneration.
-        shard_states: dict[str, list[str]] = {}
         dataset = generate_sharded_dataset(
             arguments.output,
             viewer_count=arguments.viewers,
@@ -68,12 +120,11 @@ def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
             seed=arguments.seed,
             config=config,
             workers=arguments.workers,
+            shard_workers=arguments.shard_workers,
             write_pcaps=not arguments.no_pcaps,
             progress=progress,
             resume=arguments.resume,
-            status=lambda shard, state: shard_states.setdefault(
-                shard.dirname, []
-            ).append(state),
+            status=record_state,
         )
         print()
         for shard in dataset.shard_summaries:
@@ -98,15 +149,15 @@ def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _print_fingerprints(attack: WhiteMirrorAttack, output: str) -> None:
+def _print_fingerprints(library: FingerprintLibrary, output: str) -> None:
     rows = [
         {
             "environment": key,
-            "type1_band": f"{attack.library.get(key).type1_band.low}-{attack.library.get(key).type1_band.high}",
-            "type2_band": f"{attack.library.get(key).type2_band.low}-{attack.library.get(key).type2_band.high}",
-            "training_records": attack.library.get(key).training_records,
+            "type1_band": f"{library.get(key).type1_band.low}-{library.get(key).type1_band.high}",
+            "type2_band": f"{library.get(key).type2_band.low}-{library.get(key).type2_band.high}",
+            "training_records": library.get(key).training_records,
         }
-        for key in sorted(attack.library.condition_keys)
+        for key in sorted(library.condition_keys)
     ]
     print(format_table(rows, "Learned fingerprints"))
     print(f"wrote {output}")
@@ -121,29 +172,117 @@ def _train_sharded(arguments: argparse.Namespace, directory: Path) -> int:
     accumulator — peak memory holds one engine window of sessions regardless
     of the population size, and the resulting library is identical to batch
     training over every session at once.
+
+    A *subset root* — shard directories written by ``--only-shards`` with no
+    ``shards.json`` manifest yet — also trains: the machine folds in whatever
+    shards it holds locally, and ``--save-state`` serialises the running
+    accumulator so the per-machine states can later be combined with
+    ``repro merge-fingerprints`` into exactly the library one machine
+    training over the stitched root would learn.
     """
     if arguments.train_fraction is not None:
         raise ReproError(
             "--train-fraction applies to single-directory training only; "
             "--sharded uses the whole sharded dataset as calibration data"
         )
-    dataset = ShardedDataset.load(directory)
-    print(
-        f"incrementally training on {dataset.viewer_count} viewers across "
-        f"{dataset.shard_count} shards..."
-    )
+    workers = getattr(arguments, "workers", None)
+    if (directory / SHARDS_MANIFEST_FILENAME).exists() or (
+        directory / METADATA_FILENAME
+    ).exists():
+        # A stitched/complete root (or a single dataset directory, which
+        # ShardedDataset.load rejects with guidance).
+        dataset = ShardedDataset.load(directory)
+        viewer_count = dataset.viewer_count
+        shard_iterators = dataset.iter_shard_training_sessions(workers=workers)
+        print(
+            f"incrementally training on {viewer_count} viewers across "
+            f"{dataset.shard_count} shards..."
+        )
+    else:
+        try:
+            found = discover_shard_directories(directory)
+        except DatasetError as error:
+            raise DatasetError(
+                f"{directory} is not a sharded dataset root: no "
+                f"{SHARDS_MANIFEST_FILENAME} manifest and no shard-NNN "
+                "directories (generate one with `repro generate-dataset "
+                "--shards N`)"
+            ) from error
+        metadata_by_shard = load_consistent_shard_metadata(found)
+        viewer_count = sum(
+            int(metadata["viewer_count"]) for metadata in metadata_by_shard
+        )
+        shard_iterators = (
+            iter_shard_training_sessions(path, workers=workers)
+            for _index, path in found
+        )
+        print(
+            f"incrementally training on {viewer_count} viewers across "
+            f"{len(found)} local shard(s) of an unstitched subset root..."
+        )
     attack = WhiteMirrorAttack(graph=default_study_script(), band_margin=arguments.margin)
+    accumulator = FingerprintAccumulator()
     attack.train_incremental(
-        dataset.iter_shard_training_sessions(
-            workers=getattr(arguments, "workers", None)
-        ),
+        shard_iterators,
         progress=lambda folded: print(
-            f"  {folded}/{dataset.viewer_count} sessions", end="\r"
+            f"  {folded}/{viewer_count} sessions", end="\r"
         ),
+        accumulator=accumulator,
     )
     print()
+    if getattr(arguments, "save_state", None):
+        accumulator.save(arguments.save_state)
+        print(f"wrote accumulator state to {arguments.save_state}")
     attack.library.save(arguments.output)
-    _print_fingerprints(attack, arguments.output)
+    _print_fingerprints(attack.library, arguments.output)
+    return 0
+
+
+def cmd_stitch(arguments: argparse.Namespace) -> int:
+    """``repro stitch``: verify rsync'd shards and publish the manifest.
+
+    The distributed-generation closing step: machines that split one plan
+    with ``generate-dataset --only-shards`` copy their shard directories
+    under one root, and stitching validates the union against the recorded
+    seed, session configuration and story-graph fingerprint — without
+    regenerating or re-reading a single pcap — then writes ``shards.json``.
+    """
+    print(f"stitching shards under {arguments.root}...")
+    dataset = stitch_sharded_dataset(
+        arguments.root,
+        status=lambda shard, state: print(
+            f"  {shard.dirname}: viewers={shard.viewer_count} [{state}]"
+        ),
+    )
+    print(f"wrote {dataset.manifest_path}")
+    _print_summary(dataset.summary())
+    return 0
+
+
+def cmd_merge_fingerprints(arguments: argparse.Namespace) -> int:
+    """``repro merge-fingerprints``: fold per-machine calibration states.
+
+    Each input is the accumulator state a machine saved with ``repro train
+    --sharded --save-state``; the states merge like shard summaries (band
+    extremes fold, record counts add) and finalise into a fingerprint
+    library identical — byte for byte — to single-machine training over the
+    union of the machines' shards.
+    """
+    merged = FingerprintAccumulator()
+    for path in arguments.states:
+        state = FingerprintAccumulator.load(path)
+        merged.merge(state)
+        print(
+            f"  folded {path}: {len(state.condition_keys)} environment(s), "
+            f"{state.record_count} records"
+        )
+    if arguments.save_state:
+        merged.save(arguments.save_state)
+        print(f"wrote merged accumulator state to {arguments.save_state}")
+    library = FingerprintLibrary()
+    merged.finalize_into(library, margin=arguments.margin)
+    library.save(arguments.output)
+    _print_fingerprints(library, arguments.output)
     return 0
 
 
@@ -162,6 +301,11 @@ def cmd_train(arguments: argparse.Namespace) -> int:
     directory = Path(arguments.dataset)
     if arguments.sharded:
         return _train_sharded(arguments, directory)
+    if getattr(arguments, "save_state", None):
+        raise ReproError(
+            "--save-state requires --sharded (accumulator state is the "
+            "incremental training path's running calibration)"
+        )
     train_fraction = (
         0.5 if arguments.train_fraction is None else arguments.train_fraction
     )
@@ -199,7 +343,7 @@ def cmd_train(arguments: argparse.Namespace) -> int:
     attack = WhiteMirrorAttack(graph=dataset.graph, band_margin=arguments.margin)
     attack.train([point.session for point in train_points])
     attack.library.save(arguments.output)
-    _print_fingerprints(attack, arguments.output)
+    _print_fingerprints(attack.library, arguments.output)
     return 0
 
 

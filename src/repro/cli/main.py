@@ -19,6 +19,29 @@ def build_parser() -> argparse.ArgumentParser:
             "build the IITM-Bandersnatch-style dataset, and run the record-length "
             "traffic-analysis attack."
         ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "distributed generation:\n"
+            "  split one generation plan across machines, then stitch:\n"
+            "    machine A: repro generate-dataset ROOT --viewers 1000 "
+            "--shards 10 --only-shards 0-4 --seed 7\n"
+            "    machine B: repro generate-dataset ROOT --viewers 1000 "
+            "--shards 10 --only-shards 5-9 --seed 7\n"
+            "    rsync both ROOTs under one directory, then:  repro stitch ROOT\n"
+            "  one machine, all cores: add --shard-workers N (whole shards in "
+            "parallel,\n"
+            "  output byte-identical to the serial run)\n"
+            "\n"
+            "distributed calibration:\n"
+            "    per machine: repro train ROOT lib.json --sharded "
+            "--save-state state.json\n"
+            "    merge:       repro merge-fingerprints state-a.json "
+            "state-b.json -o lib.json\n"
+            "  the merged library is byte-identical to single-machine "
+            "training over\n"
+            "  the stitched dataset (see examples/generate_dataset.py "
+            "stitch-demo)\n"
+        ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -68,8 +91,46 @@ def build_parser() -> argparse.ArgumentParser:
             "requires --shards"
         ),
     )
+    generate.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help=(
+            "generate whole shards in a process pool of N (0 for all cores), "
+            "multiplying the per-session --workers fan-out; output is "
+            "byte-identical to the serial run; requires --shards"
+        ),
+    )
+    generate.add_argument(
+        "--only-shards",
+        default=None,
+        metavar="SELECTION",
+        help=(
+            "generate only the named shards of the plan, e.g. '0,3-5' "
+            "(inclusive ranges): several machines run the same plan with "
+            "disjoint selections, rsync the shard directories under one root "
+            "and publish the merged manifest with `repro stitch`; requires "
+            "--shards"
+        ),
+    )
     add_workers_argument(generate)
     generate.set_defaults(handler=commands.cmd_generate_dataset)
+
+    stitch = subparsers.add_parser(
+        "stitch",
+        help=(
+            "verify shard directories rsync'd together from --only-shards "
+            "runs and publish the merged shards.json manifest"
+        ),
+    )
+    stitch.add_argument(
+        "root",
+        help=(
+            "directory holding the shard-NNN directories of one generation "
+            "plan (the union of every machine's --only-shards output)"
+        ),
+    )
+    stitch.set_defaults(handler=commands.cmd_stitch)
 
     train = subparsers.add_parser(
         "train",
@@ -96,8 +157,53 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     train.add_argument("--margin", type=int, default=8, help="band widening margin in bytes")
+    train.add_argument(
+        "--save-state",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the raw fingerprint-accumulator state (requires "
+            "--sharded): one machine's running calibration, combined across "
+            "machines with `repro merge-fingerprints`"
+        ),
+    )
     add_workers_argument(train)
     train.set_defaults(handler=commands.cmd_train)
+
+    merge = subparsers.add_parser(
+        "merge-fingerprints",
+        help=(
+            "merge per-machine fingerprint-accumulator states (train "
+            "--sharded --save-state) into one fingerprint library"
+        ),
+    )
+    merge.add_argument(
+        "states",
+        nargs="+",
+        help="accumulator state JSON files, one per machine",
+    )
+    merge.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="path of the merged fingerprint library JSON to write",
+    )
+    merge.add_argument(
+        "--margin",
+        type=int,
+        default=8,
+        help="band widening margin in bytes (match the train run's value)",
+    )
+    merge.add_argument(
+        "--save-state",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the merged accumulator state, for hierarchical "
+            "merges (merge the merges)"
+        ),
+    )
+    merge.set_defaults(handler=commands.cmd_merge_fingerprints)
 
     attack = subparsers.add_parser(
         "attack",

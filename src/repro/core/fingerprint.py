@@ -25,6 +25,10 @@ from typing import Iterable, Mapping, Sequence
 from repro.core.features import ClientRecord, LABEL_OTHER, LABEL_TYPE1, LABEL_TYPE2
 from repro.exceptions import FingerprintError
 
+#: On-disk format version of serialised accumulator state (``repro
+#: merge-fingerprints`` inputs).
+ACCUMULATOR_FORMAT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class LengthBand:
@@ -167,10 +171,37 @@ class _BandState:
         if self.maximum is None or length > self.maximum:
             self.maximum = length
 
+    def merge(self, other: "_BandState") -> None:
+        """Fold another running band into this one (min of mins, max of maxes)."""
+        if other.minimum is not None:
+            self.observe(other.minimum)
+        if other.maximum is not None:
+            self.observe(other.maximum)
+
     def band(self, margin: int) -> LengthBand:
         if self.minimum is None or self.maximum is None:
             raise FingerprintError("no labelled lengths observed for this band")
         return LengthBand(low=self.minimum, high=self.maximum).widened(margin)
+
+    def as_dict(self) -> dict[str, int] | None:
+        """JSON-friendly form; ``None`` when nothing was observed yet."""
+        if self.minimum is None or self.maximum is None:
+            return None
+        return {"min": self.minimum, "max": self.maximum}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int] | None) -> "_BandState":
+        """Inverse of :meth:`as_dict`."""
+        state = cls()
+        if data is not None:
+            minimum, maximum = int(data["min"]), int(data["max"])
+            if minimum > maximum:
+                raise FingerprintError(
+                    f"band state min {minimum} exceeds max {maximum}"
+                )
+            state.observe(minimum)
+            state.observe(maximum)
+        return state
 
 
 class _EnvironmentState:
@@ -195,6 +226,14 @@ class FingerprintAccumulator:
     (:meth:`repro.core.pipeline.WhiteMirrorAttack.train_incremental`) and the
     finalised fingerprints are **identical** to batch learning over the
     concatenation of every batch.
+
+    The same folding property makes calibration *distributable*: the running
+    state serialises (:meth:`save`/:meth:`load`), and :meth:`merge` folds two
+    machines' states together exactly as shard summaries merge — min of
+    mins, max of maxes, counts add — so merging is associative and
+    commutative up to environment order, and the merged state finalises into
+    exactly the library one machine training over every shard would learn
+    (``repro merge-fingerprints``).
     """
 
     def __init__(self) -> None:
@@ -261,6 +300,103 @@ class FingerprintAccumulator:
             library.add(self.fingerprint(condition_key, margin=margin))
         return library
 
+    def merge(self, other: "FingerprintAccumulator") -> "FingerprintAccumulator":
+        """Fold another accumulator's state into this one; returns ``self``.
+
+        Exactly the shard-summary merge, applied to training state: per
+        environment the band extremes fold (min of mins, max of maxes) and
+        the record counts add, so ``a.merge(b)`` finalises into the same
+        fingerprints as observing both machines' records on one accumulator.
+        Environments only ``other`` has seen are adopted whole.  The merge
+        order cannot change any finalised fingerprint (only the first-seen
+        order of :attr:`condition_keys`).
+        """
+        for condition_key, other_state in other._environments.items():
+            state = self._environments.setdefault(condition_key, _EnvironmentState())
+            state.type1.merge(other_state.type1)
+            state.type2.merge(other_state.type2)
+            state.record_count += other_state.record_count
+        return self
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly form of the running state (see :meth:`save`)."""
+        return {
+            "format_version": ACCUMULATOR_FORMAT_VERSION,
+            "environments": {
+                condition_key: {
+                    "record_count": state.record_count,
+                    "type1": state.type1.as_dict(),
+                    "type2": state.type2.as_dict(),
+                }
+                for condition_key, state in self._environments.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FingerprintAccumulator":
+        """Inverse of :meth:`as_dict`; validates shape and version."""
+        if not isinstance(data, Mapping):
+            raise FingerprintError(
+                f"accumulator state must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        for key in ("format_version", "environments"):
+            if key not in data:
+                raise FingerprintError(
+                    f"accumulator state is missing the {key!r} field (is this "
+                    "a fingerprint *library* file? merge-fingerprints takes "
+                    "the accumulator state written by `train --save-state`)"
+                )
+        if data["format_version"] != ACCUMULATOR_FORMAT_VERSION:
+            raise FingerprintError(
+                f"unsupported accumulator state version {data['format_version']}"
+            )
+        accumulator = cls()
+        environments = data["environments"]
+        if not isinstance(environments, Mapping):
+            raise FingerprintError("accumulator 'environments' must be an object")
+        for condition_key, entry in environments.items():
+            if not condition_key:
+                raise FingerprintError("accumulator state has an empty condition key")
+            try:
+                state = _EnvironmentState()
+                state.record_count = int(entry["record_count"])  # type: ignore[index]
+                state.type1 = _BandState.from_dict(entry["type1"])  # type: ignore[index]
+                state.type2 = _BandState.from_dict(entry["type2"])  # type: ignore[index]
+            except (KeyError, TypeError, ValueError) as error:
+                raise FingerprintError(
+                    f"accumulator state for environment {condition_key!r} is "
+                    f"malformed: {error!r}"
+                ) from error
+            if state.record_count < 0:
+                raise FingerprintError(
+                    f"accumulator state for environment {condition_key!r} has "
+                    f"a negative record count"
+                )
+            accumulator._environments[condition_key] = state
+        return accumulator
+
+    def save(self, path: str | Path) -> None:
+        """Persist the running state as JSON (one machine's calibration).
+
+        Keys are sorted so that state files — like finalised libraries — are
+        byte-identical however the environments were first encountered.
+        """
+        Path(path).write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FingerprintAccumulator":
+        """Load a state file previously written by :meth:`save`."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise FingerprintError(
+                f"cannot load accumulator state: {error}"
+            ) from error
+        return cls.from_dict(data)
+
 
 class FingerprintLibrary:
     """Per-environment fingerprints, keyed by the condition's fingerprint key."""
@@ -319,8 +455,16 @@ class FingerprintLibrary:
         return library
 
     def save(self, path: str | Path) -> None:
-        """Persist the library as JSON."""
-        Path(path).write_text(json.dumps(self.as_dict(), indent=2), encoding="utf-8")
+        """Persist the library as JSON.
+
+        Keys are sorted, so two libraries holding the same fingerprints save
+        byte-identically however their environments were learned or merged —
+        distributed calibration (``repro merge-fingerprints``) is verified
+        against single-machine training with a plain ``diff``.
+        """
+        Path(path).write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True), encoding="utf-8"
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "FingerprintLibrary":

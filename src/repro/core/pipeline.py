@@ -224,7 +224,10 @@ class WhiteMirrorAttack:
         return self._library
 
     def train_incremental(
-        self, shards: Iterable[Iterable[SessionResult]], progress: Callable[[int], None] | None = None
+        self,
+        shards: Iterable[Iterable[SessionResult]],
+        progress: Callable[[int], None] | None = None,
+        accumulator: FingerprintAccumulator | None = None,
     ) -> FingerprintLibrary:
         """Learn fingerprints by folding labelled sessions in shard by shard.
 
@@ -240,9 +243,16 @@ class WhiteMirrorAttack:
         a band depends only on the extreme labelled lengths, which fold.
 
         ``progress``, when given, is invoked with the running session count
-        after each session is folded.
+        after each session is folded.  ``accumulator`` lets the caller supply
+        (and keep) the running state — a machine participating in distributed
+        calibration folds its local shards in, serialises the accumulator
+        (:meth:`FingerprintAccumulator.save`), and the per-machine states are
+        later merged into one library (``repro merge-fingerprints``); state
+        accumulated before the call (e.g. a previous machine's folded
+        records) contributes to the finalised fingerprints exactly as if its
+        sessions had been part of ``shards``.
         """
-        accumulator = FingerprintAccumulator()
+        accumulator = accumulator if accumulator is not None else FingerprintAccumulator()
         folded = 0
         for shard_sessions in shards:
             for session in shard_sessions:

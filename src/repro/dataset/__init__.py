@@ -38,6 +38,7 @@ from repro.dataset.format import (
     load_dataset_metadata,
     save_dataset_metadata,
     session_config_from_metadata,
+    snapshot_dataset_files,
 )
 from repro.dataset.loader import (
     LoadedDataPoint,
@@ -54,12 +55,17 @@ from repro.dataset.shards import (
     ShardedDataset,
     ShardSlice,
     ShardSummary,
+    discover_shard_directories,
+    generate_shard_subset,
     generate_sharded_dataset,
     iter_shard_training_sessions,
+    load_consistent_shard_metadata,
     merge_shard_summaries,
+    parse_shard_selection,
     plan_shards,
     quarantine_partial_shard,
     shard_summary_from_metadata,
+    stitch_sharded_dataset,
 )
 
 __all__ = [
@@ -79,6 +85,7 @@ __all__ = [
     "load_dataset_metadata",
     "save_dataset_metadata",
     "session_config_from_metadata",
+    "snapshot_dataset_files",
     "LoadedDataPoint",
     "LoadedDataset",
     "iter_released_points",
@@ -89,10 +96,15 @@ __all__ = [
     "ShardedDataset",
     "ShardSlice",
     "ShardSummary",
+    "discover_shard_directories",
+    "generate_shard_subset",
     "generate_sharded_dataset",
     "iter_shard_training_sessions",
+    "load_consistent_shard_metadata",
     "merge_shard_summaries",
+    "parse_shard_selection",
     "plan_shards",
     "quarantine_partial_shard",
     "shard_summary_from_metadata",
+    "stitch_sharded_dataset",
 ]

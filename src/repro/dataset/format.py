@@ -56,7 +56,7 @@ import json
 import os
 from dataclasses import asdict
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.dataset.collection import DataPoint
 from repro.exceptions import DatasetError, StreamingError
@@ -118,6 +118,7 @@ class DatasetWriter:
         seed: int | None = None,
         config: SessionConfig | None = None,
         graph: StoryGraph | None = None,
+        shard: Mapping[str, int] | None = None,
     ) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
@@ -127,6 +128,7 @@ class DatasetWriter:
         self._seed = seed
         self._config = config
         self._graph = graph
+        self._shard = dict(shard) if shard is not None else None
         self._entries: list[dict[str, object]] = []
         self._closed = False
         self.inprogress_path.touch()
@@ -196,6 +198,13 @@ class DatasetWriter:
             # for re-simulation and resume to refuse a *different* script
             # rather than silently replaying the wrong one.
             metadata["graph_fingerprint"] = self._graph.fingerprint()
+        if self._shard is not None:
+            # A shard records its place in the whole generation plan (index,
+            # shard count, population total), so stitching machines' outputs
+            # back together can prove completeness — a root missing its
+            # *trailing* shards would otherwise look like a smaller but
+            # complete dataset.
+            metadata["shard"] = self._shard
         # Publish atomically: a reader (or a resumed run) can never observe a
         # truncated index, only its presence or absence.
         staging_path = self.metadata_path.with_name(METADATA_FILENAME + ".tmp")
@@ -241,6 +250,32 @@ def save_dataset_metadata(
         for point in points:
             writer.add(point)
     return writer.metadata_path
+
+
+def snapshot_dataset_files(
+    directory: str | Path, include_quarantined: bool = False
+) -> dict[str, bytes]:
+    """Every file under a dataset tree, keyed by path relative to its root.
+
+    The byte-level equivalence primitive: two dataset roots — a serial and a
+    shard-parallel run, an uninterrupted and a resumed one, a single-machine
+    root and a stitched union of subsets — are byte-identical iff their
+    snapshots compare equal.  Quarantined debris
+    (``shard-NNN.quarantined-*``) is excluded unless asked for, since it is
+    deliberately preserved history rather than dataset content.
+    """
+    directory = Path(directory)
+    snapshot: dict[str, bytes] = {}
+    for path in sorted(directory.rglob("*")):
+        if not path.is_file():
+            continue
+        # Filter on the *relative* path: the marker must identify debris
+        # inside the tree, not a root that itself lives under a quarantined
+        # name (snapshotting quarantined debris directly is legitimate).
+        relative = str(path.relative_to(directory))
+        if include_quarantined or ".quarantined-" not in relative:
+            snapshot[relative] = path.read_bytes()
+    return snapshot
 
 
 def session_config_from_metadata(metadata: dict[str, object]) -> SessionConfig | None:

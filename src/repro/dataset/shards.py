@@ -29,6 +29,17 @@ pcap is re-read), quarantines partial ones aside, and regenerates only what
 is missing; the resumed output is byte-identical to an uninterrupted run
 because every session's bytes derive from ``(dataset seed, viewer id)``
 alone.
+
+Generation is also **parallel and distributable**.  ``shard_workers`` fans
+whole shards out over a process pool (multiplying the per-session ``workers``
+fan-out inside each shard), with output byte-identical to the serial path
+because shards are independent directories and every session's bytes derive
+from the dataset seed and the viewer id alone.  ``only_shards``
+(:func:`generate_shard_subset`) emits just a selection of shard directories
+so several machines can split one run between them; the rsync'd-together
+shards are then verified and re-published as one dataset by
+:func:`stitch_sharded_dataset` — the same validation machinery resume uses,
+without regenerating anything.
 """
 
 from __future__ import annotations
@@ -50,6 +61,7 @@ from repro.dataset.format import (
     load_dataset_metadata,
     session_config_from_metadata,
 )
+from repro.engine.executor import BatchExecutor, resolve_workers
 from repro.dataset.iitm import DatasetSummary, SummaryAccumulator
 from repro.dataset.loader import LoadedDataPoint, iter_released_points
 from repro.dataset.population import (
@@ -68,6 +80,8 @@ SHARDS_FORMAT_VERSION = 1
 SHARD_GENERATED = "generated"
 SHARD_SKIPPED = "skipped"
 SHARD_QUARANTINED = "quarantined"
+#: Shard state reported by :func:`stitch_sharded_dataset` per verified shard.
+SHARD_VERIFIED = "verified"
 
 
 def shard_dirname(index: int) -> str:
@@ -125,6 +139,50 @@ def plan_shards(viewer_count: int, shard_count: int) -> list[ShardSlice]:
         slices.append(ShardSlice(index=index, start=start, stop=stop))
         start = stop
     return slices
+
+
+def parse_shard_selection(selection: str, shard_count: int) -> tuple[int, ...]:
+    """Parse a shard-subset spec like ``"0,3-5"`` into sorted unique indices.
+
+    The grammar is comma-separated items, each either a single index or an
+    inclusive ``low-high`` range; whitespace around items is ignored and
+    overlapping items collapse (``"1-3,2-4"`` selects 1..4 once each).  An
+    empty selection, a malformed item, a reversed range or an index outside
+    ``[0, shard_count)`` raises a :class:`DatasetError` naming the offending
+    item — a machine silently generating no shards (or the wrong ones) would
+    poison the later stitch.
+    """
+    if shard_count <= 0:
+        raise DatasetError(f"shard count must be positive, got {shard_count}")
+    indices: set[int] = set()
+    for item in selection.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        match = re.fullmatch(r"(\d+)(?:-(\d+))?", item)
+        if match is None:
+            raise DatasetError(
+                f"malformed shard selection item {item!r} (expected an index "
+                "like '2' or an inclusive range like '3-5')"
+            )
+        low = int(match.group(1))
+        high = int(match.group(2)) if match.group(2) is not None else low
+        if high < low:
+            raise DatasetError(
+                f"shard selection range {item!r} is reversed ({low} > {high})"
+            )
+        if high >= shard_count:
+            raise DatasetError(
+                f"shard selection {item!r} is out of range for "
+                f"{shard_count} shards (valid indices: 0-{shard_count - 1})"
+            )
+        indices.update(range(low, high + 1))
+    if not indices:
+        raise DatasetError(
+            f"shard selection {selection!r} selects no shards; name at least "
+            "one index (e.g. '0' or '0,3-5')"
+        )
+    return tuple(sorted(indices))
 
 
 @dataclass(frozen=True)
@@ -540,6 +598,20 @@ class ShardedDataset:
                         "runs?); re-run `repro generate-dataset --shards N "
                         "--resume` to regenerate the foreign shards"
                     )
+            plan = metadata.get("shard")
+            if isinstance(plan, dict) and (
+                plan.get("index") != summary.index
+                or plan.get("count") != len(summaries)
+                or plan.get("population_viewer_count") != int(manifest["viewer_count"])
+            ):
+                raise DatasetError(
+                    f"shard {summary.directory} records shard plan {plan!r} "
+                    f"but the manifest describes shard {summary.index} of "
+                    f"{len(summaries)} over {manifest['viewer_count']} "
+                    "viewers (mixed generation runs?); re-run `repro "
+                    "generate-dataset --shards N --resume` to regenerate "
+                    "the foreign shards"
+                )
         return cls(
             directory=directory,
             name=str(manifest["name"]),
@@ -549,39 +621,57 @@ class ShardedDataset:
         )
 
 
+def _shard_plan(
+    shard_slice: ShardSlice, shard_count: int, population_viewer_count: int
+) -> dict[str, int]:
+    """The plan stamp one shard records in its metadata (see ``stitch``)."""
+    return {
+        "index": shard_slice.index,
+        "count": shard_count,
+        "population_viewer_count": population_viewer_count,
+    }
+
+
 def _reusable_shard_summary(
     shard_directory: Path,
     shard_slice: ShardSlice,
+    shard_count: int,
     viewers: Sequence[Viewer],
     seed: int,
     write_pcaps: bool,
     dataset_name: str,
     config: SessionConfig,
     graph_fingerprint: str,
+    metadata: Mapping[str, object] | None = None,
 ) -> ShardSummary | None:
     """The completed shard's summary, or ``None`` if it must be regenerated.
 
     A shard is reusable only when it finalised cleanly *and* its metadata
     provably belongs to this run: same dataset name, generation seed,
-    recorded session configuration and story-graph fingerprint, exactly the
-    viewer ids of this shard's population slice, and every trace file both
-    recorded and still on disk iff this run writes pcaps.  Anything else —
-    debris of a different population, a stale seed, a shard saved under
-    different flags, session config or script, a deleted pcap, a
-    half-written index — is treated as partial and handed to the quarantine
-    path.
+    recorded session configuration, story-graph fingerprint and shard plan
+    (index, shard count, population total), exactly the viewer ids of this
+    shard's population slice, and every trace file both recorded and still
+    on disk iff this run writes pcaps.  Anything else — debris of a
+    different population, a stale seed, a shard saved under different flags,
+    session config or script, a deleted pcap, a half-written index — is
+    treated as partial and handed to the quarantine path.  ``metadata`` lets
+    a caller that already parsed the shard's index (e.g. the stitch
+    validator) pass it in instead of paying the load twice.
     """
     if not dataset_is_complete(shard_directory):
         return None
-    try:
-        metadata = load_dataset_metadata(shard_directory)
-    except DatasetError:
-        return None
+    if metadata is None:
+        try:
+            metadata = load_dataset_metadata(shard_directory)
+        except DatasetError:
+            return None
     if metadata.get("seed") != seed or metadata.get("name") != dataset_name:
         return None
     if metadata.get("session_config") != asdict(config):
         return None
     if metadata.get("graph_fingerprint") != graph_fingerprint:
+        return None
+    if metadata.get("shard") != _shard_plan(shard_slice, shard_count, len(viewers)):
         return None
     expected_ids = [
         viewer.viewer_id for viewer in viewers[shard_slice.start : shard_slice.stop]
@@ -614,6 +704,197 @@ def _reusable_shard_summary(
         return None
 
 
+@dataclass(frozen=True)
+class _ShardGenerationTask:
+    """Everything one shard's generation needs, picklable for the pool."""
+
+    directory: str
+    shard_slice: ShardSlice
+    shard_count: int
+    population_viewer_count: int
+    viewers: tuple[Viewer, ...]
+    seed: int
+    graph: StoryGraph
+    config: SessionConfig
+    workers: int | None
+    write_pcaps: bool
+    dataset_name: str
+
+    def describe(self) -> str:
+        """Short identity used in engine error messages."""
+        return (
+            f"{self.shard_slice.dirname} "
+            f"(viewers {self.shard_slice.start}-{self.shard_slice.stop - 1})"
+        )
+
+
+def _generate_shard(
+    task: _ShardGenerationTask,
+    progress: Callable[[int], None] | None = None,
+) -> ShardSummary:
+    """Generate one shard directory and return its summary.
+
+    The single generation path shared by the serial loop and the shard-level
+    process pool: a shard's bytes depend only on ``(dataset seed, viewer
+    id)``, so where this function runs has no effect on what it writes.
+    ``progress``, when given, is invoked with the shard-local count of
+    completed sessions (the pool path cannot stream progress across the
+    process boundary and passes ``None``).
+    """
+    accumulator = SummaryAccumulator()
+    with DatasetWriter(
+        Path(task.directory),
+        dataset_name=task.dataset_name,
+        write_pcaps=task.write_pcaps,
+        seed=task.seed,
+        config=task.config,
+        graph=task.graph,
+        shard=_shard_plan(
+            task.shard_slice, task.shard_count, task.population_viewer_count
+        ),
+    ) as writer:
+        for point in iter_collect_dataset(
+            list(task.viewers),
+            dataset_seed=task.seed,
+            graph=task.graph,
+            config=task.config,
+            workers=task.workers,
+        ):
+            writer.add(point)
+            accumulator.add(point)
+            if progress is not None:
+                progress(writer.entry_count)
+    summary = accumulator.summary()
+    return ShardSummary(
+        index=task.shard_slice.index,
+        directory=task.shard_slice.dirname,
+        viewer_count=summary.viewer_count,
+        total_choices=summary.total_choices,
+        non_default_choices=summary.non_default_choices,
+        total_packets=summary.total_packets,
+        condition_keys=accumulator.condition_keys,
+    )
+
+
+def _generate_shard_task(task: _ShardGenerationTask) -> ShardSummary:
+    """Module-level pool entry point (must be picklable)."""
+    return _generate_shard(task)
+
+
+def _describe_shard_task(task: _ShardGenerationTask) -> str:
+    return task.describe()
+
+
+def _generate_shards(
+    directory: Path,
+    slices: Sequence[ShardSlice],
+    *,
+    shard_count: int,
+    viewers: Sequence[Viewer],
+    total_viewers: int,
+    seed: int,
+    graph: StoryGraph,
+    config: SessionConfig,
+    workers: int | None,
+    shard_workers: int | None,
+    write_pcaps: bool,
+    dataset_name: str,
+    progress: Callable[[int, int], None] | None,
+    resume: bool,
+    status: Callable[[ShardSlice, str], None] | None,
+) -> list[ShardSummary]:
+    """Resume-check, quarantine and (re)generate the selected shards.
+
+    The shared core of :func:`generate_sharded_dataset` and
+    :func:`generate_shard_subset`: a planning pass settles each selected
+    shard's fate serially (skipping reusable ones, quarantining debris —
+    cheap metadata work), then the shards that need generating run either in
+    this process or fanned out over a shard-level
+    :class:`~repro.engine.executor.BatchExecutor` pool
+    (``shard_workers``).  Both paths write byte-identical directories; the
+    pool path reports ``progress`` at shard granularity because per-session
+    callbacks cannot cross the process boundary.
+    """
+    def report(shard_slice: ShardSlice, state: str) -> None:
+        if status is not None:
+            status(shard_slice, state)
+
+    graph_fingerprint = graph.fingerprint()
+    summaries: dict[int, ShardSummary] = {}
+    pending: list[_ShardGenerationTask] = []
+    done = 0
+    for shard_slice in slices:
+        shard_directory = directory / shard_slice.dirname
+        if resume:
+            summary = _reusable_shard_summary(
+                shard_directory,
+                shard_slice,
+                shard_count,
+                viewers,
+                seed,
+                write_pcaps,
+                dataset_name,
+                config,
+                graph_fingerprint,
+            )
+            if summary is not None:
+                summaries[shard_slice.index] = summary
+                done += summary.viewer_count
+                report(shard_slice, SHARD_SKIPPED)
+                if progress is not None:
+                    progress(done, total_viewers)
+                continue
+        if shard_directory.exists():
+            # In-plan debris (a partial shard, or any previous run's shard
+            # when not resuming) is moved aside, never overwritten in place:
+            # stale pcaps surviving inside a rewritten shard would look like
+            # valid viewers to anything that globs the traces directory.
+            quarantine_partial_shard(shard_directory)
+            report(shard_slice, SHARD_QUARANTINED)
+        pending.append(
+            _ShardGenerationTask(
+                directory=str(shard_directory),
+                shard_slice=shard_slice,
+                shard_count=shard_count,
+                population_viewer_count=len(viewers),
+                viewers=tuple(viewers[shard_slice.start : shard_slice.stop]),
+                seed=seed,
+                graph=graph,
+                config=config,
+                workers=workers,
+                write_pcaps=write_pcaps,
+                dataset_name=dataset_name,
+            )
+        )
+    if resolve_workers(shard_workers) > 1 and len(pending) > 1:
+        executor = BatchExecutor(shard_workers)
+        results = executor.imap(
+            _generate_shard_task, pending, label=_describe_shard_task
+        )
+        for task, summary in zip(pending, results):
+            summaries[summary.index] = summary
+            done += summary.viewer_count
+            report(task.shard_slice, SHARD_GENERATED)
+            if progress is not None:
+                progress(done, total_viewers)
+    else:
+        for task in pending:
+            summary = _generate_shard(
+                task,
+                progress=(
+                    None
+                    if progress is None
+                    else lambda in_shard, base=done: progress(
+                        base + in_shard, total_viewers
+                    )
+                ),
+            )
+            summaries[summary.index] = summary
+            done += summary.viewer_count
+            report(task.shard_slice, SHARD_GENERATED)
+    return [summaries[shard_slice.index] for shard_slice in slices]
+
+
 def generate_sharded_dataset(
     directory: str | Path,
     viewer_count: int,
@@ -622,6 +903,7 @@ def generate_sharded_dataset(
     graph: StoryGraph | None = None,
     config: SessionConfig | None = None,
     workers: int | None = None,
+    shard_workers: int | None = None,
     write_pcaps: bool = True,
     dataset_name: str = "iitm-bandersnatch-synthetic",
     progress: Callable[[int, int], None] | None = None,
@@ -635,6 +917,18 @@ def generate_sharded_dataset(
     time; sessions are persisted through :class:`DatasetWriter` as the engine
     completes them.  ``progress`` is invoked as ``(done_viewers,
     viewer_count)`` across the whole population.
+
+    ``shard_workers`` fans whole shards out over a process pool
+    (:class:`~repro.engine.executor.BatchExecutor` semantics: ``None``/``1``
+    serial, ``0`` one worker per core, ``N > 1`` a pool of ``N``), each
+    shard worker in turn running its sessions with the per-session
+    ``workers`` fan-out.  Because shards are independent directories and
+    every session's bytes derive from ``(dataset seed, viewer id)`` alone,
+    the parallel run's output — pcaps, per-shard metadata and the manifest —
+    is byte-identical to the serial run's, and the per-shard ``.inprogress``
+    crash-safety semantics are unchanged (a killed run leaves each in-flight
+    shard detectably partial, exactly as the serial path does).  On the pool
+    path ``progress`` advances at shard granularity.
 
     With ``resume=True`` an interrupted run is picked up where it stopped:
     shards that finalised cleanly (and verifiably belong to this population
@@ -669,81 +963,330 @@ def generate_sharded_dataset(
         match = re.fullmatch(r"shard-(\d{3,})", existing.name)
         if match and existing.is_dir() and int(match.group(1)) >= len(slices):
             quarantine_partial_shard(existing)
-
-    def report(shard_slice: ShardSlice, state: str) -> None:
-        if status is not None:
-            status(shard_slice, state)
-
-    shard_summaries: list[ShardSummary] = []
-    graph_fingerprint = graph.fingerprint()
-    done = 0
-    for shard_slice in slices:
-        shard_directory = directory / shard_slice.dirname
-        if resume:
-            summary = _reusable_shard_summary(
-                shard_directory,
-                shard_slice,
-                viewers,
-                seed,
-                write_pcaps,
-                dataset_name,
-                config,
-                graph_fingerprint,
-            )
-            if summary is not None:
-                shard_summaries.append(summary)
-                done += summary.viewer_count
-                report(shard_slice, SHARD_SKIPPED)
-                if progress is not None:
-                    progress(done, viewer_count)
-                continue
-        if shard_directory.exists():
-            # In-plan debris (a partial shard, or any previous run's shard
-            # when not resuming) is moved aside, never overwritten in place:
-            # stale pcaps surviving inside a rewritten shard would look like
-            # valid viewers to anything that globs the traces directory.
-            quarantine_partial_shard(shard_directory)
-            report(shard_slice, SHARD_QUARANTINED)
-        accumulator = SummaryAccumulator()
-        with DatasetWriter(
-            shard_directory,
-            dataset_name=dataset_name,
-            write_pcaps=write_pcaps,
-            seed=seed,
-            config=config,
-            graph=graph,
-        ) as writer:
-            for point in iter_collect_dataset(
-                viewers[shard_slice.start : shard_slice.stop],
-                dataset_seed=seed,
-                graph=graph,
-                config=config,
-                workers=workers,
-            ):
-                writer.add(point)
-                accumulator.add(point)
-                done += 1
-                if progress is not None:
-                    progress(done, viewer_count)
-        summary = accumulator.summary()
-        shard_summaries.append(
-            ShardSummary(
-                index=shard_slice.index,
-                directory=shard_slice.dirname,
-                viewer_count=summary.viewer_count,
-                total_choices=summary.total_choices,
-                non_default_choices=summary.non_default_choices,
-                total_packets=summary.total_packets,
-                condition_keys=accumulator.condition_keys,
-            )
-        )
-        report(shard_slice, SHARD_GENERATED)
+    shard_summaries = _generate_shards(
+        directory,
+        slices,
+        shard_count=shard_count,
+        viewers=viewers,
+        total_viewers=viewer_count,
+        seed=seed,
+        graph=graph,
+        config=config,
+        workers=workers,
+        shard_workers=shard_workers,
+        write_pcaps=write_pcaps,
+        dataset_name=dataset_name,
+        progress=progress,
+        resume=resume,
+        status=status,
+    )
     dataset = ShardedDataset(
         directory=directory,
         name=dataset_name,
         seed=seed,
         viewer_count=viewer_count,
         shard_summaries=shard_summaries,
+    )
+    dataset.save_manifest()
+    return dataset
+
+
+def generate_shard_subset(
+    directory: str | Path,
+    viewer_count: int,
+    shard_count: int,
+    only_shards: Sequence[int],
+    seed: int = 0,
+    graph: StoryGraph | None = None,
+    config: SessionConfig | None = None,
+    workers: int | None = None,
+    shard_workers: int | None = None,
+    write_pcaps: bool = True,
+    dataset_name: str = "iitm-bandersnatch-synthetic",
+    progress: Callable[[int, int], None] | None = None,
+    resume: bool = False,
+    status: Callable[[ShardSlice, str], None] | None = None,
+) -> list[ShardSummary]:
+    """Generate only the named shards of a population's shard plan.
+
+    The distribution primitive: several machines each run the same plan
+    (``viewer_count``, ``shard_count``, ``seed``) with disjoint
+    ``only_shards`` selections, rsync the resulting shard directories under
+    one root, and :func:`stitch_sharded_dataset` verifies and publishes the
+    merged manifest.  Shard membership is a pure function of the plan and
+    session bytes derive from the dataset seed and viewer id alone, so the
+    union of the machines' outputs is byte-identical to one machine
+    generating everything.
+
+    No ``shards.json`` manifest is written — a subset is not a complete
+    dataset — and any stale manifest in ``directory`` is removed; shards
+    outside the selection are left untouched (they may be another machine's
+    rsync'd output).  ``progress`` counts viewers of the selected shards
+    only.  ``resume``/``shard_workers``/``status`` behave exactly as in
+    :func:`generate_sharded_dataset`.
+
+    Returns the selected shards' summaries, in index order.
+    """
+    directory = Path(directory)
+    graph = graph or default_study_script()
+    config = config or SessionConfig()
+    slices = plan_shards(viewer_count, shard_count)
+    indices = sorted(set(int(index) for index in only_shards))
+    if not indices:
+        raise DatasetError("no shards selected; name at least one shard index")
+    out_of_range = [index for index in indices if not 0 <= index < shard_count]
+    if out_of_range:
+        raise DatasetError(
+            f"shard indices {out_of_range} are out of range for "
+            f"{shard_count} shards (valid indices: 0-{shard_count - 1})"
+        )
+    selected = [slices[index] for index in indices]
+    viewers = generate_population(viewer_count, seed=seed)
+    directory.mkdir(parents=True, exist_ok=True)
+    # A manifest can only describe a complete run; regenerating any member
+    # shard invalidates it.  Stitching re-publishes it once every machine's
+    # shards are in place.
+    (directory / SHARDS_MANIFEST_FILENAME).unlink(missing_ok=True)
+    return _generate_shards(
+        directory,
+        selected,
+        shard_count=shard_count,
+        viewers=viewers,
+        total_viewers=sum(
+            shard_slice.viewer_count for shard_slice in selected
+        ),
+        seed=seed,
+        graph=graph,
+        config=config,
+        workers=workers,
+        shard_workers=shard_workers,
+        write_pcaps=write_pcaps,
+        dataset_name=dataset_name,
+        progress=progress,
+        resume=resume,
+        status=status,
+    )
+
+
+def discover_shard_directories(directory: str | Path) -> list[tuple[int, Path]]:
+    """The ``shard-NNN`` directories under ``directory``, sorted by index.
+
+    Quarantined debris (``shard-NNN.quarantined-*``) is excluded by
+    construction.  Raises a :class:`DatasetError` when no shard directory is
+    found — the caller is pointing at something that is not (yet) a sharded
+    dataset root.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DatasetError(f"{directory} is not a directory")
+    found: list[tuple[int, Path]] = []
+    for entry in sorted(directory.iterdir()):
+        match = re.fullmatch(r"shard-(\d{3,})", entry.name)
+        if match and entry.is_dir():
+            found.append((int(match.group(1)), entry))
+    if not found:
+        raise DatasetError(
+            f"no shard-NNN directories found under {directory} (generate "
+            "them with `repro generate-dataset --shards N [--only-shards "
+            "...]`)"
+        )
+    return sorted(found)
+
+
+def _plan_totals(metadata: Mapping[str, object]) -> Mapping[str, object] | None:
+    """The shard-count/population part of a shard's recorded plan, if any."""
+    plan = metadata.get("shard")
+    if not isinstance(plan, Mapping):
+        return None
+    return {
+        "count": plan.get("count"),
+        "population_viewer_count": plan.get("population_viewer_count"),
+    }
+
+
+def load_consistent_shard_metadata(
+    shard_directories: Sequence[tuple[int, Path]],
+) -> list[Mapping[str, object]]:
+    """Load each shard's metadata index, requiring one generation run.
+
+    Every shard must have finalised cleanly and record the same dataset
+    name, seed, session configuration, story-graph fingerprint and shard
+    plan totals (shard count, population size) as the first — shards
+    rsync'd together from *different* runs must fail loudly here, not train
+    or stitch into a silently mixed corpus.  Returns the metadata mappings
+    in the given order.
+    """
+    if not shard_directories:
+        raise DatasetError("no shard directories to load")
+    loaded: list[Mapping[str, object]] = []
+    reference: Mapping[str, object] | None = None
+    reference_name = ""
+    for index, shard_directory in shard_directories:
+        if not dataset_is_complete(shard_directory):
+            raise DatasetError(
+                f"shard {shard_directory.name} is incomplete (interrupted "
+                "generation?); regenerate it with `repro generate-dataset "
+                f"--shards N --only-shards {index}` or repair the root with "
+                "`--resume`"
+            )
+        metadata = load_dataset_metadata(shard_directory)
+        plan = metadata.get("shard")
+        if isinstance(plan, Mapping) and plan.get("index") != index:
+            # A shard-NNN directory must hold the plan's shard NNN: a
+            # mis-rsynced or renamed copy would otherwise fold the same
+            # viewers in twice (training) or under the wrong slice (stitch).
+            raise DatasetError(
+                f"shard {shard_directory.name} records shard plan index "
+                f"{plan.get('index')!r} (mis-rsynced or renamed shard "
+                "directory?); every shard-NNN directory must hold the "
+                "plan's shard NNN"
+            )
+        if reference is None:
+            reference = metadata
+            reference_name = shard_directory.name
+        else:
+            for field, value, reference_value in (
+                *(
+                    (field, metadata.get(field), reference.get(field))
+                    for field in (
+                        "name",
+                        "seed",
+                        "session_config",
+                        "graph_fingerprint",
+                    )
+                ),
+                ("shard plan", _plan_totals(metadata), _plan_totals(reference)),
+            ):
+                if value != reference_value:
+                    raise DatasetError(
+                        f"shard {shard_directory.name} records "
+                        f"{field}={value!r} but "
+                        f"{reference_name} records {reference_value!r} "
+                        "(mixed generation runs?); every shard must come "
+                        "from the same plan (viewer count, shard count, "
+                        "seed, config and script)"
+                    )
+        loaded.append(metadata)
+    return loaded
+
+
+def stitch_sharded_dataset(
+    directory: str | Path,
+    graph: StoryGraph | None = None,
+    status: Callable[[ShardSlice, str], None] | None = None,
+) -> ShardedDataset:
+    """Verify rsync'd-together shards and publish the merged manifest.
+
+    The distributed counterpart of ``resume``: machines that split one
+    generation plan via :func:`generate_shard_subset` copy their shard
+    directories under one root, and this function checks — without
+    regenerating or re-reading a single pcap — that the union is exactly the
+    plan's population: every one of the plan's shards present (the plan
+    totals are recorded in each shard's metadata, so even missing *trailing*
+    shards are detected), every shard finalised cleanly, all shards from the
+    same run (name, seed, session config, story-graph fingerprint, plan
+    totals), and each shard holding precisely its slice's viewer ids with
+    every recorded trace file on disk.  The plan itself (viewer count, shard
+    count, seed, configuration) is read from the shard metadata, so
+    stitching needs no flags to repeat.
+
+    On success the ``shards.json`` manifest is written atomically and the
+    loaded :class:`ShardedDataset` returned; any failure raises a
+    :class:`DatasetError` naming the shard and the fix (regenerate the
+    missing/foreign shard with ``--only-shards``, or re-run the generating
+    machine).  ``status``, when given, is invoked as ``(slice,
+    SHARD_VERIFIED)`` per verified shard.
+    """
+    directory = Path(directory)
+    graph = graph or default_study_script()
+    found = discover_shard_directories(directory)
+    metadata_by_shard = load_consistent_shard_metadata(found)
+    reference = metadata_by_shard[0]
+    for field in ("seed", "session_config", "shard"):
+        if field not in reference:
+            raise DatasetError(
+                f"shard {found[0][1].name} does not record its {field!r}, so "
+                "the stitched dataset cannot be verified against its "
+                "generation plan (re-generate with the current tooling)"
+            )
+    plan = _plan_totals(reference)
+    assert plan is not None  # "shard" key checked above
+    try:
+        shard_count = int(plan["count"])  # type: ignore[arg-type]
+        viewer_count = int(plan["population_viewer_count"])  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError) as error:
+        raise DatasetError(
+            f"shard {found[0][1].name} records a malformed shard plan: "
+            f"{error!r}"
+        ) from error
+    # The plan totals come from the shards themselves, so a root that lost
+    # its *trailing* shards cannot masquerade as a smaller complete dataset.
+    indices = [index for index, _path in found]
+    unexpected = sorted(set(indices) - set(range(shard_count)))
+    if unexpected:
+        raise DatasetError(
+            f"cannot stitch {directory}: shard indices {unexpected} lie "
+            f"beyond the recorded plan of {shard_count} shards (mixed "
+            "generation runs?)"
+        )
+    missing = sorted(set(range(shard_count)) - set(indices))
+    if missing:
+        raise DatasetError(
+            f"cannot stitch {directory}: shard indices {missing} are missing "
+            f"(found {len(indices)} of the plan's {shard_count} shards); "
+            f"generate them with `repro generate-dataset --shards "
+            f"{shard_count} --only-shards "
+            f"{','.join(str(index) for index in missing)}` or rsync the "
+            "missing machine's output into place"
+        )
+    recorded_fingerprint = reference.get("graph_fingerprint")
+    if recorded_fingerprint is not None and recorded_fingerprint != graph.fingerprint():
+        raise DatasetError(
+            f"shards under {directory} were generated with a different story "
+            "graph than the one supplied for stitching; pass the generating "
+            "graph"
+        )
+    seed = int(reference["seed"])
+    dataset_name = str(reference["name"])
+    config = session_config_from_metadata(dict(reference))
+    write_pcaps = any(
+        "trace_file" in entry for entry in reference["entries"]  # type: ignore[union-attr]
+    )
+    slices = plan_shards(viewer_count, shard_count)
+    viewers = generate_population(viewer_count, seed=seed)
+    graph_fingerprint = graph.fingerprint()
+    summaries: list[ShardSummary] = []
+    for (index, shard_directory), metadata in zip(found, metadata_by_shard):
+        summary = _reusable_shard_summary(
+            shard_directory,
+            slices[index],
+            shard_count,
+            viewers,
+            seed,
+            write_pcaps,
+            dataset_name,
+            config,  # type: ignore[arg-type]
+            graph_fingerprint,
+            metadata=metadata,
+        )
+        if summary is None:
+            raise DatasetError(
+                f"shard {shard_directory.name} does not verify against the "
+                f"run's plan ({viewer_count} viewers across {shard_count} "
+                f"shards, seed {seed}): its viewer slice, recorded "
+                "configuration or on-disk traces do not match; regenerate it "
+                f"with `repro generate-dataset --shards {shard_count} "
+                f"--only-shards {index}`"
+            )
+        summaries.append(summary)
+        if status is not None:
+            status(slices[index], SHARD_VERIFIED)
+    dataset = ShardedDataset(
+        directory=directory,
+        name=dataset_name,
+        seed=seed,
+        viewer_count=viewer_count,
+        shard_summaries=summaries,
     )
     dataset.save_manifest()
     return dataset

@@ -355,6 +355,149 @@ class TestResumableGenerationAndShardedTraining:
         assert "headline" in capsys.readouterr().err
 
 
+class TestDistributedGeneration:
+    """--only-shards / --shard-workers / stitch / merge-fingerprints."""
+
+    @pytest.fixture(scope="class")
+    def split_roots(self, tmp_path_factory) -> tuple[Path, Path]:
+        machine_a = tmp_path_factory.mktemp("cli-machine-a")
+        machine_b = tmp_path_factory.mktemp("cli-machine-b")
+        for root, selection in ((machine_a, "0"), (machine_b, "1")):
+            exit_code = main(
+                [
+                    "generate-dataset",
+                    str(root),
+                    "--viewers",
+                    "4",
+                    "--seed",
+                    "5",
+                    "--shards",
+                    "2",
+                    "--only-shards",
+                    selection,
+                    "--no-cross-traffic",
+                ]
+            )
+            assert exit_code == 0
+        return machine_a, machine_b
+
+    @pytest.fixture(scope="class")
+    def stitched_dir(self, split_roots, tmp_path_factory) -> Path:
+        import shutil
+
+        machine_a, machine_b = split_roots
+        root = tmp_path_factory.mktemp("cli-stitched")
+        shutil.copytree(machine_a / "shard-000", root / "shard-000")
+        shutil.copytree(machine_b / "shard-001", root / "shard-001")
+        exit_code = main(["stitch", str(root)])
+        assert exit_code == 0
+        return root
+
+    def test_only_shards_writes_just_the_selection(self, split_roots, capsys):
+        machine_a, _machine_b = split_roots
+        assert (machine_a / "shard-000" / "metadata.json").exists()
+        assert not (machine_a / "shard-001").exists()
+        assert not (machine_a / "shards.json").exists()
+
+    def test_only_shards_requires_shards(self, tmp_path, capsys):
+        exit_code = main(
+            ["generate-dataset", str(tmp_path), "--viewers", "2", "--only-shards", "0"]
+        )
+        assert exit_code == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_bad_selection_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "generate-dataset",
+                str(tmp_path),
+                "--viewers",
+                "4",
+                "--shards",
+                "2",
+                "--only-shards",
+                "7",
+            ]
+        )
+        assert exit_code == 1
+        assert "out of range" in capsys.readouterr().err
+
+    def test_shard_workers_requires_shards(self, tmp_path, capsys):
+        exit_code = main(
+            ["generate-dataset", str(tmp_path), "--viewers", "2", "--shard-workers", "2"]
+        )
+        assert exit_code == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_stitch_publishes_manifest(self, stitched_dir):
+        manifest = json.loads((stitched_dir / "shards.json").read_text())
+        assert manifest["shard_count"] == 2
+        assert manifest["viewer_count"] == 4
+        assert manifest["seed"] == 5
+
+    def test_stitch_of_non_dataset_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(["stitch", str(tmp_path)])
+        assert exit_code == 1
+        assert "no shard-NNN directories" in capsys.readouterr().err
+
+    def test_subset_train_plus_merge_equals_single_machine(
+        self, split_roots, stitched_dir, tmp_path, capsys
+    ):
+        machine_a, machine_b = split_roots
+        states = []
+        for index, machine in enumerate((machine_a, machine_b)):
+            library = tmp_path / f"lib-{index}.json"
+            state = tmp_path / f"state-{index}.json"
+            exit_code = main(
+                [
+                    "train",
+                    str(machine),
+                    str(library),
+                    "--sharded",
+                    "--save-state",
+                    str(state),
+                ]
+            )
+            assert exit_code == 0
+            assert state.exists()
+            states.append(state)
+        single_library = tmp_path / "lib-single.json"
+        assert main(["train", str(stitched_dir), str(single_library), "--sharded"]) == 0
+        merged_library = tmp_path / "lib-merged.json"
+        exit_code = main(
+            [
+                "merge-fingerprints",
+                *[str(state) for state in states],
+                "-o",
+                str(merged_library),
+            ]
+        )
+        assert exit_code == 0
+        assert merged_library.read_bytes() == single_library.read_bytes()
+
+    def test_save_state_requires_sharded(self, stitched_dir, tmp_path, capsys):
+        exit_code = main(
+            [
+                "train",
+                str(stitched_dir / "shard-000"),
+                str(tmp_path / "lib.json"),
+                "--save-state",
+                str(tmp_path / "state.json"),
+            ]
+        )
+        assert exit_code == 1
+        assert "--sharded" in capsys.readouterr().err
+
+    def test_merge_rejects_a_library_file(self, tmp_path, capsys):
+        library_path = tmp_path / "library.json"
+        library_path.write_text("{}")
+        exit_code = main(
+            ["merge-fingerprints", str(library_path), "-o", str(tmp_path / "out.json")]
+        )
+        assert exit_code == 1
+        assert "save-state" in capsys.readouterr().err
+
+
 class TestReproduceCommand:
     def test_quick_figure1_reproduction(self, capsys):
         exit_code = main(["reproduce", "--experiment", "figure1", "--quick"])

@@ -26,6 +26,7 @@ from repro.dataset.format import (
     INPROGRESS_FILENAME,
     dataset_is_complete,
     dataset_is_partial,
+    snapshot_dataset_files,
 )
 from repro.dataset.iitm import IITMBandersnatchDataset
 from repro.dataset.shards import (
@@ -59,13 +60,8 @@ def _generate(directory: Path, resume: bool = False, status=None) -> ShardedData
     )
 
 
-def _dataset_files(directory: Path) -> dict[str, bytes]:
-    """Every dataset file (quarantine debris excluded), keyed by relative path."""
-    return {
-        str(path.relative_to(directory)): path.read_bytes()
-        for path in sorted(directory.rglob("*"))
-        if path.is_file() and ".quarantined-" not in str(path)
-    }
+#: Quarantine debris excluded, exactly the comparison the contract needs.
+_dataset_files = snapshot_dataset_files
 
 
 @pytest.fixture(scope="module")
