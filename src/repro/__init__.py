@@ -11,7 +11,9 @@ Analysis"* (Mitra et al., 2019): an end-to-end pipeline that
 2. generates an IITM-Bandersnatch-style dataset of ``{encrypted trace,
    ground-truth choices}`` points (:mod:`repro.dataset`),
 3. mounts the paper's passive traffic-analysis attack that recovers viewer
-   choices from client-side SSL record lengths (:mod:`repro.core`), and
+   choices from client-side SSL record lengths (:mod:`repro.core`), online —
+   tailing a live capture drop directory (:mod:`repro.ingest`) — as well as
+   over archived corpora, and
 4. evaluates baselines, countermeasures and the paper's tables and figures
    (:mod:`repro.baselines`, :mod:`repro.defenses`, :mod:`repro.experiments`).
 

@@ -5,10 +5,9 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.client.profiles import OperationalCondition
 from repro.core.features import extract_client_records
 from repro.core.fingerprint import FingerprintAccumulator, FingerprintLibrary
-from repro.core.pipeline import AttackResult, PcapAttackTask, WhiteMirrorAttack
+from repro.core.pipeline import AttackResult, WhiteMirrorAttack
 from repro.dataset.collection import collect_dataset, default_study_script
 from repro.dataset.format import (
     METADATA_FILENAME,
@@ -32,13 +31,20 @@ from repro.dataset.shards import (
 )
 from repro.exceptions import DatasetError, ReproError
 from repro.experiments.report import format_table
+from repro.ingest.service import (
+    SKIP_ALREADY_ATTACKED,
+    SKIP_UNREADABLE,
+    StreamingAttackService,
+)
+from repro.ingest.tasks import (
+    DEFAULT_CLIENT_IP,
+    build_pcap_task,
+    metadata_entries_near,
+)
 from repro.net.capture import CapturedTrace
 from repro.net.packet import Direction
 from repro.streaming.session import SessionConfig
 from repro.utils.stats import summarize
-
-#: Viewer address assumed when neither the flags nor dataset metadata name one.
-DEFAULT_CLIENT_IP = "192.168.1.23"
 
 
 def _print_summary(summary: DatasetSummary) -> None:
@@ -358,61 +364,6 @@ def _dataset_seed_from_metadata(metadata: dict) -> int:
     return int(metadata["seed"])
 
 
-def _metadata_entries_near(directory: Path) -> dict[str, dict]:
-    """Dataset metadata entries keyed by pcap filename, if a dataset is near.
-
-    Looks for ``metadata.json`` in ``directory`` and its parent, covering
-    both a dataset directory itself and its ``traces/`` subdirectory.  A
-    capture with an entry inherits its recorded addresses, environment and
-    ground truth; captures without one fall back to the CLI flags.
-    """
-    for candidate in (directory, directory.parent):
-        if not (candidate / METADATA_FILENAME).exists():
-            continue
-        try:
-            metadata = load_dataset_metadata(candidate)
-        except DatasetError:
-            continue
-        return {
-            Path(str(entry["trace_file"])).name: entry
-            for entry in metadata["entries"]
-            if "trace_file" in entry
-        }
-    return {}
-
-
-def _entry_environment(entry: dict | None) -> str | None:
-    if entry is None:
-        return None
-    condition = OperationalCondition.from_dict(entry["viewer"]["condition"])
-    return condition.fingerprint_key
-
-
-def _entry_truth(entry: dict | None) -> tuple[bool, ...] | None:
-    if entry is None:
-        return None
-    return tuple(bool(choice["took_default"]) for choice in entry["choices"])
-
-
-def _build_task(
-    pcap: Path, entry: dict | None, arguments: argparse.Namespace
-) -> PcapAttackTask:
-    environment = arguments.environment or _entry_environment(entry)
-    if environment is None:
-        raise ReproError(
-            f"cannot determine the environment of {pcap}: pass --environment "
-            "or attack captures that sit next to their dataset metadata.json"
-        )
-    client_ip = arguments.client_ip or (entry or {}).get("client_ip") or DEFAULT_CLIENT_IP
-    server_ip = arguments.server_ip or (entry or {}).get("server_ip")
-    return PcapAttackTask(
-        path=str(pcap),
-        condition_key=environment,
-        client_ip=str(client_ip),
-        server_ip=str(server_ip) if server_ip is not None else None,
-    )
-
-
 def _choice_rows(result: AttackResult) -> list[dict[str, object]]:
     return [
         {
@@ -440,12 +391,25 @@ def cmd_attack(arguments: argparse.Namespace) -> int:
     target = Path(arguments.pcap)
     if target.is_dir():
         return _attack_directory(arguments, target)
+    if getattr(arguments, "results_log", None):
+        # Fail at the point of misuse, not in a consumer that later finds
+        # the log was never written.
+        raise ReproError(
+            "--results-log applies to directory targets; attack the "
+            "capture's directory to log its verdict"
+        )
     return _attack_single(arguments, target)
 
 
 def _attack_single(arguments: argparse.Namespace, target: Path) -> int:
-    entry = _metadata_entries_near(target.parent).get(target.name)
-    task = _build_task(target, entry, arguments)
+    entry = metadata_entries_near(target.parent).get(target.name)
+    task = build_pcap_task(
+        target,
+        entry,
+        environment=arguments.environment,
+        client_ip=arguments.client_ip,
+        server_ip=arguments.server_ip,
+    )
     library = FingerprintLibrary.load(arguments.fingerprints)
     attack = WhiteMirrorAttack(graph=default_study_script(), library=library)
     result = attack.attack_pcap(
@@ -459,7 +423,8 @@ def _attack_single(arguments: argparse.Namespace, target: Path) -> int:
     return 0
 
 
-def _attack_directory(arguments: argparse.Namespace, target: Path) -> int:
+def _directory_pcaps(target: Path) -> tuple[Path, list[Path]]:
+    """The capture files of a directory target, in name order."""
     pcaps = sorted(target.glob("*.pcap"))
     if not pcaps and (target / "traces").is_dir():
         # A dataset directory was given; its captures live one level down.
@@ -467,47 +432,30 @@ def _attack_directory(arguments: argparse.Namespace, target: Path) -> int:
         pcaps = sorted(target.glob("*.pcap"))
     if not pcaps:
         raise ReproError(f"no .pcap files found under {target}")
-    entries = _metadata_entries_near(target)
+    return target, pcaps
+
+
+def _build_attack_service(
+    arguments: argparse.Namespace, log_path: str | None
+) -> StreamingAttackService:
+    """The one capture→verdict code path both attack modes run through."""
     library = FingerprintLibrary.load(arguments.fingerprints)
-    tasks: list[PcapAttackTask] = []
-    truths: list[tuple[bool, ...] | None] = []
-    skipped: list[str] = []
-    for pcap in pcaps:
-        entry = entries.get(pcap.name)
-        task = _build_task(pcap, entry, arguments)
-        if task.condition_key not in library:
-            skipped.append(f"{pcap.name} ({task.condition_key})")
-            continue
-        tasks.append(task)
-        truths.append(_entry_truth(entry))
-    for name in skipped:
-        print(f"skipping {name}: environment not in the fingerprint library")
-    if not tasks:
-        raise ReproError(
-            "no attackable captures: none of the environments are in the "
-            "fingerprint library"
-        )
-    attack = WhiteMirrorAttack(graph=default_study_script(), library=library)
-    recovered_choices = 0
-    correct_questions = 0
-    truth_questions = 0
-    workers = getattr(arguments, "workers", None)
-    for task, truth, result in zip(
-        tasks, truths, attack.iter_attack_pcaps(tasks, workers=workers)
-    ):
-        title = f"Recovered choices — {Path(task.path).name} ({task.condition_key})"
-        print(format_table(_choice_rows(result), title))
-        print()
-        recovered_choices += result.inferred.choice_count
-        if truth is not None:
-            pattern = result.recovered_pattern
-            correct_questions += sum(
-                1 for index, expected in enumerate(truth)
-                if index < len(pattern) and pattern[index] == expected
-            )
-            truth_questions += len(truth)
+    return StreamingAttackService(
+        library=library,
+        log_path=log_path,
+        workers=getattr(arguments, "workers", None),
+        environment=arguments.environment,
+        client_ip=arguments.client_ip,
+        server_ip=arguments.server_ip,
+    )
+
+
+def _print_aggregate_line(fresh: list, total_captures: int) -> None:
+    recovered_choices = sum(verdict.choice_count for verdict in fresh)
+    correct_questions = sum(verdict.correct_questions for verdict in fresh)
+    truth_questions = sum(verdict.question_count for verdict in fresh)
     aggregate = (
-        f"aggregate: attacked {len(tasks)}/{len(pcaps)} captures, "
+        f"aggregate: attacked {len(fresh)}/{total_captures} captures, "
         f"recovered {recovered_choices} choices"
     )
     if truth_questions:
@@ -519,6 +467,113 @@ def _attack_directory(arguments: argparse.Namespace, target: Path) -> int:
     else:
         aggregate += " (no ground truth available)"
     print(aggregate)
+
+
+def _attack_directory(arguments: argparse.Namespace, target: Path) -> int:
+    target, pcaps = _directory_pcaps(target)
+    service = _build_attack_service(
+        arguments, getattr(arguments, "results_log", None)
+    )
+    skip_reasons: list[str] = []
+
+    def on_skip(path: Path, reason: str) -> None:
+        skip_reasons.append(reason)
+        print(f"skipping {path.name}: {reason}")
+
+    def on_verdict(verdict, result: AttackResult) -> None:
+        title = f"Recovered choices — {verdict.capture} ({verdict.condition_key})"
+        print(format_table(_choice_rows(result), title))
+        print()
+
+    fresh = service.process(pcaps, on_verdict=on_verdict, on_skip=on_skip)
+    if not fresh and SKIP_ALREADY_ATTACKED not in skip_reasons:
+        # Nothing was attacked and nothing resumed: the batch caller made an
+        # error upstream; name the dominant cause with its fix.
+        if any("--environment" in reason for reason in skip_reasons):
+            raise ReproError(
+                f"cannot determine the environment of the captures under "
+                f"{target}: pass --environment or attack captures that sit "
+                "next to their dataset metadata.json"
+            )
+        if SKIP_UNREADABLE in skip_reasons:
+            raise ReproError(
+                f"no readable captures under {target}: every .pcap vanished "
+                "or failed to read (rotated away by its writer?)"
+            )
+        if all("fingerprint library" in reason for reason in skip_reasons):
+            raise ReproError(
+                "no attackable captures: none of the environments are in "
+                "the fingerprint library"
+            )
+        raise ReproError(
+            f"no attackable captures under {target}: every capture was "
+            "skipped (see the reasons above)"
+        )
+    _print_aggregate_line(fresh, len(pcaps))
+    if service.log_path is not None:
+        print(f"wrote verdicts to {service.log_path}")
+    return 0
+
+
+def cmd_watch(arguments: argparse.Namespace) -> int:
+    """``repro watch``: attack captures as they land in a drop directory.
+
+    The online counterpart of ``repro attack`` over a directory, sharing its
+    capture→verdict code path (:class:`StreamingAttackService`): detected
+    captures are attacked as they finish landing, each verdict is durably
+    appended to the results log, and a running aggregate-accuracy table
+    follows every batch.  ``--once`` drains the directory and exits — over a
+    quiescent directory its results log is byte-identical to ``repro attack
+    --results-log`` on the same pcaps.  A restarted watch resumes from the
+    log, skipping captures already attacked (by content fingerprint).
+    """
+    directory = Path(arguments.directory)
+    if not directory.is_dir():
+        # Checked before the service builds its results log (which defaults
+        # into this directory), so the error names the actual mistake.
+        raise ReproError(
+            f"capture drop directory {directory} does not exist (create it "
+            "before watching, or point at a dataset's traces/)"
+        )
+    log_path = arguments.results_log or str(directory / "results.jsonl")
+    arguments.fingerprints = arguments.library
+    service = _build_attack_service(arguments, log_path)
+    resumed = len(service.verdicts)
+    if resumed:
+        print(f"resuming: {resumed} verdict(s) already in {log_path}")
+
+    def on_skip(path: Path, reason: str) -> None:
+        print(f"skipping {path.name}: {reason}")
+
+    def on_verdict(verdict, result: AttackResult) -> None:
+        pattern = "".join("d" if choice else "N" for choice in verdict.pattern)
+        scored = (
+            f", {verdict.correct_questions}/{verdict.question_count} correct"
+            if verdict.truth is not None
+            else ""
+        )
+        print(
+            f"verdict: {verdict.capture} ({verdict.condition_key}) "
+            f"pattern={pattern or '-'}{scored}"
+        )
+        print(format_table(service.aggregate_rows(), "Running aggregate accuracy"))
+        print()
+
+    try:
+        service.run(
+            directory,
+            follow=arguments.follow,
+            poll_interval=arguments.poll_interval,
+            on_verdict=on_verdict,
+            on_skip=on_skip,
+            on_error=lambda error: print(f"batch failed, still watching: {error}"),
+        )
+    except KeyboardInterrupt:
+        print("\nstopped")
+    print(
+        f"results log: {log_path} "
+        f"({len(service.verdicts)} verdict(s) total)"
+    )
     return 0
 
 

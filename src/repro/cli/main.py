@@ -41,6 +41,22 @@ def build_parser() -> argparse.ArgumentParser:
             "training over\n"
             "  the stitched dataset (see examples/generate_dataset.py "
             "stitch-demo)\n"
+            "\n"
+            "live capture ingest:\n"
+            "  tail a pcap drop directory and attack captures as they "
+            "finish landing:\n"
+            "    repro watch DROP_DIR --library lib.json "
+            "[--results-log results.jsonl]\n"
+            "  --once drains the directory and exits; its results log is "
+            "byte-identical\n"
+            "  to `repro attack DROP_DIR lib.json --results-log ...` over "
+            "the same pcaps.\n"
+            "  verdicts append durably (one JSON line per capture); a "
+            "restarted watch\n"
+            "  resumes from the log, skipping captures already attacked "
+            "(by content\n"
+            "  fingerprint), so kill-and-restart never duplicates or "
+            "drops a verdict\n"
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
@@ -236,8 +252,92 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="streaming server IP (default: from metadata, else the largest flow)",
     )
+    attack.add_argument(
+        "--results-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append one durable JSON verdict line per attacked capture "
+            "(directory targets only); byte-identical to the log `repro "
+            "watch --once` writes over the same pcaps, and re-running skips "
+            "captures already in the log"
+        ),
+    )
     add_workers_argument(attack)
     attack.set_defaults(handler=commands.cmd_attack)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help=(
+            "tail a pcap drop directory and attack captures as they finish "
+            "landing (the online attack front end)"
+        ),
+    )
+    watch.add_argument(
+        "directory",
+        help=(
+            "capture drop directory to watch; a capture counts as finished "
+            "once its .inprogress marker is renamed away, or once its size "
+            "and mtime hold still across two polls"
+        ),
+    )
+    watch.add_argument(
+        "--library",
+        required=True,
+        help="fingerprint library JSON written by 'train'",
+    )
+    mode = watch.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--follow",
+        action="store_true",
+        default=True,
+        help="keep polling for new captures until interrupted (default)",
+    )
+    mode.add_argument(
+        "--once",
+        dest="follow",
+        action="store_false",
+        help=(
+            "drain the captures already in the (quiescent) directory, then "
+            "exit; the results log is byte-identical to batch `repro attack "
+            "--results-log` over the same pcaps"
+        ),
+    )
+    watch.add_argument(
+        "--results-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only JSONL verdict log (default: results.jsonl inside "
+            "the watched directory); restarts resume from it"
+        ),
+    )
+    watch.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between directory polls in follow mode (default 0.5)",
+    )
+    watch.add_argument(
+        "--environment",
+        default=None,
+        help=(
+            "victim environment key applied to every capture; optional when "
+            "captures sit next to their dataset metadata.json"
+        ),
+    )
+    watch.add_argument(
+        "--client-ip",
+        default=None,
+        help=f"viewer's IP in the captures (default: from metadata, else {commands.DEFAULT_CLIENT_IP})",
+    )
+    watch.add_argument(
+        "--server-ip",
+        default=None,
+        help="streaming server IP (default: from metadata, else the largest flow)",
+    )
+    add_workers_argument(watch)
+    watch.set_defaults(handler=commands.cmd_watch)
 
     reproduce = subparsers.add_parser(
         "reproduce",

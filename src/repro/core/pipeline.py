@@ -338,9 +338,9 @@ class WhiteMirrorAttack:
 
     def iter_attack_pcaps(
         self,
-        tasks: Sequence[PcapAttackTask],
+        tasks: Iterable[PcapAttackTask],
         workers: int | None = None,
-        progress: Callable[[int, int], None] | None = None,
+        progress: Callable[[int, int | None], None] | None = None,
     ) -> Iterator[AttackResult]:
         """Attack a batch of capture files, yielding results in task order.
 
@@ -351,6 +351,14 @@ class WhiteMirrorAttack:
         of thousands of captures never materialises in memory.  Serial and
         parallel iteration yield identical results.
 
+        ``tasks`` may be any iterable: the live ingest service feeds a lazy
+        generator whose production (hashing, metadata resolution) pipelines
+        with the attacking of earlier captures, and ``imap`` never
+        materialises it.  An empty *sequence* is rejected loudly (a batch
+        caller that found no captures made an error upstream); an empty lazy
+        iterable simply yields nothing — "no new arrivals" is a normal state
+        for a live source.
+
         Unlike :meth:`attack_batch` (whose payloads are whole in-memory
         traces, hence its one-chunk-per-worker shipping), a pcap task is
         just a path: the attack state pickled with each submission is a few
@@ -358,8 +366,7 @@ class WhiteMirrorAttack:
         per-task submission — and with it per-capture streaming granularity
         — is the better trade here.
         """
-        tasks = list(tasks)
-        if not tasks:
+        if isinstance(tasks, Sequence) and not tasks:
             raise AttackError("no capture files to attack")
         executor = BatchExecutor(workers)
         yield from executor.imap(

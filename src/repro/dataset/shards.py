@@ -632,6 +632,149 @@ def _shard_plan(
     }
 
 
+def _shard_reuse_mismatch(
+    shard_directory: Path,
+    shard_slice: ShardSlice,
+    shard_count: int,
+    viewers: Sequence[Viewer],
+    seed: int,
+    write_pcaps: bool,
+    dataset_name: str,
+    config: SessionConfig,
+    graph_fingerprint: str,
+    metadata: Mapping[str, object] | None = None,
+) -> str | None:
+    """Why the on-disk shard cannot be reused for this plan; ``None`` if it can.
+
+    The single verifier behind resume's skip decision and stitch's
+    validation (via :func:`_shard_reuse_check`).  Each check returns a
+    reason naming the exact recorded field that mismatched — resume only
+    needs the yes/no, but a stitch failure is an operator's cue to find the
+    foreign shard's origin, so "its recorded configuration does not match"
+    is not good enough.
+    """
+    if not dataset_is_complete(shard_directory):
+        return (
+            "it has not finalised cleanly (missing metadata index or "
+            "leftover .inprogress marker — interrupted generation?)"
+        )
+    if metadata is None:
+        try:
+            metadata = load_dataset_metadata(shard_directory)
+        except DatasetError as error:
+            return f"its metadata index does not load: {error}"
+    if metadata.get("seed") != seed:
+        return (
+            f"it records seed={metadata.get('seed')!r} but this plan uses "
+            f"seed={seed!r}"
+        )
+    if metadata.get("name") != dataset_name:
+        return (
+            f"it records dataset name {metadata.get('name')!r} but this plan "
+            f"uses {dataset_name!r}"
+        )
+    if metadata.get("session_config") != asdict(config):
+        return (
+            f"it records session_config={metadata.get('session_config')!r} "
+            f"but this plan uses {asdict(config)!r}"
+        )
+    if metadata.get("graph_fingerprint") != graph_fingerprint:
+        return (
+            f"it records story-graph fingerprint "
+            f"{metadata.get('graph_fingerprint')!r} but this plan's graph "
+            f"fingerprints {graph_fingerprint!r}"
+        )
+    expected_plan = _shard_plan(shard_slice, shard_count, len(viewers))
+    if metadata.get("shard") != expected_plan:
+        return (
+            f"it records shard plan {metadata.get('shard')!r} but this slice "
+            f"is {expected_plan!r}"
+        )
+    expected_ids = [
+        viewer.viewer_id for viewer in viewers[shard_slice.start : shard_slice.stop]
+    ]
+    try:
+        found_ids = [
+            str(entry["viewer"]["viewer_id"]) for entry in metadata["entries"]
+        ]
+        trace_files = [
+            entry.get("trace_file") for entry in metadata["entries"]
+        ]
+    except (KeyError, TypeError, AttributeError) as error:
+        return f"its metadata entries are malformed: {error!r}"
+    if found_ids != expected_ids:
+        return (
+            f"it holds viewer ids {found_ids!r} but the plan's slice "
+            f"expects {expected_ids!r}"
+        )
+    if write_pcaps:
+        missing = [
+            str(trace_file)
+            for trace_file in trace_files
+            if trace_file is None
+            or not (shard_directory / str(trace_file)).exists()
+        ]
+        if missing:
+            return (
+                f"recorded trace file(s) {missing!r} are missing on disk "
+                "(incomplete rsync?)"
+            )
+    elif any(trace_file is not None for trace_file in trace_files):
+        return (
+            "it records trace files but this plan was generated with "
+            "--no-pcaps"
+        )
+    return None
+
+
+def _shard_reuse_check(
+    shard_directory: Path,
+    shard_slice: ShardSlice,
+    shard_count: int,
+    viewers: Sequence[Viewer],
+    seed: int,
+    write_pcaps: bool,
+    dataset_name: str,
+    config: SessionConfig,
+    graph_fingerprint: str,
+    metadata: Mapping[str, object] | None = None,
+) -> tuple[str | None, ShardSummary | None]:
+    """Verify an on-disk shard against a plan: ``(mismatch reason, summary)``.
+
+    Exactly one element of the pair is ``None``: either the shard fails
+    :func:`_shard_reuse_mismatch` (or its metadata cannot be summarised) and
+    the reason comes back, or it verifies and its summary rides back so
+    callers never summarise the same metadata twice.
+    """
+    if metadata is None and dataset_is_complete(shard_directory):
+        try:
+            metadata = load_dataset_metadata(shard_directory)
+        except DatasetError as error:
+            return f"its metadata index does not load: {error}", None
+    mismatch = _shard_reuse_mismatch(
+        shard_directory,
+        shard_slice,
+        shard_count,
+        viewers,
+        seed,
+        write_pcaps,
+        dataset_name,
+        config,
+        graph_fingerprint,
+        metadata=metadata,
+    )
+    if mismatch is not None:
+        return mismatch, None
+    assert metadata is not None  # complete + no mismatch implies it loaded
+    try:
+        summary = shard_summary_from_metadata(
+            shard_directory, shard_slice.index, metadata=metadata
+        )
+    except DatasetError as error:
+        return f"its metadata cannot be summarised: {error}", None
+    return None, summary
+
+
 def _reusable_shard_summary(
     shard_directory: Path,
     shard_slice: ShardSlice,
@@ -654,54 +797,24 @@ def _reusable_shard_summary(
     on disk iff this run writes pcaps.  Anything else — debris of a
     different population, a stale seed, a shard saved under different flags,
     session config or script, a deleted pcap, a half-written index — is
-    treated as partial and handed to the quarantine path.  ``metadata`` lets
-    a caller that already parsed the shard's index (e.g. the stitch
-    validator) pass it in instead of paying the load twice.
+    treated as partial and handed to the quarantine path
+    (:func:`_shard_reuse_mismatch` names the specific mismatch).
+    ``metadata`` lets a caller that already parsed the shard's index (e.g.
+    the stitch validator) pass it in instead of paying the load twice.
     """
-    if not dataset_is_complete(shard_directory):
-        return None
-    if metadata is None:
-        try:
-            metadata = load_dataset_metadata(shard_directory)
-        except DatasetError:
-            return None
-    if metadata.get("seed") != seed or metadata.get("name") != dataset_name:
-        return None
-    if metadata.get("session_config") != asdict(config):
-        return None
-    if metadata.get("graph_fingerprint") != graph_fingerprint:
-        return None
-    if metadata.get("shard") != _shard_plan(shard_slice, shard_count, len(viewers)):
-        return None
-    expected_ids = [
-        viewer.viewer_id for viewer in viewers[shard_slice.start : shard_slice.stop]
-    ]
-    try:
-        found_ids = [
-            str(entry["viewer"]["viewer_id"]) for entry in metadata["entries"]
-        ]
-        trace_files = [
-            entry.get("trace_file") for entry in metadata["entries"]
-        ]
-    except (KeyError, TypeError, AttributeError):
-        return None
-    if found_ids != expected_ids:
-        return None
-    if write_pcaps:
-        if any(
-            trace_file is None
-            or not (shard_directory / str(trace_file)).exists()
-            for trace_file in trace_files
-        ):
-            return None
-    elif any(trace_file is not None for trace_file in trace_files):
-        return None
-    try:
-        return shard_summary_from_metadata(
-            shard_directory, shard_slice.index, metadata=metadata
-        )
-    except DatasetError:
-        return None
+    _mismatch, summary = _shard_reuse_check(
+        shard_directory,
+        shard_slice,
+        shard_count,
+        viewers,
+        seed,
+        write_pcaps,
+        dataset_name,
+        config,
+        graph_fingerprint,
+        metadata=metadata,
+    )
+    return summary
 
 
 @dataclass(frozen=True)
@@ -1257,7 +1370,7 @@ def stitch_sharded_dataset(
     graph_fingerprint = graph.fingerprint()
     summaries: list[ShardSummary] = []
     for (index, shard_directory), metadata in zip(found, metadata_by_shard):
-        summary = _reusable_shard_summary(
+        mismatch, summary = _shard_reuse_check(
             shard_directory,
             slices[index],
             shard_count,
@@ -1269,15 +1382,15 @@ def stitch_sharded_dataset(
             graph_fingerprint,
             metadata=metadata,
         )
-        if summary is None:
+        if mismatch is not None:
             raise DatasetError(
                 f"shard {shard_directory.name} does not verify against the "
                 f"run's plan ({viewer_count} viewers across {shard_count} "
-                f"shards, seed {seed}): its viewer slice, recorded "
-                "configuration or on-disk traces do not match; regenerate it "
+                f"shards, seed {seed}): {mismatch}; regenerate it "
                 f"with `repro generate-dataset --shards {shard_count} "
                 f"--only-shards {index}`"
             )
+        assert summary is not None  # no mismatch implies a summary
         summaries.append(summary)
         if status is not None:
             status(slices[index], SHARD_VERIFIED)

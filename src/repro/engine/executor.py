@@ -26,7 +26,7 @@ from __future__ import annotations
 import os
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, as_completed
-from typing import Callable, Iterator, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, Sequence, Sized, TypeVar
 
 from repro.engine.plan import SessionPlan
 from repro.exceptions import EngineError
@@ -35,8 +35,10 @@ from repro.streaming.session import SessionResult
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Progress callback signature: ``(completed, total)``.
-ProgressCallback = Callable[[int, int], None]
+#: Progress callback signature: ``(completed, total)``.  The streaming
+#: methods pass ``total=None`` when the input is an unsized iterable (a live
+#: source whose length is unknowable up front).
+ProgressCallback = Callable[[int, "int | None"], None]
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -92,7 +94,7 @@ class BatchExecutor:
 
     def iexecute(
         self,
-        plans: Sequence[SessionPlan],
+        plans: Iterable[SessionPlan],
         progress: ProgressCallback | None = None,
         window: int | None = None,
     ) -> Iterator[SessionResult]:
@@ -126,7 +128,7 @@ class BatchExecutor:
     def imap(
         self,
         function: Callable[[T], R],
-        items: Sequence[T],
+        items: Iterable[T],
         progress: ProgressCallback | None = None,
         label: Callable[[T], str] | None = None,
         window: int | None = None,
@@ -140,6 +142,12 @@ class BatchExecutor:
         at once, so memory stays bounded by the window however long the input
         is; on the serial path items are executed one ``next()`` at a time.
 
+        ``items`` may be any iterable, including an unbounded generator (the
+        live capture-ingest path feeds one): the input is consumed lazily —
+        never materialised — pulling just far enough ahead to keep the
+        in-flight window full, so producing an item (hashing a capture,
+        building a task) pipelines with executing earlier ones.
+
         Failures follow the :meth:`execute` model — the first failed item
         surfaces as a single :class:`EngineError` naming it, outstanding
         futures are cancelled and the pool is shut down before the error
@@ -148,12 +156,13 @@ class BatchExecutor:
         iteration produce byte-identical results in the same order.
 
         ``progress`` is invoked as ``(yielded, total)`` each time a result
-        is handed to the consumer.
+        is handed to the consumer; ``total`` is ``None`` when ``items`` is
+        not sized.
         """
-        items = list(items)
-        if not self.parallel or len(items) <= 1:
-            return self._iter_serial(function, items, progress, label)
-        return self._iter_parallel(function, items, progress, label, window)
+        total = len(items) if isinstance(items, Sized) else None
+        if not self.parallel or (total is not None and total <= 1):
+            return self._iter_serial(function, items, total, progress, label)
+        return self._iter_parallel(function, items, total, progress, label, window)
 
     # -- internal ----------------------------------------------------------
 
@@ -214,7 +223,8 @@ class BatchExecutor:
     def _iter_serial(
         self,
         function: Callable[[T], R],
-        items: list[T],
+        items: Iterable[T],
+        total: int | None,
         progress: ProgressCallback | None,
         label: Callable[[T], str] | None,
     ) -> Iterator[R]:
@@ -226,13 +236,14 @@ class BatchExecutor:
             except Exception as error:
                 raise _wrap_failure(index, item, label, error, serial=True) from error
             if progress is not None:
-                progress(index + 1, len(items))
+                progress(index + 1, total)
             yield result
 
     def _iter_parallel(
         self,
         function: Callable[[T], R],
-        items: list[T],
+        items: Iterable[T],
+        total: int | None,
         progress: ProgressCallback | None,
         label: Callable[[T], str] | None,
         window: int | None,
@@ -241,30 +252,46 @@ class BatchExecutor:
             window = 2 * self._workers
         if window < 1:
             raise EngineError(f"in-flight window must be positive, got {window}")
-        total = len(items)
-        pool = ProcessPoolExecutor(max_workers=min(self._workers, total))
-        in_flight: deque[Future] = deque()
-        next_index = 0
-        yielded = 0
+        source = iter(items)
         try:
-            while next_index < total and len(in_flight) < window:
-                in_flight.append(pool.submit(function, items[next_index]))
-                next_index += 1
+            first_item = next(source)
+        except StopIteration:
+            return  # no pool spawned for an empty lazy source
+        workers = self._workers if total is None else min(self._workers, total)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        # Futures ride with their item and input index so a failure can be
+        # named without ever materialising the input sequence.
+        in_flight: deque[tuple[int, T, Future]] = deque()
+        in_flight.append((0, first_item, pool.submit(function, first_item)))
+        next_index = 1
+        yielded = 0
+
+        def submit_next() -> bool:
+            nonlocal next_index
+            try:
+                item = next(source)
+            except StopIteration:
+                return False
+            in_flight.append((next_index, item, pool.submit(function, item)))
+            next_index += 1
+            return True
+
+        try:
+            while len(in_flight) < window and submit_next():
+                pass
             while in_flight:
-                future = in_flight.popleft()
+                index, item, future = in_flight.popleft()
                 try:
                     result = future.result()
                 except Exception as error:
-                    for pending in in_flight:
+                    for _, _, pending in in_flight:
                         pending.cancel()
                     if isinstance(error, EngineError):
                         raise
                     raise _wrap_failure(
-                        yielded, items[yielded], label, error, serial=False
+                        index, item, label, error, serial=False
                     ) from error
-                if next_index < total:
-                    in_flight.append(pool.submit(function, items[next_index]))
-                    next_index += 1
+                submit_next()
                 yielded += 1
                 if progress is not None:
                     progress(yielded, total)

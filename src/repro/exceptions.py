@@ -53,6 +53,14 @@ class EngineError(ReproError):
     """
 
 
+class IngestError(ReproError):
+    """Raised when the live capture-ingest front end cannot proceed.
+
+    Covers drop-directory watching, the append-only results log and the
+    streaming attack service built on top of them.
+    """
+
+
 class FingerprintError(AttackError):
     """Raised when a record-length fingerprint is malformed or not trained."""
 

@@ -1,0 +1,54 @@
+"""Live capture ingest: tail a pcap drop directory and attack as captures land.
+
+The online front end the paper's threat model implies — an eavesdropper
+classifies a viewer's choices as the encrypted traffic arrives, not from an
+archived corpus.  :class:`CaptureWatcher` detects *finished* captures,
+:class:`IngestQueue` deduplicates and orders arrivals,
+:class:`StreamingAttackService` attacks them through the engine's streaming
+fan-out and appends durable verdicts to a resumable :class:`ResultsLog`.
+Surfaced on the command line as ``repro watch``.
+"""
+
+from repro.ingest.log import (
+    RESULTS_LOG_VERSION,
+    CaptureVerdict,
+    ResultsLog,
+    capture_fingerprint,
+)
+from repro.ingest.service import (
+    SKIP_ALREADY_ATTACKED,
+    SKIP_UNREADABLE,
+    StreamingAttackService,
+)
+from repro.ingest.tasks import (
+    DEFAULT_CLIENT_IP,
+    build_pcap_task,
+    entry_environment,
+    entry_truth,
+    metadata_entries_near,
+)
+from repro.ingest.watcher import (
+    CAPTURE_PATTERN,
+    INPROGRESS_SUFFIX,
+    CaptureWatcher,
+    IngestQueue,
+)
+
+__all__ = [
+    "CAPTURE_PATTERN",
+    "DEFAULT_CLIENT_IP",
+    "INPROGRESS_SUFFIX",
+    "RESULTS_LOG_VERSION",
+    "SKIP_ALREADY_ATTACKED",
+    "SKIP_UNREADABLE",
+    "CaptureVerdict",
+    "CaptureWatcher",
+    "IngestQueue",
+    "ResultsLog",
+    "StreamingAttackService",
+    "build_pcap_task",
+    "capture_fingerprint",
+    "entry_environment",
+    "entry_truth",
+    "metadata_entries_near",
+]

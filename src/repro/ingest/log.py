@@ -1,0 +1,219 @@
+"""The append-only, resumable results log of the capture-ingest service.
+
+One JSON line per attacked capture, written append-only so the online and
+offline attack paths produce the same artefact: a directory drained by
+``repro watch --once`` and the same directory attacked in batch by ``repro
+attack --results-log`` yield byte-identical logs.  Determinism rules:
+
+* a line records only what the attack derived from the capture and its
+  metadata — never a wall-clock timestamp;
+* lines are serialised with sorted keys and compact separators;
+* captures are processed in name order within a batch, so identical inputs
+  append identical lines in an identical order.
+
+Crash safety mirrors the dataset writer's story at line granularity: each
+verdict is appended as **one** ``write`` of the full line (flushed and
+fsynced before the service considers the capture attacked), so a crash can
+leave at most one truncated *trailing* line behind.  :meth:`ResultsLog.load`
+repairs exactly that — the partial tail is cut back to the last complete
+line — and the capture whose verdict was lost is simply re-attacked on
+restart, keyed by content fingerprint, so a kill-and-restart cycle converges
+on exactly one verdict per capture: no duplicates, no gaps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.exceptions import IngestError
+
+#: Format version stamped into every log line.
+RESULTS_LOG_VERSION = 1
+
+
+def capture_fingerprint(path: str | Path) -> str:
+    """Content fingerprint (SHA-256 hex digest) of a capture file.
+
+    The identity the results log dedupes on: a restart must skip captures it
+    already attacked even if they were re-dropped under a new name, and must
+    *not* skip a new capture that reuses an old name.
+    """
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as handle:
+            for block in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(block)
+    except OSError as error:
+        raise IngestError(f"cannot fingerprint capture {path}: {error}") from error
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CaptureVerdict:
+    """What the attack concluded about one capture — one results-log line."""
+
+    capture: str
+    fingerprint: str
+    condition_key: str
+    client_ip: str
+    server_ip: str | None
+    pattern: tuple[bool, ...]
+    truth: tuple[bool, ...] | None
+
+    @property
+    def choice_count(self) -> int:
+        """How many choices the attack recovered from the capture."""
+        return len(self.pattern)
+
+    @property
+    def question_count(self) -> int:
+        """Ground-truth questions available for scoring (0 without truth)."""
+        return len(self.truth) if self.truth is not None else 0
+
+    @property
+    def correct_questions(self) -> int:
+        """Ground-truth questions whose recovered choice is correct."""
+        if self.truth is None:
+            return 0
+        return sum(
+            1
+            for index, expected in enumerate(self.truth)
+            if index < len(self.pattern) and self.pattern[index] == expected
+        )
+
+    def as_record(self) -> dict[str, object]:
+        """JSON-friendly form (the log line's payload)."""
+        return {
+            "version": RESULTS_LOG_VERSION,
+            "capture": self.capture,
+            "fingerprint": self.fingerprint,
+            "environment": self.condition_key,
+            "client_ip": self.client_ip,
+            "server_ip": self.server_ip,
+            "pattern": list(self.pattern),
+            "truth": None if self.truth is None else list(self.truth),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, object]) -> "CaptureVerdict":
+        """Inverse of :meth:`as_record`; validates shape and version."""
+        if not isinstance(record, Mapping):
+            raise IngestError(
+                f"results-log line must be a JSON object, got "
+                f"{type(record).__name__}"
+            )
+        for key in ("version", "capture", "fingerprint", "environment", "pattern"):
+            if key not in record:
+                raise IngestError(
+                    f"results-log line is missing the {key!r} field"
+                )
+        if record["version"] != RESULTS_LOG_VERSION:
+            raise IngestError(
+                f"unsupported results-log line version {record['version']}"
+            )
+        truth = record.get("truth")
+        return cls(
+            capture=str(record["capture"]),
+            fingerprint=str(record["fingerprint"]),
+            condition_key=str(record["environment"]),
+            client_ip=str(record.get("client_ip", "")),
+            server_ip=(
+                None if record.get("server_ip") is None else str(record["server_ip"])
+            ),
+            pattern=tuple(bool(choice) for choice in record["pattern"]),  # type: ignore[union-attr]
+            truth=(
+                None if truth is None else tuple(bool(choice) for choice in truth)  # type: ignore[union-attr]
+            ),
+        )
+
+
+class ResultsLog:
+    """Append-only JSONL verdict log with crash repair on load."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        # Fail before any capture is attacked, not after the first verdict
+        # tries to append into a directory that was never there.
+        if not self._path.parent.is_dir():
+            raise IngestError(
+                f"results log directory {self._path.parent} does not exist"
+            )
+
+    @property
+    def path(self) -> Path:
+        """Where the log lives."""
+        return self._path
+
+    def load(self, repair: bool = True) -> list[CaptureVerdict]:
+        """Read every verdict; a missing log is an empty one.
+
+        A truncated trailing line — the debris of a crash mid-append — is
+        cut off the file when ``repair`` is on (the default), so the capture
+        it described is re-attacked rather than half-remembered.  Any
+        *terminated* line that fails to parse — the tail included — cannot
+        come from the append-only writer (each append persists as a prefix
+        of one write whose final byte is the terminator) and raises instead
+        of being silently dropped.
+        """
+        try:
+            raw = self._path.read_bytes()
+        except FileNotFoundError:
+            return []
+        except OSError as error:
+            raise IngestError(f"cannot read results log: {error}") from error
+        verdicts: list[CaptureVerdict] = []
+        consumed = 0
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline == -1:
+                break  # trailing partial line: no terminator made it to disk
+            line = raw[offset:newline]
+            try:
+                verdicts.append(CaptureVerdict.from_record(json.loads(line)))
+            except (json.JSONDecodeError, IngestError) as error:
+                raise IngestError(
+                    f"results log {self._path} is corrupt at byte {offset} "
+                    f"(not crash debris — a crash can only leave an "
+                    f"*unterminated* final line): {error}"
+                ) from error
+            offset = newline + 1
+            consumed = offset
+        if consumed < len(raw):
+            if not repair:
+                raise IngestError(
+                    f"results log {self._path} ends in a partial line "
+                    f"(crash during append?); load with repair=True to "
+                    "truncate it"
+                )
+            with open(self._path, "rb+") as handle:
+                handle.truncate(consumed)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return verdicts
+
+    def append(self, verdict: CaptureVerdict) -> None:
+        """Durably append one verdict as a single line write.
+
+        The line — terminator included — goes to the OS in one ``write`` and
+        is fsynced before returning, so the log on disk is always a sequence
+        of complete lines plus at most one truncated tail.
+        """
+        line = (
+            json.dumps(verdict.as_record(), sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
+        try:
+            with open(self._path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as error:
+            raise IngestError(
+                f"cannot append to results log {self._path}: {error}"
+            ) from error

@@ -1,0 +1,162 @@
+"""Detecting finished captures in a live pcap drop directory.
+
+The online attack's front door: an eavesdropper's capture box writes one pcap
+per observed viewing session into a drop directory, and the attacker's
+machine tails that directory, attacking each capture as soon as it is
+*finished* — not while it is still being written.
+
+Two finish signals are understood:
+
+* **The marker/atomic-rename convention** (the one
+  :class:`repro.dataset.format.DatasetWriter` and
+  :meth:`repro.net.capture.CapturedTrace.to_pcap_atomic` use): a cooperative
+  writer stages the capture under ``<name>.pcap.inprogress`` and renames it
+  to ``<name>.pcap`` only once complete.  A ``*.pcap`` whose marker name was
+  observed to disappear is trusted immediately — the rename *is* the
+  completion signal.
+* **The stable-stat fallback** for foreign writers (``tcpdump -w``, an rsync
+  without ``--delay-updates``) that grow the final name in place: a capture
+  only counts as finished once its size and mtime are unchanged between two
+  consecutive scans.
+
+:class:`IngestQueue` sits behind the watcher and gives the attack service a
+deduplicated, deterministically-ordered stream of arrivals: a capture is
+handed out exactly once per process however many scans re-report it, in
+first-seen order with name ties broken alphabetically inside a scan batch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.dataset.format import INPROGRESS_FILENAME
+from repro.exceptions import IngestError
+
+#: Suffix a cooperative writer stages an unfinished capture under
+#: (``foo.pcap`` is written as ``foo.pcap.inprogress`` and renamed when
+#: done) — the per-file form of the dataset writer's directory marker.
+INPROGRESS_SUFFIX = INPROGRESS_FILENAME
+
+#: Default filename pattern the watcher considers a capture.
+CAPTURE_PATTERN = "*.pcap"
+
+
+class CaptureWatcher:
+    """Reports captures in a drop directory once they have finished landing.
+
+    The watcher is a polling scanner with memory: each :meth:`scan` looks at
+    the directory once, compares what it sees with the previous scan, and
+    returns the captures that have *become* finished since — each exactly
+    once, sorted by name.  It holds no file handles and never reads capture
+    bytes, so scanning a directory of thousands of pcaps costs one
+    ``stat()`` per unfinished candidate.
+    """
+
+    def __init__(self, directory: str | Path, pattern: str = CAPTURE_PATTERN) -> None:
+        self._directory = Path(directory)
+        if not self._directory.is_dir():
+            raise IngestError(
+                f"capture drop directory {self._directory} does not exist "
+                "(create it before watching, or point at a dataset's traces/)"
+            )
+        self._pattern = pattern
+        #: Captures already reported as finished (by name).
+        self._reported: set[str] = set()
+        #: Last-seen (size, mtime_ns) of not-yet-finished candidates.
+        self._stats: dict[str, tuple[int, int]] = {}
+        #: Capture names whose ``.inprogress`` marker has been observed —
+        #: when the marker disappears the rename convention vouches for the
+        #: capture and the stability wait is skipped.
+        self._marked: set[str] = set()
+
+    @property
+    def directory(self) -> Path:
+        """The drop directory being watched."""
+        return self._directory
+
+    def _marker_path(self, capture: Path) -> Path:
+        return capture.with_name(capture.name + INPROGRESS_SUFFIX)
+
+    def scan(self, assume_quiescent: bool = False) -> list[Path]:
+        """One poll of the drop directory; returns newly finished captures.
+
+        ``assume_quiescent`` trusts every unmarked capture immediately — the
+        one-shot drain mode (``repro watch --once``) where the caller asserts
+        nothing is still being written.  Without it, an unmarked capture must
+        either complete the marker/rename protocol or hold a stable size and
+        mtime across two scans before it is reported.
+        """
+        finished: list[Path] = []
+        present_markers: set[str] = set()
+        for marker in sorted(self._directory.glob(self._pattern + INPROGRESS_SUFFIX)):
+            name = marker.name[: -len(INPROGRESS_SUFFIX)]
+            present_markers.add(name)
+            self._marked.add(name)
+        for path in sorted(self._directory.glob(self._pattern)):
+            name = path.name
+            if name in self._reported or not path.is_file():
+                continue
+            if name in present_markers:
+                # The writer is mid-copy under the marker protocol; the
+                # capture at the final name (if any) is not this session's
+                # finished artefact yet.
+                continue
+            if assume_quiescent or name in self._marked:
+                self._report(name, finished, path)
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced a writer's rename/delete; next scan decides
+            signature = (stat.st_size, stat.st_mtime_ns)
+            if self._stats.get(name) == signature:
+                self._report(name, finished, path)
+            else:
+                self._stats[name] = signature
+        return finished
+
+    def _report(self, name: str, finished: list[Path], path: Path) -> None:
+        self._reported.add(name)
+        self._stats.pop(name, None)
+        self._marked.discard(name)
+        finished.append(path)
+
+
+class IngestQueue:
+    """Deduplicated, ordered queue of finished capture arrivals.
+
+    Sits between the watcher and the attack service: :meth:`offer` absorbs a
+    scan's findings (dropping anything already enqueued or already handed
+    out), :meth:`drain` yields the pending captures in arrival order.  The
+    dedup key is the capture *name* — content-level dedup (the same bytes
+    under a new name) is the results log's job, which fingerprints content.
+    """
+
+    def __init__(self) -> None:
+        self._pending: deque[Path] = deque()
+        self._seen: set[str] = set()
+
+    def offer(self, paths: Iterable[Path]) -> list[Path]:
+        """Enqueue new arrivals; returns the ones actually accepted."""
+        accepted: list[Path] = []
+        for path in sorted(Path(path) for path in paths):
+            if path.name in self._seen:
+                continue
+            self._seen.add(path.name)
+            self._pending.append(path)
+            accepted.append(path)
+        return accepted
+
+    def drain(self) -> list[Path]:
+        """Remove and return every pending capture, in arrival order."""
+        drained = list(self._pending)
+        self._pending.clear()
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._pending)

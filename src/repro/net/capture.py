@@ -9,6 +9,7 @@ of one viewing session.  Traces can be persisted to and restored from pcap.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
@@ -71,6 +72,28 @@ class CapturedTrace:
             for packet in ordered:
                 writer.write(packet.timestamp, packet.serialize_frame())
             return writer.packets_written
+
+    def to_pcap_atomic(self, path: str | Path) -> int:
+        """Publish the trace as a pcap that appears complete or not at all.
+
+        The capture is first written next to its destination under the
+        ``<name>.inprogress`` suffix — the same marker convention the dataset
+        writer uses — and renamed into place only once every packet is on
+        disk.  A capture-ingest watcher (:mod:`repro.ingest`) therefore never
+        observes a truncated ``*.pcap``: the marker name says "still being
+        written", the final name says "finished".  Returns the packet count.
+        """
+        path = Path(path)
+        staging_path = path.with_name(path.name + ".inprogress")
+        written = self.to_pcap(staging_path)
+        # The data must be durable before the rename publishes the final
+        # name: a rename can survive a power cut that the buffered packet
+        # bytes did not, which would leave a truncated capture under the
+        # very name the convention promises is complete.
+        with open(staging_path, "rb") as handle:
+            os.fsync(handle.fileno())
+        os.replace(staging_path, path)
+        return written
 
     @classmethod
     def from_pcap(

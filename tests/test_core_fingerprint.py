@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.core.features import ClientRecord, LABEL_OTHER, LABEL_TYPE1, LABEL_TYPE2
@@ -115,3 +117,60 @@ class TestFingerprintLibrary:
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(FingerprintError):
             FingerprintLibrary.load(tmp_path / "missing.json")
+
+
+class TestLibrarySerialisationGoldenFile:
+    """Pin the on-disk library JSON against a committed golden file.
+
+    The distributed-calibration CI jobs verify `merge-fingerprints` output
+    with a plain `diff` against single-machine training, so any drift in the
+    serialisation (key order, indentation, field names) silently breaks that
+    equality out in CI.  Schema changes are fine — but they must be made
+    deliberately, by regenerating this golden file in the same commit.
+    """
+
+    GOLDEN = Path(__file__).parent / "data" / "fingerprint_library.golden.json"
+
+    def _golden_library(self) -> FingerprintLibrary:
+        library = FingerprintLibrary()
+        library.add(
+            RecordLengthFingerprint(
+                condition_key="windows/firefox",
+                type1_band=LengthBand(low=201, high=233),
+                type2_band=LengthBand(low=618, high=642),
+                training_records=48,
+            )
+        )
+        library.add(
+            RecordLengthFingerprint(
+                condition_key="linux/firefox",
+                type1_band=LengthBand(low=196, high=228),
+                type2_band=LengthBand(low=611, high=637),
+                training_records=52,
+            )
+        )
+        return library
+
+    def test_save_matches_golden_bytes(self, tmp_path):
+        path = tmp_path / "library.json"
+        self._golden_library().save(path)
+        assert path.read_bytes() == self.GOLDEN.read_bytes(), (
+            "FingerprintLibrary.save output drifted from the golden file; "
+            "if the schema change is intentional, regenerate "
+            "tests/data/fingerprint_library.golden.json in this commit"
+        )
+
+    def test_insertion_order_cannot_leak_into_the_bytes(self, tmp_path):
+        # The golden library inserts windows before linux; reversing the
+        # insertion order must not change a byte (keys are sorted on save).
+        library = FingerprintLibrary()
+        for key in sorted(self._golden_library().condition_keys):
+            library.add(self._golden_library().get(key))
+        path = tmp_path / "library.json"
+        library.save(path)
+        assert path.read_bytes() == self.GOLDEN.read_bytes()
+
+    def test_golden_file_loads_back(self):
+        restored = FingerprintLibrary.load(self.GOLDEN)
+        assert set(restored.condition_keys) == {"windows/firefox", "linux/firefox"}
+        assert restored.get("linux/firefox").training_records == 52

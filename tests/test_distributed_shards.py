@@ -490,3 +490,141 @@ class TestAccumulatorMerge:
         assert (tmp_path / "merged.json").read_bytes() == (
             tmp_path / "single.json"
         ).read_bytes()
+
+
+class TestShardMismatchMessagesAreSpecific:
+    """A foreign shard's rejection must name the exact mismatched field.
+
+    ``stitch``/``resume`` treat any recorded-field mismatch as "foreign", but
+    an operator debugging a distributed run needs to know *which* field —
+    seed vs config vs story fingerprint vs viewer slice vs missing traces —
+    not just that "the recorded configuration does not match".
+    """
+
+    def _mismatch_for(self, shard_directory: Path, metadata_mutator=None) -> str:
+        from repro.dataset.collection import default_study_script
+        from repro.dataset.population import generate_population
+        from repro.dataset.shards import _shard_reuse_mismatch
+
+        if metadata_mutator is not None:
+            metadata_path = shard_directory / "metadata.json"
+            metadata = json.loads(metadata_path.read_text())
+            metadata_mutator(metadata)
+            metadata_path.write_text(json.dumps(metadata, indent=2))
+        reason = _shard_reuse_mismatch(
+            shard_directory,
+            plan_shards(VIEWERS, SHARDS)[0],
+            SHARDS,
+            generate_population(VIEWERS, seed=SEED),
+            SEED,
+            True,
+            "iitm-bandersnatch-synthetic",
+            CONFIG,
+            default_study_script().fingerprint(),
+        )
+        assert reason is not None, "tampered shard unexpectedly verified"
+        return reason
+
+    @pytest.fixture()
+    def shard_copy(self, reference, tmp_path) -> Path:
+        copy = tmp_path / "shard-000"
+        shutil.copytree(reference.directory / "shard-000", copy)
+        return copy
+
+    def test_clean_shard_has_no_mismatch(self, shard_copy):
+        from repro.dataset.collection import default_study_script
+        from repro.dataset.population import generate_population
+        from repro.dataset.shards import _shard_reuse_mismatch
+
+        assert (
+            _shard_reuse_mismatch(
+                shard_copy,
+                plan_shards(VIEWERS, SHARDS)[0],
+                SHARDS,
+                generate_population(VIEWERS, seed=SEED),
+                SEED,
+                True,
+                "iitm-bandersnatch-synthetic",
+                CONFIG,
+                default_study_script().fingerprint(),
+            )
+            is None
+        )
+
+    def test_seed_mismatch_names_both_seeds(self, shard_copy):
+        reason = self._mismatch_for(
+            shard_copy, lambda metadata: metadata.update(seed=SEED + 1)
+        )
+        assert f"records seed={SEED + 1}" in reason
+        assert f"seed={SEED}" in reason
+
+    def test_dataset_name_mismatch_names_both_names(self, shard_copy):
+        reason = self._mismatch_for(
+            shard_copy, lambda metadata: metadata.update(name="someone-elses-run")
+        )
+        assert "dataset name 'someone-elses-run'" in reason
+        assert "iitm-bandersnatch-synthetic" in reason
+
+    def test_session_config_mismatch_names_the_field(self, shard_copy):
+        def flip_cross_traffic(metadata):
+            metadata["session_config"]["cross_traffic_enabled"] = True
+
+        reason = self._mismatch_for(shard_copy, flip_cross_traffic)
+        assert "session_config" in reason
+        assert "cross_traffic_enabled" in reason
+
+    def test_graph_fingerprint_mismatch_names_both_digests(self, shard_copy):
+        reason = self._mismatch_for(
+            shard_copy,
+            lambda metadata: metadata.update(graph_fingerprint="deadbeef"),
+        )
+        assert "story-graph fingerprint" in reason
+        assert "deadbeef" in reason
+
+    def test_shard_plan_mismatch_names_both_plans(self, shard_copy):
+        def grow_plan(metadata):
+            metadata["shard"]["count"] = SHARDS + 3
+
+        reason = self._mismatch_for(shard_copy, grow_plan)
+        assert "shard plan" in reason
+        assert f"'count': {SHARDS + 3}" in reason
+
+    def test_viewer_slice_mismatch_names_the_ids(self, shard_copy):
+        def rename_first_viewer(metadata):
+            metadata["entries"][0]["viewer"]["viewer_id"] = "viewer-999"
+
+        reason = self._mismatch_for(shard_copy, rename_first_viewer)
+        assert "holds viewer ids" in reason
+        assert "viewer-999" in reason
+
+    def test_missing_trace_names_the_file(self, shard_copy):
+        victim = sorted((shard_copy / "traces").glob("*.pcap"))[0]
+        victim.unlink()
+        reason = self._mismatch_for(shard_copy)
+        assert "missing on disk" in reason
+        assert victim.name in reason
+
+    def test_unfinalised_shard_is_called_out(self, shard_copy):
+        (shard_copy / ".inprogress").touch()
+        reason = self._mismatch_for(shard_copy)
+        assert "not finalised cleanly" in reason
+
+    def test_stitch_error_carries_the_specific_reason(self, stitched_root):
+        # End to end: the stitch failure for a missing pcap must surface the
+        # per-field reason, not the old generic "does not match" catch-all.
+        victim = sorted((stitched_root / "shard-001" / "traces").glob("*.pcap"))[0]
+        victim.unlink()
+        with pytest.raises(DatasetError) as excinfo:
+            stitch_sharded_dataset(stitched_root)
+        message = str(excinfo.value)
+        assert "missing on disk" in message
+        assert victim.name in message
+        assert "--only-shards 1" in message
+
+    def test_stitch_names_a_tampered_viewer_slice(self, stitched_root):
+        metadata_path = stitched_root / "shard-001" / "metadata.json"
+        metadata = json.loads(metadata_path.read_text())
+        metadata["entries"][0]["viewer"]["viewer_id"] = "viewer-404"
+        metadata_path.write_text(json.dumps(metadata, indent=2))
+        with pytest.raises(DatasetError, match="holds viewer ids"):
+            stitch_sharded_dataset(stitched_root)

@@ -331,3 +331,71 @@ def _sleep_then_touch(item: tuple[float, str]) -> float:
         with open(path, "w", encoding="utf-8"):
             pass
     return seconds
+
+
+class TestLazyIterableImap:
+    """``imap`` consumes arbitrary iterables lazily — the live-ingest shape."""
+
+    def test_generator_input_matches_list_input(self):
+        items = list(range(9))
+        expected = [item * 2 for item in items]
+        assert list(BatchExecutor().imap(_double, iter(items))) == expected
+        assert list(BatchExecutor(workers=2).imap(_double, iter(items))) == expected
+
+    def test_unsized_input_reports_total_none(self):
+        totals: list[object] = []
+        list(
+            BatchExecutor(workers=2).imap(
+                _double, iter(range(4)), progress=lambda done, total: totals.append(total)
+            )
+        )
+        assert totals == [None] * 4
+        totals.clear()
+        list(
+            BatchExecutor(workers=2).imap(
+                _double, list(range(4)), progress=lambda done, total: totals.append(total)
+            )
+        )
+        assert totals == [4] * 4
+
+    def test_empty_lazy_input_yields_nothing(self):
+        assert list(BatchExecutor().imap(_double, iter(()))) == []
+        assert list(BatchExecutor(workers=2).imap(_double, iter(()))) == []
+
+    def test_parallel_pull_ahead_is_bounded_by_the_window(self):
+        pulled: list[int] = []
+
+        def source():
+            for item in range(20):
+                pulled.append(item)
+                yield item
+
+        iterator = BatchExecutor(workers=2).imap(_double, source(), window=3)
+        first = next(iterator)
+        assert first == 0
+        # After one yield the producer has been asked for at most the
+        # window plus the slot freed by the yield — never the whole input.
+        assert len(pulled) <= 5
+        assert list(iterator) == [item * 2 for item in range(1, 20)]
+        assert pulled == list(range(20))
+
+    def test_serial_lazy_input_interleaves_pull_and_apply(self):
+        events: list[str] = []
+
+        def source():
+            for item in range(3):
+                events.append(f"pull-{item}")
+                yield item
+
+        def apply(item: int) -> int:
+            events.append(f"apply-{item}")
+            return item
+
+        assert list(BatchExecutor().imap(apply, source())) == [0, 1, 2]
+        assert events == [
+            "pull-0", "apply-0", "pull-1", "apply-1", "pull-2", "apply-2",
+        ]
+
+    def test_failure_in_lazy_input_names_the_item(self):
+        with pytest.raises(EngineError, match="item 1"):
+            list(BatchExecutor(workers=2).imap(_fails_on_two, iter([1, 2, 3])))

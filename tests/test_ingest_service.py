@@ -1,0 +1,496 @@
+"""End-to-end tests of the streaming attack service and ``repro watch``.
+
+Covers the tentpole guarantees: the online (watch) and offline (batch
+attack) paths share one code path and write byte-identical results logs; a
+killed-and-restarted watcher converges on exactly one verdict per capture
+(no duplicates, no gaps), whether the kill hit mid-capture or mid-append.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import main
+from repro.core.pipeline import WhiteMirrorAttack
+from repro.dataset.collection import default_study_script
+from repro.dataset.shards import iter_shard_training_sessions
+from repro.ingest.log import ResultsLog, capture_fingerprint
+from repro.ingest.service import StreamingAttackService
+from repro.ingest.watcher import INPROGRESS_SUFFIX
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory) -> Path:
+    """A small generated dataset whose pcaps double as 'live' captures."""
+    directory = tmp_path_factory.mktemp("ingest-dataset")
+    assert (
+        main(
+            [
+                "generate-dataset",
+                str(directory),
+                "--viewers",
+                "3",
+                "--seed",
+                "11",
+                "--no-cross-traffic",
+            ]
+        )
+        == 0
+    )
+    return directory
+
+
+@pytest.fixture(scope="module")
+def library_path(dataset_dir, tmp_path_factory) -> Path:
+    """Fingerprints trained on every viewer, so no capture is skipped."""
+    attack = WhiteMirrorAttack(graph=default_study_script())
+    attack.train(iter_shard_training_sessions(dataset_dir))
+    path = tmp_path_factory.mktemp("ingest-lib") / "library.json"
+    attack.library.save(path)
+    return path
+
+
+def _make_drop_directory(dataset_dir: Path, destination: Path) -> list[Path]:
+    """Replay a dataset's captures (and its metadata) into a drop directory."""
+    destination.mkdir(parents=True, exist_ok=True)
+    shutil.copy(dataset_dir / "metadata.json", destination / "metadata.json")
+    copied = []
+    for pcap in sorted((dataset_dir / "traces").glob("*.pcap")):
+        copied.append(Path(shutil.copy(pcap, destination / pcap.name)))
+    return copied
+
+
+def _log_captures(log_path: Path) -> list[str]:
+    return [
+        json.loads(line)["capture"]
+        for line in log_path.read_text().splitlines()
+    ]
+
+
+class TestWatchMatchesBatchAttack:
+    def test_once_log_is_byte_identical_to_batch_attack_log(
+        self, dataset_dir, library_path, tmp_path, capsys
+    ):
+        drop = tmp_path / "drop"
+        _make_drop_directory(dataset_dir, drop)
+        watch_log = tmp_path / "watch.jsonl"
+        attack_log = tmp_path / "attack.jsonl"
+        assert (
+            main(
+                [
+                    "watch",
+                    str(drop),
+                    "--library",
+                    str(library_path),
+                    "--once",
+                    "--results-log",
+                    str(watch_log),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "attack",
+                    str(drop),
+                    str(library_path),
+                    "--results-log",
+                    str(attack_log),
+                ]
+            )
+            == 0
+        )
+        assert watch_log.read_bytes() == attack_log.read_bytes()
+        assert len(_log_captures(watch_log)) == 3
+        output = capsys.readouterr().out
+        assert "Running aggregate accuracy" in output
+        assert "aggregate: attacked" in output
+
+    def test_watch_default_log_lives_in_the_drop_directory(
+        self, dataset_dir, library_path, tmp_path, capsys
+    ):
+        drop = tmp_path / "drop"
+        _make_drop_directory(dataset_dir, drop)
+        assert (
+            main(["watch", str(drop), "--library", str(library_path), "--once"])
+            == 0
+        )
+        assert (drop / "results.jsonl").exists()
+        # The log itself must not be mistaken for a capture on a second run.
+        assert (
+            main(["watch", str(drop), "--library", str(library_path), "--once"])
+            == 0
+        )
+        assert len(_log_captures(drop / "results.jsonl")) == 3
+
+    def test_batch_attack_resumes_from_the_log_too(
+        self, dataset_dir, library_path, tmp_path, capsys
+    ):
+        drop = tmp_path / "drop"
+        _make_drop_directory(dataset_dir, drop)
+        log = tmp_path / "log.jsonl"
+        main(["attack", str(drop), str(library_path), "--results-log", str(log)])
+        reference = log.read_bytes()
+        capsys.readouterr()
+        # A second batch run appends nothing and reports the skips.
+        assert (
+            main(
+                ["attack", str(drop), str(library_path), "--results-log", str(log)]
+            )
+            == 0
+        )
+        assert log.read_bytes() == reference
+        assert "already attacked" in capsys.readouterr().out
+
+
+class TestServiceResumption:
+    def test_restart_skips_by_content_fingerprint_not_name(
+        self, dataset_dir, library_path, tmp_path
+    ):
+        from repro.core.fingerprint import FingerprintLibrary
+
+        drop = tmp_path / "drop"
+        captures = _make_drop_directory(dataset_dir, drop)
+        log = tmp_path / "log.jsonl"
+        library = FingerprintLibrary.load(library_path)
+        service = StreamingAttackService(library=library, log_path=log)
+        service.process(captures)
+        assert len(service.verdicts) == 3
+        # The same bytes under a new name are recognised and skipped...
+        renamed = drop / "renamed-copy.pcap"
+        shutil.copy(captures[0], renamed)
+        skips = []
+        restarted = StreamingAttackService(library=library, log_path=log)
+        fresh = restarted.process(
+            [renamed], on_skip=lambda path, reason: skips.append((path.name, reason))
+        )
+        assert fresh == []
+        assert skips and "already attacked" in skips[0][1]
+        # The restarted service still knows every logged verdict.
+        assert len(restarted.verdicts) == 3
+        assert ResultsLog(log).load() == list(restarted.verdicts)
+
+    def test_unknown_environment_captures_are_skipped_not_fatal(
+        self, dataset_dir, library_path, tmp_path
+    ):
+        from repro.core.fingerprint import FingerprintLibrary
+
+        drop = tmp_path / "drop"
+        captures = _make_drop_directory(dataset_dir, drop)
+        # A foreign capture with no metadata entry: environment unknowable.
+        # Distinct content, or the content-fingerprint dedup would fire
+        # first (it is checked before environment resolution — cheaper).
+        foreign = drop / "zz-foreign.pcap"
+        foreign.write_bytes(captures[0].read_bytes() + b"trailer")
+        library = FingerprintLibrary.load(library_path)
+        service = StreamingAttackService(library=library, log_path=None)
+        skips = []
+        fresh = service.process(
+            captures + [foreign],
+            on_skip=lambda path, reason: skips.append((path.name, reason)),
+        )
+        assert len(fresh) == 3
+        assert [name for name, _ in skips] == ["zz-foreign.pcap"]
+        assert "environment" in skips[0][1]
+
+
+class TestCrashSafety:
+    def test_kill_mid_jsonl_append_repairs_and_converges(
+        self, dataset_dir, library_path, tmp_path
+    ):
+        """Truncating the last line (crash mid-append) loses exactly one
+        verdict, and the restart re-attacks exactly that capture."""
+        drop = tmp_path / "drop"
+        _make_drop_directory(dataset_dir, drop)
+        log = tmp_path / "log.jsonl"
+        reference = tmp_path / "reference.jsonl"
+        main(["watch", str(drop), "--library", str(library_path), "--once",
+              "--results-log", str(reference)])
+        shutil.copy(reference, log)
+        # Simulate the kill: the final verdict line persisted only partially.
+        raw = log.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        with open(log, "rb+") as handle:
+            handle.truncate(len(raw) - len(lines[-1]) + 9)
+        assert (
+            main(["watch", str(drop), "--library", str(library_path), "--once",
+                  "--results-log", str(log)])
+            == 0
+        )
+        # Converged: byte-identical to the uninterrupted run — one verdict
+        # per capture, no duplicates, no gaps.
+        assert log.read_bytes() == reference.read_bytes()
+
+    def test_kill_mid_capture_is_invisible_until_the_capture_finishes(
+        self, dataset_dir, library_path, tmp_path, capsys
+    ):
+        """A capture whose writer died mid-copy (marker still present) is
+        not attacked; finishing the rename later yields exactly one verdict."""
+        drop = tmp_path / "drop"
+        captures = _make_drop_directory(dataset_dir, drop)
+        log = tmp_path / "log.jsonl"
+        # The last capture is still being written when the watcher runs.
+        unfinished = captures[-1]
+        staged = drop / (unfinished.name + INPROGRESS_SUFFIX)
+        os.replace(unfinished, staged)
+        main(["watch", str(drop), "--library", str(library_path), "--once",
+              "--results-log", str(log)])
+        attacked = _log_captures(log)
+        assert unfinished.name not in attacked
+        assert len(attacked) == 2
+        # The writer restarts and completes the capture atomically.
+        os.replace(staged, unfinished)
+        main(["watch", str(drop), "--library", str(library_path), "--once",
+              "--results-log", str(log)])
+        attacked = _log_captures(log)
+        assert attacked.count(unfinished.name) == 1
+        assert len(attacked) == 3
+
+    def test_sigkilled_follow_watcher_restarts_without_dupes_or_gaps(
+        self, dataset_dir, library_path, tmp_path
+    ):
+        """The acceptance-criterion scenario, for real: SIGKILL a follow-mode
+        ``repro watch`` subprocess after its first verdict, restart with
+        ``--once``, and require exactly one verdict per capture."""
+        drop = tmp_path / "drop"
+        captures = _make_drop_directory(dataset_dir, drop)
+        log = tmp_path / "log.jsonl"
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = (
+            str(Path(__file__).resolve().parents[1] / "src")
+            + os.pathsep
+            + environment.get("PYTHONPATH", "")
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "watch", str(drop),
+                "--library", str(library_path),
+                "--follow", "--poll-interval", "0.1",
+                "--results-log", str(log),
+            ],
+            env=environment,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                if log.exists() and len(log.read_bytes().splitlines()) >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("follow-mode watcher produced no verdict in 60s")
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+        # Restart over the same directory: only the unattacked remainder runs.
+        assert (
+            main(["watch", str(drop), "--library", str(library_path), "--once",
+                  "--results-log", str(log)])
+            == 0
+        )
+        attacked = _log_captures(log)
+        assert sorted(attacked) == sorted(p.name for p in captures)
+        assert len(attacked) == len(set(attacked))
+        # And the converged log carries every capture's fingerprint exactly
+        # once — the restart keyed on content, not on luck.
+        fingerprints = [
+            json.loads(line)["fingerprint"] for line in log.read_text().splitlines()
+        ]
+        assert sorted(fingerprints) == sorted(
+            capture_fingerprint(path) for path in captures
+        )
+
+
+class TestServiceRobustness:
+    """Review-hardened behaviours: the long-running service must outlive
+    bad captures, and the batch CLI must keep its actionable errors."""
+
+    def test_capture_deleted_between_scan_and_read_is_skipped(
+        self, dataset_dir, library_path, tmp_path
+    ):
+        from repro.core.fingerprint import FingerprintLibrary
+
+        drop = tmp_path / "drop"
+        captures = _make_drop_directory(dataset_dir, drop)
+        ghost = drop / "rotated-away.pcap"  # reported by a scan, then deleted
+        service = StreamingAttackService(
+            library=FingerprintLibrary.load(library_path), log_path=None
+        )
+        skips = []
+        fresh = service.process(
+            [ghost] + captures,
+            on_skip=lambda path, reason: skips.append((path.name, reason)),
+        )
+        assert len(fresh) == 3
+        assert skips[0][0] == "rotated-away.pcap"
+        assert "unreadable" in skips[0][1]
+
+    def test_follow_mode_survives_a_corrupt_capture(
+        self, dataset_dir, library_path, tmp_path
+    ):
+        from repro.core.fingerprint import FingerprintLibrary
+
+        drop = tmp_path / "drop"
+        drop.mkdir()
+        (drop / "corrupt.pcap").write_bytes(b"not a pcap at all")
+        errors: list[Exception] = []
+        service = StreamingAttackService(
+            library=FingerprintLibrary.load(library_path),
+            log_path=tmp_path / "log.jsonl",
+            environment="linux/firefox",
+        )
+        service.run(
+            drop,
+            follow=True,
+            poll_interval=0.01,
+            on_error=errors.append,
+            should_stop=lambda: bool(errors),
+        )
+        assert len(errors) == 1
+        assert "corrupt.pcap" in str(errors[0])
+        # Nothing was logged for the failed capture: a restart re-examines it.
+        assert ResultsLog(tmp_path / "log.jsonl").load() == []
+
+    def test_once_mode_still_fails_loudly_on_a_corrupt_capture(
+        self, library_path, tmp_path
+    ):
+        from repro.core.fingerprint import FingerprintLibrary
+        from repro.exceptions import ReproError
+
+        drop = tmp_path / "drop"
+        drop.mkdir()
+        (drop / "corrupt.pcap").write_bytes(b"not a pcap at all")
+        service = StreamingAttackService(
+            library=FingerprintLibrary.load(library_path),
+            log_path=None,
+            environment="linux/firefox",
+        )
+        with pytest.raises(ReproError, match="corrupt.pcap"):
+            service.run(drop, follow=False)
+
+    def test_duplicate_content_without_a_log_is_attacked_twice(
+        self, dataset_dir, library_path, tmp_path
+    ):
+        from repro.core.fingerprint import FingerprintLibrary
+
+        drop = tmp_path / "drop"
+        captures = _make_drop_directory(dataset_dir, drop)
+        twin = drop / "twin.pcap"
+        shutil.copy(captures[0], twin)
+        # No results log: there is no resume state to protect, so a batch
+        # caller gets every named capture attacked, duplicates included.
+        # (--environment override: the twin has no metadata entry.)
+        service = StreamingAttackService(
+            library=FingerprintLibrary.load(library_path),
+            log_path=None,
+            environment="linux/firefox",
+        )
+        fresh = service.process(captures + [twin])
+        assert len(fresh) == 4
+
+    def test_results_log_in_a_missing_directory_fails_before_attacking(
+        self, library_path, tmp_path
+    ):
+        from repro.core.fingerprint import FingerprintLibrary
+        from repro.exceptions import IngestError
+
+        with pytest.raises(IngestError, match="does not exist"):
+            StreamingAttackService(
+                library=FingerprintLibrary.load(library_path),
+                log_path=tmp_path / "no" / "such" / "dir" / "log.jsonl",
+            )
+
+    def test_attack_directory_without_metadata_names_the_environment_flag(
+        self, dataset_dir, library_path, tmp_path, capsys
+    ):
+        # Bare pcaps, no metadata.json, no --environment: the old actionable
+        # error must survive the refactor onto the service.
+        drop = tmp_path / "drop"
+        drop.mkdir()
+        for pcap in sorted((dataset_dir / "traces").glob("*.pcap")):
+            shutil.copy(pcap, drop / pcap.name)
+        exit_code = main(["attack", str(drop), str(library_path)])
+        assert exit_code == 1
+        assert "--environment" in capsys.readouterr().err
+
+
+class TestForeignMetadataAndFlagMisuse:
+    def test_malformed_metadata_entry_is_skipped_not_fatal(
+        self, dataset_dir, library_path, tmp_path
+    ):
+        from repro.core.fingerprint import FingerprintLibrary
+
+        drop = tmp_path / "drop"
+        captures = _make_drop_directory(dataset_dir, drop)
+        # Break one capture's ground-truth record: foreign/hand-edited
+        # metadata must not kill the service (KeyError would escape the
+        # follow loop's ReproError handling).
+        metadata_path = drop / "metadata.json"
+        metadata = json.loads(metadata_path.read_text())
+        del metadata["entries"][0]["choices"]
+        metadata_path.write_text(json.dumps(metadata))
+        service = StreamingAttackService(
+            library=FingerprintLibrary.load(library_path), log_path=None
+        )
+        skips = []
+        fresh = service.process(
+            captures,
+            on_skip=lambda path, reason: skips.append((path.name, reason)),
+        )
+        assert len(fresh) == 2
+        assert [name for name, _ in skips] == [captures[0].name]
+        assert "ground-truth" in skips[0][1]
+
+    def test_single_file_attack_rejects_results_log(
+        self, dataset_dir, library_path, capsys
+    ):
+        pcap = sorted((dataset_dir / "traces").glob("*.pcap"))[0]
+        exit_code = main(
+            ["attack", str(pcap), str(library_path), "--results-log", "/tmp/x.jsonl"]
+        )
+        assert exit_code == 1
+        assert "--results-log" in capsys.readouterr().err
+
+    def test_duplicate_content_dedup_is_identical_serial_and_parallel(
+        self, dataset_dir, library_path, tmp_path
+    ):
+        from repro.core.fingerprint import FingerprintLibrary
+
+        # The dedup decision must be taken at task-generation time: deciding
+        # against the result-time attacked set would race the parallel
+        # pull-ahead window and double-log duplicate-content captures.
+        library = FingerprintLibrary.load(library_path)
+        logs = {}
+        for label, workers in (("serial", None), ("parallel", 2)):
+            drop = tmp_path / f"drop-{label}"
+            captures = _make_drop_directory(dataset_dir, drop)
+            # aa-twin sorts *before* its original, so the twin is attacked
+            # and the original becomes the in-batch duplicate.
+            twin = drop / "aa-twin.pcap"
+            shutil.copy(captures[0], twin)
+            log = tmp_path / f"{label}.jsonl"
+            service = StreamingAttackService(
+                library=library,
+                log_path=log,
+                workers=workers,
+                environment="linux/firefox",
+            )
+            fresh = service.process(sorted(drop.glob("*.pcap")))
+            assert len(fresh) == 3  # twin attacked once, duplicate skipped
+            logs[label] = log.read_bytes()
+        assert logs["serial"] == logs["parallel"]
+        fingerprints = [
+            json.loads(line)["fingerprint"]
+            for line in logs["serial"].decode().splitlines()
+        ]
+        assert len(fingerprints) == len(set(fingerprints))

@@ -1,0 +1,246 @@
+"""Seeded-random property tests for the distributed-core primitives.
+
+PRs 2–4 built a surface of parsing and merging logic that was only
+example-tested; these tests sweep it with deterministic fuzz (plain
+``random.Random`` with fixed seeds — reproducible, no extra dependencies):
+
+* ``parse_shard_selection``: every valid selection string canonicalises to
+  the same sorted, deduplicated index tuple however it is spelled, and every
+  invalid one fails loudly naming the offence;
+* ``FingerprintAccumulator.merge``: any permutation and any tree shape of
+  per-shard state merges finalises into a library byte-identical to batch
+  training over the concatenated records — the property that makes
+  distributed calibration trustworthy.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.features import ClientRecord, LABEL_OTHER, LABEL_TYPE1, LABEL_TYPE2
+from repro.core.fingerprint import FingerprintAccumulator, FingerprintLibrary
+from repro.dataset.shards import parse_shard_selection
+from repro.exceptions import DatasetError
+
+# -- parse_shard_selection ----------------------------------------------------
+
+
+def _spell_selection(rng: random.Random, indices: set[int]) -> tuple[str, int]:
+    """A random spelling of ``indices`` plus a shard count that admits it.
+
+    Covers single indices, inclusive ranges, overlaps, duplicates and
+    whitespace — everything the grammar allows.
+    """
+    shard_count = max(indices) + 1 + rng.randrange(3)
+    items: list[str] = []
+    remaining = sorted(indices)
+    while remaining:
+        if len(remaining) >= 2 and rng.random() < 0.5:
+            # Spell a contiguous prefix as a range (possibly of length 1).
+            start = remaining[0]
+            stop = start
+            while remaining and remaining[0] == stop:
+                remaining.pop(0)
+                stop += 1
+            items.append(f"{start}-{stop - 1}")
+        else:
+            items.append(str(remaining.pop(0)))
+    # Overlapping and duplicate items must collapse.
+    for _ in range(rng.randrange(3)):
+        extra = rng.choice(sorted(indices))
+        items.append(
+            f"{extra}-{extra}" if rng.random() < 0.5 else str(extra)
+        )
+    rng.shuffle(items)
+    spaced = [
+        f"{' ' * rng.randrange(2)}{item}{' ' * rng.randrange(2)}" for item in items
+    ]
+    return ",".join(spaced), shard_count
+
+
+def test_random_valid_selections_canonicalise(seed: int = 20260727):
+    rng = random.Random(seed)
+    for _ in range(300):
+        indices = set(
+            rng.sample(range(40), rng.randrange(1, 10))
+        )
+        selection, shard_count = _spell_selection(rng, indices)
+        parsed = parse_shard_selection(selection, shard_count)
+        assert parsed == tuple(sorted(indices)), selection
+        # Canonical: re-spelling the parsed result parses identically.
+        respelled = ",".join(str(index) for index in parsed)
+        assert parse_shard_selection(respelled, shard_count) == parsed
+
+
+def test_random_overlapping_spellings_collapse_to_one_canonical_set(
+    seed: int = 97,
+):
+    rng = random.Random(seed)
+    for _ in range(200):
+        indices = set(rng.sample(range(25), rng.randrange(1, 8)))
+        first, shard_count_a = _spell_selection(rng, indices)
+        second, shard_count_b = _spell_selection(rng, indices)
+        shard_count = max(shard_count_a, shard_count_b)
+        assert parse_shard_selection(first, shard_count) == parse_shard_selection(
+            second, shard_count
+        )
+
+
+def test_random_invalid_selections_fail_loudly(seed: int = 4242):
+    rng = random.Random(seed)
+    malformed = ["x", "1.5", "-3", "3-", "1--2", "2-3-4", "one", "0x1", "+1"]
+    for _ in range(200):
+        shard_count = rng.randrange(1, 20)
+        kind = rng.choice(("malformed", "reversed", "out-of-range", "empty"))
+        if kind == "malformed":
+            item = rng.choice(malformed)
+            expectation = "malformed shard selection item"
+        elif kind == "reversed":
+            high = rng.randrange(1, shard_count + 5)
+            low = high + 1 + rng.randrange(5)
+            item = f"{low}-{high}"
+            # A reversed range may also be out of range; reversal is
+            # detected first so the message names the real offence.
+            expectation = "is reversed"
+        elif kind == "out-of-range":
+            index = shard_count + rng.randrange(10)
+            item = str(index)
+            expectation = "out of range"
+        else:
+            item = " "
+            expectation = "selects no shards"
+        # Embed the offending item among valid ones (except the empty case,
+        # which must stay empty to trigger).
+        if kind == "empty":
+            selection = rng.choice(["", " ", ",", " , "])
+        else:
+            valid = [str(index) for index in range(min(2, shard_count))]
+            parts = valid + [item]
+            rng.shuffle(parts)
+            selection = ",".join(parts)
+        with pytest.raises(DatasetError, match=expectation):
+            parse_shard_selection(selection, shard_count)
+
+
+# -- FingerprintAccumulator.merge ---------------------------------------------
+
+
+def _random_records(
+    rng: random.Random, environments: list[str]
+) -> dict[str, list[ClientRecord]]:
+    """Labelled records per environment, with both types guaranteed present.
+
+    Band positions are drawn per environment so type-1 and type-2 cannot
+    overlap (finalisation would refuse) however the extremes fall.
+    """
+    records: dict[str, list[ClientRecord]] = {}
+    for environment in environments:
+        base1 = rng.randrange(100, 300)
+        base2 = rng.randrange(600, 900)
+        batch: list[ClientRecord] = [
+            ClientRecord(timestamp=0.0, wire_length=base1, content_type=23, label=LABEL_TYPE1),
+            ClientRecord(timestamp=0.0, wire_length=base2, content_type=23, label=LABEL_TYPE2),
+        ]
+        for index in range(rng.randrange(0, 30)):
+            label = rng.choice((LABEL_TYPE1, LABEL_TYPE2, LABEL_OTHER, None))
+            if label == LABEL_TYPE1:
+                length = base1 + rng.randrange(0, 40)
+            elif label == LABEL_TYPE2:
+                length = base2 + rng.randrange(0, 40)
+            else:
+                length = rng.randrange(1200, 1500)
+            batch.append(
+                ClientRecord(
+                    timestamp=float(index),
+                    wire_length=length,
+                    content_type=23,
+                    label=label,
+                )
+            )
+        records[environment] = batch
+    return records
+
+
+def _shard_states(
+    rng: random.Random, records: dict[str, list[ClientRecord]], shard_count: int
+) -> list[FingerprintAccumulator]:
+    """Scatter the records over ``shard_count`` per-shard accumulators."""
+    shards = [FingerprintAccumulator() for _ in range(shard_count)]
+    for environment, batch in records.items():
+        for record in batch:
+            rng.choice(shards).observe(environment, [record])
+    return shards
+
+
+def _merge_random_tree(
+    rng: random.Random, states: list[FingerprintAccumulator]
+) -> FingerprintAccumulator:
+    """Fold states pairwise in a random order and tree shape."""
+    pool = list(states)
+    rng.shuffle(pool)
+    while len(pool) > 1:
+        left = pool.pop(rng.randrange(len(pool)))
+        right = pool.pop(rng.randrange(len(pool)))
+        pool.append(left.merge(right))
+    return pool[0]
+
+
+def _library_bytes(accumulator: FingerprintAccumulator, path, margin: int) -> bytes:
+    library = FingerprintLibrary()
+    accumulator.finalize_into(library, margin=margin)
+    library.save(path)
+    return path.read_bytes()
+
+
+def test_merge_is_associative_and_commutative_up_to_bytes(
+    tmp_path, seed: int = 1337
+):
+    rng = random.Random(seed)
+    for round_index in range(25):
+        environments = [
+            f"os{index}/browser{index}" for index in range(rng.randrange(1, 4))
+        ]
+        records = _random_records(rng, environments)
+        margin = rng.randrange(0, 9)
+        # Batch reference: one accumulator sees everything in order.
+        batch = FingerprintAccumulator()
+        for environment, environment_records in records.items():
+            batch.observe(environment, environment_records)
+        reference = _library_bytes(batch, tmp_path / "reference.json", margin)
+        # Any scatter into shards, merged in any permutation and tree
+        # shape, finalises byte-identically.
+        for attempt in range(3):
+            shard_count = rng.randrange(2, 7)
+            # Fresh states each attempt: merge mutates its receiver.
+            states = _shard_states(
+                random.Random(seed * 1_000_003 + round_index * 101 + attempt),
+                records,
+                shard_count,
+            )
+            merged = _merge_random_tree(rng, states)
+            assert (
+                _library_bytes(merged, tmp_path / "merged.json", margin)
+                == reference
+            )
+
+
+def test_merge_accumulates_counts_and_saves_deterministically(
+    tmp_path, seed: int = 777
+):
+    rng = random.Random(seed)
+    records = _random_records(rng, ["linux/firefox", "windows/chrome"])
+    total = sum(len(batch) for batch in records.values())
+    states = _shard_states(rng, records, 4)
+    assert sum(state.record_count for state in states) == total
+    merged = _merge_random_tree(rng, states)
+    assert merged.record_count == total
+    # Serialised state is key-sorted, so the merge order cannot leak into
+    # the bytes either.
+    merged.save(tmp_path / "a.json")
+    remerged = _merge_random_tree(
+        rng, _shard_states(random.Random(1), records, 3)
+    )
+    remerged.save(tmp_path / "b.json")
+    assert (tmp_path / "a.json").read_bytes() == (tmp_path / "b.json").read_bytes()
