@@ -97,6 +97,13 @@ def test_ingest_arrival_to_verdict_latency(benchmark, tmp_path):
     mean_latency = sum(latencies) / len(latencies)
     throughput = len(serial_drop) / serial_seconds
     parallel_throughput = len(parallel_drop) / parallel_seconds
+    benchmark.extra_info.update(
+        {
+            "ingest_first_verdict_s": first_verdict,
+            "ingest_mean_latency_s": mean_latency,
+            "ingest_captures_per_s": throughput,
+        }
+    )
     print(
         f"\ningest of {len(serial_drop)} captures (arrival -> durable verdict):\n"
         f"  serial:     first verdict {first_verdict * 1e3:.1f}ms, "

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Perf-ratchet gate: compare measured hot-path metrics against baselines.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py \
+        benchmarks/bench_ingest_latency.py -q --benchmark-json=BENCH_results.json
+    python benchmarks/check_perf_ratchet.py BENCH_results.json
+
+The benchmarks publish their metrics through ``benchmark.extra_info``; this
+script collects them from the pytest-benchmark JSON and enforces the floors
+and ceilings checked in at ``benchmarks/BENCH_baselines.json``.  Metrics are
+primarily *ratios* (vectorized vs scalar on the same machine, in the same
+run), so the gate is stable across machine speeds; the absolute floors and
+ceilings are deliberately loose backstops against pathological regressions.
+
+Re-baselining after an intentional performance change is one line::
+
+    python benchmarks/check_perf_ratchet.py --update BENCH_results.json
+
+which rewrites the baselines from the measured values divided (floors) or
+multiplied (ceilings) by each metric's tolerance — never relaxing a metric
+past its ``hard_floor``/``hard_ceiling``, the contractual bounds that a
+re-baseline must not soften.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINES_PATH = Path(__file__).parent / "BENCH_baselines.json"
+
+
+def collect_metrics(results_path: Path) -> dict[str, float]:
+    """All extra_info numbers from one pytest-benchmark JSON report."""
+    report = json.loads(results_path.read_text())
+    metrics: dict[str, float] = {}
+    for entry in report.get("benchmarks", []):
+        for key, value in entry.get("extra_info", {}).items():
+            if isinstance(value, (int, float)):
+                metrics[key] = float(value)
+    return metrics
+
+
+def check(baselines: dict, metrics: dict[str, float]) -> list[str]:
+    """Human-readable failure list (empty when the ratchet holds)."""
+    failures = []
+    for name, bounds in baselines["metrics"].items():
+        if name not in metrics:
+            failures.append(f"{name}: missing from the benchmark report")
+            continue
+        value = metrics[name]
+        if "floor" in bounds and value < bounds["floor"]:
+            failures.append(
+                f"{name}: {value:g} fell below the baseline floor "
+                f"{bounds['floor']:g}"
+            )
+        if "ceiling" in bounds and value > bounds["ceiling"]:
+            failures.append(
+                f"{name}: {value:g} exceeded the baseline ceiling "
+                f"{bounds['ceiling']:g}"
+            )
+    return failures
+
+
+def update(baselines: dict, metrics: dict[str, float]) -> dict:
+    """Recompute each bound from the measured value and its tolerance."""
+    for name, bounds in baselines["metrics"].items():
+        if name not in metrics:
+            raise SystemExit(f"cannot re-baseline: {name} missing from report")
+        value = metrics[name]
+        tolerance = bounds.get("tolerance", baselines.get("tolerance", 1.5))
+        if "floor" in bounds:
+            floor = value / tolerance
+            if "hard_floor" in bounds:
+                floor = max(floor, bounds["hard_floor"])
+            bounds["floor"] = round(floor, 4)
+        if "ceiling" in bounds:
+            ceiling = value * tolerance
+            if "hard_ceiling" in bounds:
+                ceiling = min(ceiling, bounds["hard_ceiling"])
+            bounds["ceiling"] = round(ceiling, 6)
+    return baselines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path, help="pytest-benchmark JSON report")
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite BENCH_baselines.json from this report instead of gating",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=BASELINES_PATH,
+        help="baselines file (default: benchmarks/BENCH_baselines.json)",
+    )
+    arguments = parser.parse_args(argv)
+
+    baselines = json.loads(arguments.baselines.read_text())
+    metrics = collect_metrics(arguments.results)
+
+    if arguments.update:
+        rewritten = update(baselines, metrics)
+        arguments.baselines.write_text(
+            json.dumps(rewritten, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"re-baselined {len(rewritten['metrics'])} metric(s) "
+              f"into {arguments.baselines}")
+        return 0
+
+    for name in sorted(baselines["metrics"]):
+        bounds = baselines["metrics"][name]
+        shown = metrics.get(name)
+        gate = " / ".join(
+            f"{kind} {bounds[kind]:g}"
+            for kind in ("floor", "ceiling")
+            if kind in bounds
+        )
+        print(f"  {name}: {shown if shown is None else f'{shown:g}'} ({gate})")
+    failures = check(baselines, metrics)
+    if failures:
+        print("\nperf ratchet FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "\nIf this regression is intentional, re-baseline with:\n"
+            f"  python benchmarks/check_perf_ratchet.py --update {arguments.results}",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf ratchet OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ from repro.dataset.format import (
 )
 from repro.dataset.iitm import DatasetSummary, IITMBandersnatchDataset
 from repro.dataset.population import viewers_from_metadata_entries
+from repro.dataset.sidecar import fold_shard_sidecar
 from repro.dataset.shards import (
     SHARD_GENERATED,
     SHARDS_MANIFEST_FILENAME,
@@ -185,6 +186,13 @@ def _train_sharded(arguments: argparse.Namespace, directory: Path) -> int:
     accumulator so the per-machine states can later be combined with
     ``repro merge-fingerprints`` into exactly the library one machine
     training over the stitched root would learn.
+
+    Shards carrying a fresh columnar sidecar (``traces/records.npz``, see
+    :mod:`repro.dataset.sidecar`) skip re-simulation entirely: their
+    recorded wire lengths and ground-truth label codes fold straight into
+    the accumulator.  The fold is per-record identical to re-simulating, so
+    the saved library (and any ``--save-state`` file) is byte-for-byte the
+    same with sidecars, without them, or with any mix.
     """
     if arguments.train_fraction is not None:
         raise ReproError(
@@ -199,7 +207,7 @@ def _train_sharded(arguments: argparse.Namespace, directory: Path) -> int:
         # ShardedDataset.load rejects with guidance).
         dataset = ShardedDataset.load(directory)
         viewer_count = dataset.viewer_count
-        shard_iterators = dataset.iter_shard_training_sessions(workers=workers)
+        shard_directories = dataset.shard_directories()
         print(
             f"incrementally training on {viewer_count} viewers across "
             f"{dataset.shard_count} shards..."
@@ -218,24 +226,42 @@ def _train_sharded(arguments: argparse.Namespace, directory: Path) -> int:
         viewer_count = sum(
             int(metadata["viewer_count"]) for metadata in metadata_by_shard
         )
-        shard_iterators = (
-            iter_shard_training_sessions(path, workers=workers)
-            for _index, path in found
-        )
+        shard_directories = [path for _index, path in found]
         print(
             f"incrementally training on {viewer_count} viewers across "
             f"{len(found)} local shard(s) of an unstitched subset root..."
         )
     attack = WhiteMirrorAttack(graph=default_study_script(), band_margin=arguments.margin)
     accumulator = FingerprintAccumulator()
-    attack.train_incremental(
-        shard_iterators,
-        progress=lambda folded: print(
-            f"  {folded}/{viewer_count} sessions", end="\r"
-        ),
-        accumulator=accumulator,
-    )
-    print()
+    pending: list[Path] = []
+    folded_shards = 0
+    folded_records = 0
+    for shard_directory in shard_directories:
+        folded = fold_shard_sidecar(shard_directory, accumulator)
+        if folded is None:
+            pending.append(shard_directory)
+        else:
+            folded_shards += 1
+            folded_records += folded
+    if folded_shards:
+        print(
+            f"  folded {folded_shards}/{len(shard_directories)} shard(s) from "
+            f"columnar sidecars ({folded_records} records, no re-simulation)"
+        )
+    if pending:
+        attack.train_incremental(
+            (
+                iter_shard_training_sessions(path, workers=workers)
+                for path in pending
+            ),
+            progress=lambda folded: print(f"  {folded} session(s) re-simulated", end="\r"),
+            accumulator=accumulator,
+        )
+        print()
+    else:
+        # Every shard folded from its sidecar; finalise the accumulated
+        # state directly (train_incremental would reject zero sessions).
+        accumulator.finalize_into(attack.library, margin=arguments.margin)
     if getattr(arguments, "save_state", None):
         accumulator.save(arguments.save_state)
         print(f"wrote accumulator state to {arguments.save_state}")

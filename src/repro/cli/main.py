@@ -57,6 +57,31 @@ def build_parser() -> argparse.ArgumentParser:
             "(by content\n"
             "  fingerprint), so kill-and-restart never duplicates or "
             "drops a verdict\n"
+            "\n"
+            "performance:\n"
+            "  generated shards carry a columnar sidecar "
+            "(traces/records.npz): the\n"
+            "  client-record columns of every capture — timestamps, wire "
+            "lengths,\n"
+            "  content types, ground-truth label codes — packed at "
+            "generation time.\n"
+            "  `repro attack` and `repro train --sharded` stream it instead "
+            "of\n"
+            "  re-parsing (or re-simulating) each pcap, with byte-identical "
+            "output;\n"
+            "  the pcaps stay the source of truth, and a missing or stale "
+            "sidecar\n"
+            "  (pcap resized or newer than it) falls back to parsing "
+            "transparently.\n"
+            "  pcap reading and record classification are vectorized; CI's\n"
+            "  perf-ratchet job replays benchmarks/bench_hotpath.py and\n"
+            "  benchmarks/bench_ingest_latency.py against the floors in\n"
+            "  benchmarks/BENCH_baselines.json and fails on regression.  "
+            "after a\n"
+            "  legitimate speedup, re-baseline with one line and commit the "
+            "result:\n"
+            "    python benchmarks/check_perf_ratchet.py --update "
+            "BENCH_results.json\n"
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")

@@ -20,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
+from repro.core import kernel
 from repro.exceptions import AttackError
 from repro.net.capture import CapturedTrace
 from repro.net.endpoints import FiveTuple
@@ -34,6 +37,13 @@ from repro.tls.records import (
 LABEL_TYPE1 = "type1"
 LABEL_TYPE2 = "type2"
 LABEL_OTHER = "other"
+
+#: Compact label encoding shared by the batch kernels and the columnar shard
+#: sidecars (:mod:`repro.dataset.sidecar`): index = code, value = label.
+LABEL_BY_CODE: tuple[str | None, ...] = (None, LABEL_TYPE1, LABEL_TYPE2, LABEL_OTHER)
+CODE_BY_LABEL: dict[str | None, int] = {
+    label: code for code, label in enumerate(LABEL_BY_CODE)
+}
 
 _HEADER = RECORD_HEADER_LENGTH
 
@@ -126,6 +136,70 @@ def extract_client_records(
     # Order by sequence number (capture order can interleave retransmissions),
     # drop duplicate segments the way any TCP reassembler does.
     packets.sort(key=lambda packet: (packet.sequence_number, packet.timestamp))
+    records = _extract_records_vectorized(packets)
+    if records is None:
+        records = _extract_records_scalar(packets)
+    if application_data_only:
+        records = [record for record in records if record.is_application_data]
+    if not records:
+        raise AttackError("no client-side TLS records found in the trace")
+    return records
+
+
+def _extract_records_vectorized(packets: Sequence[Packet]) -> list[ClientRecord] | None:
+    """Extract records through the batch TLS-framing kernel, when legal.
+
+    The scalar parser's corrective behaviours — annotation-driven labels,
+    duplicate-segment dedup, gap resynchronisation, bad-framing recovery —
+    all depend on per-packet state, so the fast path engages only for the
+    clean common case: an unannotated, gap-free, duplicate-free uplink
+    stream whose TLS framing scans end to end.  That is exactly what a
+    pcap-loaded capture of a healthy session looks like (the attack's hot
+    path); the moment any precondition fails, the caller runs the scalar
+    oracle instead.  On the clean path the output is byte-for-byte the
+    scalar parser's.
+    """
+    if not packets:
+        return []
+    expected_sequence: int | None = None
+    for packet in packets:
+        if packet.annotations:
+            return None
+        if expected_sequence is not None and packet.sequence_number != expected_sequence:
+            return None
+        expected_sequence = packet.sequence_number + len(packet.payload)
+    stream = b"".join(packet.payload for packet in packets)
+    spans = kernel.tls_record_spans(stream)
+    if spans is None:
+        return None
+    starts, wire_lengths, _content_types = spans
+    if starts.size == 0:
+        return []
+    # The scalar parser stamps each record with the packet that completed it:
+    # the first packet whose cumulative payload covers the record's end
+    # offset in the reassembled stream.
+    payload_ends = np.cumsum([len(packet.payload) for packet in packets])
+    completed_by = np.searchsorted(payload_ends, starts + wire_lengths, side="left")
+    content_types = _content_types.tolist()
+    return [
+        ClientRecord(
+            timestamp=packets[packet_index].timestamp,
+            wire_length=wire_length,
+            content_type=content_type,
+        )
+        for packet_index, wire_length, content_type in zip(
+            completed_by.tolist(), wire_lengths.tolist(), content_types
+        )
+    ]
+
+
+def _extract_records_scalar(packets: Sequence[Packet]) -> list[ClientRecord]:
+    """Reference parser: the per-packet state machine the kernel must match.
+
+    Handles everything the fast path refuses — annotated training traces,
+    duplicate segments, capture gaps, framing loss — and serves as the
+    oracle the property tests pin :func:`_extract_records_vectorized` to.
+    """
     seen_sequences: set[int] = set()
     records: list[ClientRecord] = []
     buffer = bytearray()
@@ -191,10 +265,6 @@ def extract_client_records(
             del buffer[:pending_needed]
             pending_needed = 0
             pending_label, pending_question = label, question
-    if application_data_only:
-        records = [record for record in records if record.is_application_data]
-    if not records:
-        raise AttackError("no client-side TLS records found in the trace")
     return records
 
 

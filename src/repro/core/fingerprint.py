@@ -22,8 +22,21 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
-from repro.core.features import ClientRecord, LABEL_OTHER, LABEL_TYPE1, LABEL_TYPE2
+import numpy as np
+
+from repro.core import kernel
+from repro.core.features import (
+    CODE_BY_LABEL,
+    ClientRecord,
+    LABEL_OTHER,
+    LABEL_TYPE1,
+    LABEL_TYPE2,
+)
 from repro.exceptions import FingerprintError
+
+#: Code → label table for the band codes of :func:`repro.core.kernel.classify_codes`
+#: over ``(type1_band, type2_band)``: 0 = neither band, 1 = type-1, 2 = type-2.
+_BAND_LABELS = (LABEL_OTHER, LABEL_TYPE1, LABEL_TYPE2)
 
 #: On-disk format version of serialised accumulator state (``repro
 #: merge-fingerprints`` inputs).
@@ -100,16 +113,35 @@ class RecordLengthFingerprint:
             )
 
     def classify_length(self, wire_length: int) -> str:
-        """Assign one record length to ``type1``, ``type2`` or ``other``."""
+        """Assign one record length to ``type1``, ``type2`` or ``other``.
+
+        This is the scalar reference oracle for :meth:`classify_lengths`;
+        property tests pin the two to each other exactly.
+        """
         if self.type1_band.contains(wire_length):
             return LABEL_TYPE1
         if self.type2_band.contains(wire_length):
             return LABEL_TYPE2
         return LABEL_OTHER
 
+    def band_bounds(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        """The two bands as ``(low, high)`` pairs, in classification priority."""
+        return (
+            (self.type1_band.low, self.type1_band.high),
+            (self.type2_band.low, self.type2_band.high),
+        )
+
+    def classify_lengths(self, wire_lengths: np.ndarray | Sequence[int]) -> list[str]:
+        """Classify a whole batch of wire lengths in one kernel call."""
+        codes = kernel.classify_codes(wire_lengths, self.band_bounds())
+        return kernel.decode_labels(codes, _BAND_LABELS)
+
     def classify(self, records: Iterable[ClientRecord]) -> list[str]:
         """Classify a sequence of client records by their wire lengths."""
-        return [self.classify_length(record.wire_length) for record in records]
+        lengths = np.fromiter(
+            (record.wire_length for record in records), dtype=np.int64
+        )
+        return self.classify_lengths(lengths)
 
     def as_dict(self) -> dict[str, object]:
         """JSON-friendly form."""
@@ -265,6 +297,42 @@ class FingerprintAccumulator:
                 state.type1.observe(record.wire_length)
             elif record.label == LABEL_TYPE2:
                 state.type2.observe(record.wire_length)
+
+    def observe_lengths(
+        self,
+        condition_key: str,
+        wire_lengths: np.ndarray | Sequence[int],
+        label_codes: np.ndarray | Sequence[int],
+    ) -> None:
+        """Fold one batch of labelled records from columnar arrays.
+
+        The vectorized counterpart of :meth:`observe`, used when records
+        arrive as the packed arrays of a shard sidecar
+        (:mod:`repro.dataset.sidecar`) rather than as objects.
+        ``label_codes`` uses the :data:`repro.core.features.LABEL_BY_CODE`
+        encoding; the resulting state is identical to observing the
+        equivalent :class:`~repro.core.features.ClientRecord` batch one
+        record at a time — every record counts, only labelled type-1/type-2
+        lengths move a band.
+        """
+        if not condition_key:
+            raise FingerprintError("accumulator needs a condition key")
+        wire_lengths = np.asarray(wire_lengths, dtype=np.int64)
+        label_codes = np.asarray(label_codes)
+        if wire_lengths.shape != label_codes.shape:
+            raise FingerprintError(
+                "wire_lengths and label_codes must have the same shape"
+            )
+        state = self._environments.setdefault(condition_key, _EnvironmentState())
+        state.record_count += int(wire_lengths.size)
+        for label, band_state in (
+            (LABEL_TYPE1, state.type1),
+            (LABEL_TYPE2, state.type2),
+        ):
+            selected = wire_lengths[label_codes == CODE_BY_LABEL[label]]
+            if selected.size:
+                band_state.observe(int(selected.min()))
+                band_state.observe(int(selected.max()))
 
     def fingerprint(self, condition_key: str, margin: int = 2) -> RecordLengthFingerprint:
         """Finalise one environment's fingerprint from the accumulated state."""
@@ -428,6 +496,30 @@ class FingerprintLibrary:
 
     def __len__(self) -> int:
         return len(self._fingerprints)
+
+    def classify_lengths(
+        self, wire_lengths: np.ndarray | Sequence[int]
+    ) -> dict[str, list[str]]:
+        """Classify one batch of lengths against every environment at once.
+
+        One broadcast kernel call covers the whole environments × bands ×
+        records cube; per environment the labels equal
+        ``self.get(key).classify_lengths(wire_lengths)`` exactly.
+        """
+        if not self._fingerprints:
+            return {}
+        matrix = np.asarray(
+            [
+                fingerprint.band_bounds()
+                for fingerprint in self._fingerprints.values()
+            ],
+            dtype=np.int64,
+        )
+        codes = kernel.classify_codes_multi(wire_lengths, matrix)
+        return {
+            condition_key: kernel.decode_labels(codes[index], _BAND_LABELS)
+            for index, condition_key in enumerate(self._fingerprints)
+        }
 
     def learn(
         self,

@@ -1,0 +1,159 @@
+"""Vectorized batch kernels for the capture→verdict hot path.
+
+The attack is, at its core, a closed-interval membership test repeated over
+millions of SSL records.  Every per-record loop in the pipeline funnels
+through this module so that test runs as numpy array comparisons:
+
+* :func:`priority_interval_codes` — "first interval containing each value",
+  the shape shared by band classification and the ML interval classifier.
+* :func:`classify_codes` / :func:`classify_codes_multi` — one capture's wire
+  lengths against one fingerprint's bands, or against every environment's
+  bands at once.
+* :func:`decode_labels` — integer codes back to label objects in one gather.
+* :func:`tls_record_spans` — TLS record framing over a reassembled byte
+  stream, for the batch record-extraction fast path.
+
+Each kernel's scalar counterpart survives next to its call site as the
+reference oracle (``RecordLengthFingerprint.classify_length``,
+``IntervalClassifier._predict_scalar``, the parser loop in
+:mod:`repro.core.features`); property tests pin the vectorized outputs to
+the oracles exactly, so a kernel is never "approximately" the attack.
+
+The module imports only numpy and the TLS framing constants — no pipeline
+types — so every layer (net, core, ml, dataset, ingest) can call in without
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tls.records import MAX_CIPHERTEXT_LENGTH, RECORD_HEADER_LENGTH
+
+
+def priority_interval_codes(
+    values: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+) -> np.ndarray:
+    """Index of the first closed interval ``[low, high]`` containing each value.
+
+    ``lows``/``highs`` list the intervals in priority order; the result holds,
+    per value, the smallest index of a containing interval, or ``-1`` when no
+    interval contains it.  This is the vectorized form of "walk the intervals
+    in order and take the first hit": intervals are applied from lowest
+    priority to highest, so a later (higher-priority) assignment overwrites
+    any earlier one.
+
+    The loop runs once per *interval* (a handful), never per value.
+    """
+    values = np.asarray(values)
+    lows = np.asarray(lows)
+    highs = np.asarray(highs)
+    codes = np.full(values.shape, -1, dtype=np.intp)
+    for index in range(lows.shape[0] - 1, -1, -1):
+        codes[(values >= lows[index]) & (values <= highs[index])] = index
+    return codes
+
+
+def classify_codes(
+    lengths: np.ndarray | Sequence[int],
+    bands: Sequence[tuple[int, int]],
+) -> np.ndarray:
+    """Band codes for a batch of wire lengths.
+
+    ``bands`` lists closed ``(low, high)`` intervals in priority order; the
+    result holds ``i + 1`` where band ``i`` is the first band containing a
+    length, and ``0`` where none does.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if not bands:
+        return np.zeros(lengths.shape, dtype=np.intp)
+    lows = np.asarray([band[0] for band in bands], dtype=np.int64)
+    highs = np.asarray([band[1] for band in bands], dtype=np.int64)
+    return priority_interval_codes(lengths, lows, highs) + 1
+
+
+def classify_codes_multi(
+    lengths: np.ndarray | Sequence[int],
+    band_matrix: np.ndarray,
+) -> np.ndarray:
+    """Classify one batch of lengths against every environment at once.
+
+    ``band_matrix`` has shape ``(environments, bands, 2)`` holding closed
+    ``(low, high)`` intervals, bands in priority order.  Returns an
+    ``(environments, lengths)`` array of codes with the same meaning as
+    :func:`classify_codes` — one broadcast comparison replaces the per-
+    environment, per-record double loop of a library-wide lookup.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    matrix = np.asarray(band_matrix, dtype=np.int64)
+    environment_count, band_count = matrix.shape[0], matrix.shape[1]
+    codes = np.zeros((environment_count, lengths.shape[0]), dtype=np.intp)
+    # One masked pass per (environment, band) — a handful of iterations over
+    # cache-sized (N,) slices beats a single (E, B, N) broadcast, whose
+    # intermediates spill out of cache for realistic batch sizes.
+    for environment in range(environment_count):
+        row = codes[environment]
+        for band in range(band_count - 1, -1, -1):
+            low, high = matrix[environment, band]
+            row[(lengths >= low) & (lengths <= high)] = band + 1
+    return codes
+
+
+def decode_labels(codes: np.ndarray, labels: Sequence[object]) -> list:
+    """Map integer codes to labels in one object-array gather.
+
+    ``labels`` must cover every code that occurs (``labels[code]``); negative
+    codes index from the end, so callers can park a fallback label at
+    ``labels[-1]`` for the "no interval" code of
+    :func:`priority_interval_codes`.
+    """
+    table = np.empty(len(labels), dtype=object)
+    for index, label in enumerate(labels):
+        table[index] = label
+    return table[np.asarray(codes)].tolist()
+
+
+def tls_record_spans(
+    stream: bytes | memoryview,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Frame a reassembled TLS byte stream into record spans.
+
+    Returns ``(starts, wire_lengths, content_types)`` arrays — one entry per
+    complete record, in stream order — or ``None`` when the stream loses
+    framing (a declared fragment length of zero or beyond the TLS maximum);
+    the caller then falls back to the scalar parser, which knows how to
+    resynchronise mid-stream.  A trailing partial record is normal (the
+    capture simply ended there) and is dropped, exactly as the scalar parser
+    drops it.
+
+    The hop from record to record is inherently sequential (each header's
+    length field locates the next header), so this is a per-record loop
+    reading five bytes each — microscopic next to the per-packet byte
+    shuffling it replaces.
+    """
+    view = memoryview(stream)
+    size = len(view)
+    starts: list[int] = []
+    wire_lengths: list[int] = []
+    content_types: list[int] = []
+    offset = 0
+    while size - offset >= RECORD_HEADER_LENGTH:
+        length = int.from_bytes(view[offset + 3 : offset + 5], "big")
+        if length == 0 or length > MAX_CIPHERTEXT_LENGTH:
+            return None
+        wire_length = RECORD_HEADER_LENGTH + length
+        if offset + wire_length > size:
+            break
+        starts.append(offset)
+        wire_lengths.append(wire_length)
+        content_types.append(view[offset])
+        offset += wire_length
+    return (
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(wire_lengths, dtype=np.int64),
+        np.asarray(content_types, dtype=np.int64),
+    )

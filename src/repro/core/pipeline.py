@@ -97,6 +97,35 @@ class PcapAttackTask:
         return f"{Path(self.path).name} ({self.condition_key})"
 
 
+def _sidecar_capture_records(
+    path: str | Path, client_ip: str, server_ip: str | None
+) -> tuple[ClientRecord, ...] | None:
+    """The capture's records from a fresh shard sidecar, when provably the
+    extraction :func:`load_attack_trace` + the record cache would produce.
+
+    The fast path engages only when the task's addresses match the ones the
+    sidecar recorded at generation time: a different ``client_ip`` (or an
+    unknown ``server_ip``, which the parse path resolves by the
+    largest-flow heuristic) could legitimately change flow selection, and an
+    empty column set must fall back so the parse path's "no records" error
+    surfaces from the parse path.  Every other case parses the pcap.
+    """
+    # Imported lazily: the dataset layer builds on core, not the reverse;
+    # only this acceleration hook reaches back into it.
+    from repro.dataset.sidecar import capture_records_for
+
+    columns = capture_records_for(path)
+    if columns is None:
+        return None
+    if columns.client_ip != client_ip:
+        return None
+    if server_ip is None or columns.server_ip != server_ip:
+        return None
+    if columns.record_count == 0:
+        return None
+    return columns.client_records()
+
+
 def _attack_pcap_task(attack: "WhiteMirrorAttack", task: PcapAttackTask) -> AttackResult:
     """Module-level worker task for parallel pcap attacks (must be picklable)."""
     return attack.attack_pcap(
@@ -294,6 +323,17 @@ class WhiteMirrorAttack:
     ) -> AttackResult:
         """Run the full attack on one captured trace."""
         records = self._records_for(trace, server_ip=server_ip)
+        return self._attack_records(records, condition_key)
+
+    def _attack_records(
+        self, records: Sequence[ClientRecord], condition_key: str
+    ) -> AttackResult:
+        """Classify → infer → reconstruct: the tail every attack path shares.
+
+        The verdict depends only on the extracted records, which is what
+        lets the sidecar fast path of :meth:`attack_pcap` skip the parse
+        stage yet produce byte-identical results.
+        """
         labels = self.classifier.classify(records, condition_key)
         inferred = infer_choices(records, labels)
         path: ViewingPath | None = None
@@ -327,10 +367,21 @@ class WhiteMirrorAttack:
     ) -> AttackResult:
         """Run the full attack on one capture file.
 
-        The trace is parsed through :func:`load_attack_trace`, so the
-        streaming flow is resolved once and the same server address feeds
-        both the capture metadata and record extraction.
+        When the capture's directory carries a fresh columnar sidecar
+        (:mod:`repro.dataset.sidecar`) recorded for exactly this client and
+        server address, the records stream straight out of it — no frame
+        parsing, no flow selection, no TLS reassembly — and the verdict is
+        byte-identical to the parse path's.  Otherwise (no sidecar, stale
+        sidecar, different addresses, unknown server) the trace is parsed
+        through :func:`load_attack_trace`, so the streaming flow is resolved
+        once and the same server address feeds both the capture metadata and
+        record extraction.
         """
+        records = _sidecar_capture_records(
+            path, client_ip=client_ip, server_ip=server_ip
+        )
+        if records is not None:
+            return self._attack_records(records, condition_key)
         trace = load_attack_trace(path, client_ip=client_ip, server_ip=server_ip)
         return self.attack_trace(
             trace, condition_key=condition_key, server_ip=trace.server_ip

@@ -119,6 +119,7 @@ class DatasetWriter:
         config: SessionConfig | None = None,
         graph: StoryGraph | None = None,
         shard: Mapping[str, int] | None = None,
+        sidecar: bool = True,
     ) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
@@ -131,6 +132,13 @@ class DatasetWriter:
         self._shard = dict(shard) if shard is not None else None
         self._entries: list[dict[str, object]] = []
         self._closed = False
+        self._sidecar = None
+        if write_pcaps and sidecar:
+            # Imported lazily: the sidecar module reads this one's layout
+            # constants, so a module-level import would be circular.
+            from repro.dataset.sidecar import SidecarWriter
+
+            self._sidecar = SidecarWriter()
         self.inprogress_path.touch()
 
     @property
@@ -165,6 +173,17 @@ class DatasetWriter:
             entry["trace_file"] = str(pcap_path.relative_to(self._directory))
             entry["client_ip"] = point.session.trace.client_ip
             entry["server_ip"] = point.session.trace.server_ip
+            if self._sidecar is not None:
+                from repro.dataset.sidecar import sidecar_entry_for
+
+                self._sidecar.add(
+                    sidecar_entry_for(
+                        pcap_path,
+                        point.session.trace,
+                        viewer_id=point.viewer.viewer_id,
+                        environment=point.session.condition.fingerprint_key,
+                    )
+                )
         self._entries.append(entry)
         return entry
 
@@ -177,6 +196,11 @@ class DatasetWriter:
             return self.metadata_path
         if not self._entries:
             raise DatasetError("cannot save an empty dataset")
+        if self._sidecar is not None:
+            # The columnar acceleration cache rides along with the pcaps it
+            # mirrors (see repro.dataset.sidecar); written before the index
+            # publishes, so a crash leaves the usual partial-dataset debris.
+            self._sidecar.write(self._traces_dir)
         metadata: dict[str, object] = {
             "name": self._dataset_name,
             "format_version": FORMAT_VERSION,

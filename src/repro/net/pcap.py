@@ -7,14 +7,35 @@ eavesdropper would: frames and timestamps, nothing more.
 Format reference: the classic 24-byte global header (magic 0xa1b2c3d4,
 microsecond timestamps) followed by per-packet records of a 16-byte header
 (seconds, microseconds, captured length, original length) and the frame bytes.
+Both byte orders are accepted on read — a capture written on a big-endian
+machine stores the magic byte-swapped relative to ours.
+
+Reading is built for the attack's hot path: the file is memory-mapped once
+and every packet header is decoded in a single vectorized numpy pass, so a
+capture costs one sequential scan instead of a per-packet
+``struct.unpack``/``bytes()`` copy loop.  Two views sit on top of that scan:
+
+* :meth:`PcapReader.read` — the classic packet iterator, now yielding
+  zero-copy :class:`PcapPacket` frames (memoryviews into the mapping).
+* :meth:`PcapReader.read_columns` — the columnar fast path: one
+  :class:`PcapColumns` holding timestamp/length arrays plus frame views,
+  ready for the batch kernels in :mod:`repro.core.kernel`.
+
+The mapping stays alive for as long as any view into it does (the columns,
+a yielded frame, …) and is released by reference counting — no explicit
+close, no dangling buffers.  Callers that need frames to outlive every view
+use :func:`read_pcap`, which returns owned ``bytes`` copies.
 """
 
 from __future__ import annotations
 
+import mmap
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
+
+import numpy as np
 
 from repro.exceptions import PcapError
 
@@ -28,16 +49,67 @@ _PACKET_HEADER = struct.Struct("<IIII")
 
 @dataclass(frozen=True)
 class PcapPacket:
-    """One packet record read from (or destined for) a pcap file."""
+    """One packet record read from (or destined for) a pcap file.
+
+    ``frame`` is a zero-copy memoryview into the reader's file mapping when
+    the packet came from :class:`PcapReader`; :func:`read_pcap` converts it
+    to owned ``bytes`` for callers that keep frames around.
+    """
 
     timestamp: float
-    frame: bytes
+    frame: bytes | memoryview
     original_length: int | None = None
 
     @property
     def captured_length(self) -> int:
         """Bytes actually stored in the file."""
         return len(self.frame)
+
+
+@dataclass(frozen=True)
+class PcapColumns:
+    """Columnar view of one pcap file: arrays for headers, views for frames.
+
+    All arrays share the packet index; :meth:`frame` slices the underlying
+    file mapping without copying.  The mapping is kept alive by ``data``
+    (and by any frame view derived from it), so the columns can outlive the
+    :class:`PcapReader` that produced them.
+    """
+
+    path: Path
+    timestamps: np.ndarray = field(repr=False)
+    captured_lengths: np.ndarray = field(repr=False)
+    original_lengths: np.ndarray = field(repr=False)
+    frame_offsets: np.ndarray = field(repr=False)
+    data: memoryview = field(repr=False)
+
+    @property
+    def packet_count(self) -> int:
+        """Number of packet records in the file."""
+        return int(self.timestamps.size)
+
+    def __len__(self) -> int:
+        return self.packet_count
+
+    def frame(self, index: int) -> memoryview:
+        """Zero-copy view of packet ``index``'s captured frame bytes."""
+        offset = int(self.frame_offsets[index])
+        return self.data[offset : offset + int(self.captured_lengths[index])]
+
+    def iter_packets(self) -> Iterator[PcapPacket]:
+        """Yield :class:`PcapPacket` records (frames as zero-copy views)."""
+        timestamps = self.timestamps.tolist()
+        offsets = self.frame_offsets.tolist()
+        captured = self.captured_lengths.tolist()
+        originals = self.original_lengths.tolist()
+        for timestamp, offset, length, original in zip(
+            timestamps, offsets, captured, originals
+        ):
+            yield PcapPacket(
+                timestamp=timestamp,
+                frame=self.data[offset : offset + length],
+                original_length=original,
+            )
 
 
 class PcapWriter:
@@ -97,7 +169,12 @@ class PcapWriter:
 
 
 class PcapReader:
-    """Iterates over the packet records of a pcap file."""
+    """Iterates over the packet records of a pcap file.
+
+    The file is memory-mapped and all packet headers decode in one
+    vectorized pass (:meth:`read_columns`); :meth:`read` is a thin iterator
+    over those columns yielding zero-copy frames.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self._path = Path(path)
@@ -105,43 +182,84 @@ class PcapReader:
     def __iter__(self) -> Iterator[PcapPacket]:
         return self.read()
 
-    def read(self) -> Iterator[PcapPacket]:
-        """Yield every packet record in file order."""
+    def read_columns(self) -> PcapColumns:
+        """Decode every packet header into columnar arrays in one pass.
+
+        The sequential part of the scan is minimal by construction: packet
+        records chain through their captured-length field, so one pass hops
+        record to record reading only that field (validating truncation on
+        the way); the remaining header fields then decode in a single
+        vectorized gather over all records at once.
+        """
         try:
-            data = self._path.read_bytes()
+            with open(self._path, "rb") as handle:
+                try:
+                    mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+                except ValueError:
+                    # An empty file cannot be mapped — and is not a pcap.
+                    raise PcapError(
+                        f"{self._path} is too short to be a pcap file"
+                    ) from None
         except OSError as error:
             raise PcapError(f"cannot read pcap file {self._path}: {error}") from error
-        if len(data) < _GLOBAL_HEADER.size:
+        data = memoryview(mapped)
+        size = len(data)
+        if size < _GLOBAL_HEADER.size:
             raise PcapError(f"{self._path} is too short to be a pcap file")
         magic = struct.unpack_from("<I", data)[0]
         if magic == PCAP_MAGIC:
-            endian = "<"
+            byteorder, word_dtype = "little", "<u4"
         elif magic == PCAP_MAGIC_SWAPPED:
-            endian = ">"
+            byteorder, word_dtype = "big", ">u4"
         else:
             raise PcapError(f"{self._path} has unknown pcap magic {magic:#x}")
-        global_header = struct.Struct(endian + "IHHiIII")
-        packet_header = struct.Struct(endian + "IIII")
-        (_, _major, _minor, _tz, _sigfigs, _snaplen, linktype) = global_header.unpack_from(data)
+        linktype = int.from_bytes(data[20:24], byteorder)
         if linktype != LINKTYPE_ETHERNET:
             raise PcapError(f"unsupported link type {linktype}")
-        offset = global_header.size
-        while offset < len(data):
-            if len(data) - offset < packet_header.size:
-                raise PcapError(f"{self._path} ends with a truncated packet header")
-            seconds, microseconds, captured_length, original_length = packet_header.unpack_from(
-                data, offset
-            )
-            offset += packet_header.size
-            if len(data) - offset < captured_length:
+        # The record-to-record hop is the only sequential part of the scan;
+        # keep its per-iteration cost minimal (one unpack_from, no slicing).
+        header_offsets: list[int] = []
+        append = header_offsets.append
+        read_caplen = struct.Struct("<I" if byteorder == "little" else ">I").unpack_from
+        header_size = _PACKET_HEADER.size
+        offset = _GLOBAL_HEADER.size
+        while size - offset >= header_size:
+            (captured_length,) = read_caplen(data, offset + 8)
+            next_offset = offset + header_size + captured_length
+            if next_offset > size:
                 raise PcapError(f"{self._path} ends with a truncated packet body")
-            frame = bytes(data[offset : offset + captured_length])
-            offset += captured_length
-            yield PcapPacket(
-                timestamp=seconds + microseconds / 1_000_000,
-                frame=frame,
-                original_length=original_length,
-            )
+            append(offset)
+            offset = next_offset
+        if offset != size:
+            raise PcapError(f"{self._path} ends with a truncated packet header")
+        offsets = np.asarray(header_offsets, dtype=np.int64)
+        raw = np.frombuffer(data, dtype=np.uint8)
+        fields = (
+            raw[offsets[:, None] + np.arange(_PACKET_HEADER.size)]
+            .view(word_dtype)
+            .astype(np.int64)
+        )
+        timestamps = (
+            fields[:, 0].astype(np.float64) + fields[:, 1].astype(np.float64) / 1e6
+        )
+        return PcapColumns(
+            path=self._path,
+            timestamps=timestamps,
+            captured_lengths=fields[:, 2],
+            original_lengths=fields[:, 3],
+            frame_offsets=offsets + _PACKET_HEADER.size,
+            data=data,
+        )
+
+    def read(self) -> Iterator[PcapPacket]:
+        """Yield every packet record in file order.
+
+        Frames are zero-copy views into one shared file mapping — iterating
+        a capture holds one mapping, not the whole file plus a copy of every
+        frame.  Copy a frame with ``bytes(packet.frame)`` to keep it after
+        the last view is dropped.
+        """
+        yield from self.read_columns().iter_packets()
 
 
 def write_pcap(path: str | Path, packets: Iterator[tuple[float, bytes]] | list[tuple[float, bytes]]) -> int:
@@ -153,5 +271,17 @@ def write_pcap(path: str | Path, packets: Iterator[tuple[float, bytes]] | list[t
 
 
 def read_pcap(path: str | Path) -> list[PcapPacket]:
-    """Read a whole pcap file into memory."""
-    return list(PcapReader(path).read())
+    """Read a whole pcap file into memory (frames as owned ``bytes``)."""
+    return [
+        PcapPacket(
+            timestamp=packet.timestamp,
+            frame=bytes(packet.frame),
+            original_length=packet.original_length,
+        )
+        for packet in PcapReader(path).read()
+    ]
+
+
+def read_pcap_columns(path: str | Path) -> PcapColumns:
+    """Columnar fast path over a pcap file (see :meth:`PcapReader.read_columns`)."""
+    return PcapReader(path).read_columns()

@@ -1,0 +1,297 @@
+"""Columnar shard sidecars: presence, equivalence, and staleness.
+
+The sidecar (`traces/records.npz`) is a pure cache: with it present, absent,
+or stale, `train --sharded` and `repro attack` must produce byte-identical
+artifacts.  Stale sidecars are additionally *scrambled* here so any read of
+their contents — rather than a fallback to the pcaps — would corrupt the
+output and fail the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli.main import main
+from repro.core.fingerprint import FingerprintAccumulator
+from repro.dataset.sidecar import (
+    SIDECAR_FILENAME,
+    ShardSidecar,
+    fold_shard_sidecar,
+    load_sidecar_cached,
+)
+
+
+@pytest.fixture(scope="module")
+def sharded_dir(tmp_path_factory) -> Path:
+    directory = tmp_path_factory.mktemp("sidecar-dataset")
+    exit_code = main(
+        [
+            "generate-dataset",
+            str(directory),
+            "--viewers",
+            "4",
+            "--seed",
+            "5",
+            "--shards",
+            "2",
+            "--no-cross-traffic",
+        ]
+    )
+    assert exit_code == 0
+    return directory
+
+
+def _copy_dataset(source: Path, destination: Path) -> Path:
+    shutil.copytree(source, destination)
+    return destination
+
+
+def _delete_sidecars(root: Path) -> int:
+    removed = 0
+    for sidecar in root.rglob(SIDECAR_FILENAME):
+        sidecar.unlink()
+        removed += 1
+    return removed
+
+
+def _stale_and_scramble_sidecars(root: Path) -> None:
+    """Make every pcap newer than its sidecar, then corrupt the sidecar so
+    that reading it (instead of falling back to the pcaps) is detectable."""
+    for sidecar in root.rglob(SIDECAR_FILENAME):
+        sidecar.write_bytes(b"not an npz archive, and the wrong size too")
+        future = max(
+            path.stat().st_mtime_ns
+            for path in sidecar.parent.glob("*.pcap")
+        ) + 10_000_000_000
+        for pcap in sidecar.parent.glob("*.pcap"):
+            os.utime(pcap, ns=(future, future))
+
+
+class TestSidecarOnDisk:
+    def test_every_shard_gets_a_sidecar(self, sharded_dir):
+        for shard in ("shard-000", "shard-001"):
+            assert (sharded_dir / shard / "traces" / SIDECAR_FILENAME).is_file()
+
+    def test_sidecar_indexes_every_capture(self, sharded_dir):
+        traces = sharded_dir / "shard-000" / "traces"
+        sidecar = ShardSidecar.load(traces)
+        assert sidecar is not None
+        pcaps = sorted(traces.glob("*.pcap"))
+        assert sidecar.capture_count == len(pcaps)
+        for pcap in pcaps:
+            records = sidecar.records_for(pcap)
+            assert records is not None
+            assert records.record_count == len(records.wire_lengths)
+            assert records.record_count > 0
+            assert records.client_records()
+
+    def test_fold_matches_metadata_counts(self, sharded_dir):
+        shard = sharded_dir / "shard-000"
+        accumulator = FingerprintAccumulator()
+        folded = fold_shard_sidecar(shard, accumulator)
+        assert folded is not None and folded > 0
+
+    def test_cache_revalidates_on_change(self, sharded_dir, tmp_path):
+        copy = _copy_dataset(sharded_dir, tmp_path / "copy")
+        traces = copy / "shard-000" / "traces"
+        assert load_sidecar_cached(traces) is not None
+        (traces / SIDECAR_FILENAME).write_bytes(b"garbage")
+        assert load_sidecar_cached(traces) is None
+
+
+class TestTrainShardedEquivalence:
+    def _train(self, dataset: Path, library: Path, capsys) -> tuple[bytes, str]:
+        exit_code = main(["train", str(dataset), str(library), "--sharded"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        return library.read_bytes(), output
+
+    def test_library_identical_with_and_without_sidecars(
+        self, sharded_dir, tmp_path, capsys
+    ):
+        with_sidecar, output = self._train(
+            sharded_dir, tmp_path / "with.json", capsys
+        )
+        assert "folded 2/2 shard(s) from columnar sidecars" in output
+
+        absent = _copy_dataset(sharded_dir, tmp_path / "absent")
+        assert _delete_sidecars(absent) == 2
+        without_sidecar, output = self._train(
+            absent, tmp_path / "without.json", capsys
+        )
+        assert "folded" not in output
+
+        assert with_sidecar == without_sidecar
+
+    def test_stale_scrambled_sidecars_are_ignored(
+        self, sharded_dir, tmp_path, capsys
+    ):
+        reference, _ = self._train(sharded_dir, tmp_path / "ref.json", capsys)
+
+        stale = _copy_dataset(sharded_dir, tmp_path / "stale")
+        _stale_and_scramble_sidecars(stale)
+        from_pcaps, output = self._train(stale, tmp_path / "stale.json", capsys)
+        assert "folded" not in output
+        assert from_pcaps == reference
+
+    def test_partial_staleness_rejects_the_whole_shard(
+        self, sharded_dir, tmp_path, capsys
+    ):
+        # Touching ONE pcap in shard-000 must stop that shard folding (no
+        # half-stale folds) while shard-001 still folds.
+        mixed = _copy_dataset(sharded_dir, tmp_path / "mixed")
+        victim = sorted((mixed / "shard-000" / "traces").glob("*.pcap"))[0]
+        stamp = victim.stat().st_mtime_ns + 10_000_000_000
+        os.utime(victim, ns=(stamp, stamp))
+        reference, _ = self._train(sharded_dir, tmp_path / "ref2.json", capsys)
+        mixed_bytes, output = self._train(mixed, tmp_path / "mixed.json", capsys)
+        assert "folded 1/2 shard(s) from columnar sidecars" in output
+        assert mixed_bytes == reference
+
+
+class TestAttackEquivalence:
+    def _attack(self, traces: Path, library: Path, log: Path, capsys) -> bytes:
+        exit_code = main(
+            ["attack", str(traces), str(library), "--results-log", str(log)]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        return log.read_bytes()
+
+    @pytest.fixture(scope="class")
+    def library_path(self, sharded_dir, tmp_path_factory) -> Path:
+        library = tmp_path_factory.mktemp("sidecar-lib") / "lib.json"
+        assert main(["train", str(sharded_dir), str(library), "--sharded"]) == 0
+        return library
+
+    def test_results_log_identical_with_and_without_sidecar(
+        self, sharded_dir, library_path, tmp_path, capsys
+    ):
+        with_sidecar = self._attack(
+            sharded_dir / "shard-001" / "traces",
+            library_path,
+            tmp_path / "with.jsonl",
+            capsys,
+        )
+        assert with_sidecar  # the log actually recorded verdicts
+
+        absent = _copy_dataset(sharded_dir, tmp_path / "absent")
+        _delete_sidecars(absent)
+        without_sidecar = self._attack(
+            absent / "shard-001" / "traces",
+            library_path,
+            tmp_path / "without.jsonl",
+            capsys,
+        )
+        assert with_sidecar == without_sidecar
+
+    def test_results_log_identical_with_stale_scrambled_sidecar(
+        self, sharded_dir, library_path, tmp_path, capsys
+    ):
+        reference = self._attack(
+            sharded_dir / "shard-001" / "traces",
+            library_path,
+            tmp_path / "ref.jsonl",
+            capsys,
+        )
+        stale = _copy_dataset(sharded_dir, tmp_path / "stale")
+        _stale_and_scramble_sidecars(stale)
+        from_pcaps = self._attack(
+            stale / "shard-001" / "traces",
+            library_path,
+            tmp_path / "stale.jsonl",
+            capsys,
+        )
+        assert from_pcaps == reference
+
+    def test_sidecar_actually_supplies_the_fast_path(
+        self, sharded_dir, library_path, tmp_path, capsys
+    ):
+        # Corrupt every pcap body while keeping the fresh sidecar: if the
+        # attack still succeeds with the same verdicts, the records came
+        # from the sidecar, not from parsing the (now broken) pcaps.
+        reference = self._attack(
+            sharded_dir / "shard-001" / "traces",
+            library_path,
+            tmp_path / "ref.jsonl",
+            capsys,
+        )
+        hollow = _copy_dataset(sharded_dir, tmp_path / "hollow")
+        traces = hollow / "shard-001" / "traces"
+        sidecar_mtime = (traces / SIDECAR_FILENAME).stat().st_mtime_ns
+        for pcap in traces.glob("*.pcap"):
+            size = pcap.stat().st_size
+            stat = pcap.stat()
+            pcap.write_bytes(b"\x00" * size)  # same size, same mtime below
+            os.utime(pcap, ns=(stat.st_mtime_ns, min(stat.st_mtime_ns, sidecar_mtime)))
+        from_sidecar = self._attack(
+            traces, library_path, tmp_path / "hollow.jsonl", capsys
+        )
+
+        def verdicts(log: bytes) -> list[dict]:
+            lines = [json.loads(line) for line in log.splitlines()]
+            for line in lines:
+                # The log fingerprints the pcap *contents*, which this test
+                # deliberately destroyed; every attack-derived field must
+                # still match because the records came from the sidecar.
+                line.pop("fingerprint")
+            return lines
+
+        assert verdicts(from_sidecar) == verdicts(reference)
+        assert len(verdicts(reference)) > 0
+
+
+class TestSidecarUnitBehaviour:
+    def test_unknown_pcap_is_not_served(self, sharded_dir):
+        traces = sharded_dir / "shard-000" / "traces"
+        sidecar = ShardSidecar.load(traces)
+        assert sidecar.records_for(traces / "no-such-capture.pcap") is None
+
+    def test_size_mismatch_is_not_served(self, sharded_dir, tmp_path):
+        copy = _copy_dataset(sharded_dir, tmp_path / "copy")
+        traces = copy / "shard-000" / "traces"
+        pcap = sorted(traces.glob("*.pcap"))[0]
+        sidecar = ShardSidecar.load(traces)
+        assert sidecar.records_for(pcap) is not None
+        mtime = pcap.stat().st_mtime_ns
+        pcap.write_bytes(pcap.read_bytes() + b"\x00")
+        os.utime(pcap, ns=(mtime, mtime))  # size changed, mtime unchanged
+        assert sidecar.records_for(pcap) is None
+
+    def test_version_bump_invalidates(self, sharded_dir, tmp_path):
+        copy = _copy_dataset(sharded_dir, tmp_path / "copy")
+        traces = copy / "shard-000" / "traces"
+        path = traces / SIDECAR_FILENAME
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays["format_version"] = np.asarray([999], dtype=np.int64)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        assert ShardSidecar.load(traces) is None
+
+    def test_fold_rejects_shard_missing_metadata_entries(
+        self, sharded_dir, tmp_path
+    ):
+        # Remove one capture's sidecar coverage by deleting the pcap from
+        # metadata's perspective: drop the pcap file itself so records_for
+        # fails its stat and the whole shard refuses to fold.
+        copy = _copy_dataset(sharded_dir, tmp_path / "copy")
+        shard = copy / "shard-000"
+        victim = sorted((shard / "traces").glob("*.pcap"))[0]
+        victim.unlink()
+        assert fold_shard_sidecar(shard, FingerprintAccumulator()) is None
+
+    def test_metadata_lists_trace_files(self, sharded_dir):
+        # The fold path resolves metadata trace_file names against the
+        # sidecar index; make sure the dataset layout this test relies on
+        # still holds.
+        metadata = json.loads(
+            (sharded_dir / "shard-000" / "metadata.json").read_text()
+        )
+        assert all("trace_file" in entry for entry in metadata["entries"])

@@ -9,7 +9,15 @@ import pytest
 from repro.exceptions import PcapError
 from repro.net.endpoints import Endpoint, FiveTuple
 from repro.net.packet import Direction, Packet
-from repro.net.pcap import PcapReader, PcapWriter, read_pcap, write_pcap
+from repro.net.pcap import (
+    LINKTYPE_ETHERNET,
+    PCAP_MAGIC,
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    read_pcap_columns,
+    write_pcap,
+)
 
 
 @pytest.fixture()
@@ -70,10 +78,149 @@ class TestPcapRoundTrip:
                 writer.write(0.0, b"")
 
 
+def _write_big_endian_pcap(path, packets) -> None:
+    """Write a classic pcap in the *opposite* byte order, as a big-endian
+    capture host would: magic stored as ``>I`` reads back byte-swapped."""
+    with open(path, "wb") as handle:
+        handle.write(
+            struct.pack(">IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65_535, LINKTYPE_ETHERNET)
+        )
+        for timestamp, frame in packets:
+            seconds = int(timestamp)
+            microseconds = int(round((timestamp - seconds) * 1_000_000))
+            handle.write(
+                struct.pack(">IIII", seconds, microseconds, len(frame), len(frame))
+            )
+            handle.write(frame)
+
+
+class TestByteSwappedMagic:
+    def test_round_trip_matches_native_order(self, tmp_path, sample_frames):
+        native = tmp_path / "native.pcap"
+        swapped = tmp_path / "swapped.pcap"
+        write_pcap(native, sample_frames)
+        _write_big_endian_pcap(swapped, sample_frames)
+        native_packets = read_pcap(native)
+        swapped_packets = read_pcap(swapped)
+        assert len(swapped_packets) == len(sample_frames)
+        for ours, theirs in zip(native_packets, swapped_packets):
+            assert theirs.frame == ours.frame
+            assert theirs.timestamp == ours.timestamp
+            assert theirs.original_length == ours.original_length
+
+    def test_columns_match_native_order(self, tmp_path, sample_frames):
+        native = tmp_path / "native.pcap"
+        swapped = tmp_path / "swapped.pcap"
+        write_pcap(native, sample_frames)
+        _write_big_endian_pcap(swapped, sample_frames)
+        native_columns = read_pcap_columns(native)
+        swapped_columns = read_pcap_columns(swapped)
+        assert swapped_columns.timestamps.tolist() == native_columns.timestamps.tolist()
+        assert (
+            swapped_columns.captured_lengths.tolist()
+            == native_columns.captured_lengths.tolist()
+        )
+        for index in range(len(native_columns)):
+            assert swapped_columns.frame(index) == native_columns.frame(index)
+
+    def test_truncated_body_in_swapped_file(self, tmp_path, sample_frames):
+        path = tmp_path / "swapped.pcap"
+        _write_big_endian_pcap(path, sample_frames)
+        cut = tmp_path / "cut.pcap"
+        cut.write_bytes(path.read_bytes()[:-5])
+        with pytest.raises(PcapError, match="truncated packet body"):
+            read_pcap(cut)
+
+
+class TestColumnarReader:
+    def test_columns_agree_with_packet_iterator(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_frames)
+        columns = read_pcap_columns(path)
+        packets = read_pcap(path)
+        assert columns.packet_count == len(packets) == len(sample_frames)
+        for index, packet in enumerate(packets):
+            assert columns.timestamps[index] == packet.timestamp
+            assert int(columns.captured_lengths[index]) == packet.captured_length
+            assert int(columns.original_lengths[index]) == packet.original_length
+            assert bytes(columns.frame(index)) == packet.frame
+
+    def test_frames_are_zero_copy_views(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_frames)
+        columns = read_pcap_columns(path)
+        frame = columns.frame(0)
+        assert isinstance(frame, memoryview)
+        # The view windows the shared file mapping, not a per-frame copy.
+        assert frame.obj is columns.data.obj
+        for packet in PcapReader(path).read():
+            assert isinstance(packet.frame, memoryview)
+
+    def test_read_pcap_returns_owned_bytes(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_frames)
+        packets = read_pcap(path)
+        assert all(isinstance(packet.frame, bytes) for packet in packets)
+
+    def test_empty_packet_section(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        with PcapWriter(path):
+            pass
+        columns = read_pcap_columns(path)
+        assert columns.packet_count == 0
+        assert read_pcap(path) == []
+
+    def test_snaplen_reflected_in_columns(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        with PcapWriter(path, snaplen=40) as writer:
+            for timestamp, frame in sample_frames:
+                writer.write(timestamp, frame)
+        columns = read_pcap_columns(path)
+        assert columns.captured_lengths.tolist() == [40] * len(sample_frames)
+        assert columns.original_lengths.tolist() == [
+            len(frame) for _, frame in sample_frames
+        ]
+
+
 class TestPcapErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(PcapError):
             read_pcap(tmp_path / "does-not-exist.pcap")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        path.write_bytes(b"")
+        with pytest.raises(PcapError, match="too short"):
+            read_pcap(path)
+
+    def test_truncated_packet_header(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_frames)
+        raw = path.read_bytes()
+        # Keep the global header plus half of the first packet header.
+        (tmp_path / "cut.pcap").write_bytes(raw[: 24 + 8])
+        with pytest.raises(PcapError, match="truncated packet header"):
+            read_pcap(tmp_path / "cut.pcap")
+
+    def test_truncated_header_via_columns(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_frames)
+        (tmp_path / "cut.pcap").write_bytes(path.read_bytes()[: 24 + 8])
+        with pytest.raises(PcapError, match="truncated packet header"):
+            read_pcap_columns(tmp_path / "cut.pcap")
+
+    def test_truncated_body_via_columns(self, tmp_path, sample_frames):
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, sample_frames)
+        (tmp_path / "cut.pcap").write_bytes(path.read_bytes()[:-5])
+        with pytest.raises(PcapError, match="truncated packet body"):
+            read_pcap_columns(tmp_path / "cut.pcap")
+
+    def test_unsupported_link_type(self, tmp_path):
+        path = tmp_path / "lo.pcap"
+        path.write_bytes(struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65_535, 101))
+        with pytest.raises(PcapError, match="unsupported link type"):
+            read_pcap(path)
 
     def test_bad_magic(self, tmp_path):
         path = tmp_path / "bad.pcap"
