@@ -87,6 +87,16 @@ def test_streaming_peak_memory_bounded_by_shard(benchmark, tmp_path):
 
     in_memory_growth = in_memory_large_peak / in_memory_small_peak
     streaming_growth = streaming_large_peak / streaming_small_peak
+    # Feed the memory-scaling ratios into the perf-ratchet: CI gates them
+    # against benchmarks/BENCH_baselines.json alongside the hot-path and
+    # ingest-latency metrics.
+    benchmark.extra_info.update(
+        {
+            "shard_streaming_growth": streaming_growth,
+            "shard_inmemory_growth": in_memory_growth,
+            "shard_peak_ratio": in_memory_large_peak / streaming_large_peak,
+        }
+    )
     print(
         f"\npeak heap, {SMALL_POPULATION} -> {LARGE_POPULATION} viewers "
         f"(shard size {SHARD_SIZE}):\n"

@@ -1,730 +1,144 @@
-"""Implementations of the CLI sub-commands."""
+"""Command handlers: thin adapters from argparse namespaces to job specs.
+
+Each ``cmd_*`` does exactly three things — build the typed spec for its
+sub-command, hand it to a :class:`~repro.jobs.runner.JobRunner` whose event
+bus carries the renderer selected by ``--log-format``, and return 0.  All
+orchestration (and every format string) lives in :mod:`repro.jobs`; the
+CLI owns only the argv surface.  ``tests/test_cli_golden.py`` pins the
+default console output byte-for-byte against the pre-jobs-layer CLI.
+"""
 
 from __future__ import annotations
 
 import argparse
-from pathlib import Path
 
-from repro.core.features import extract_client_records
-from repro.core.fingerprint import FingerprintAccumulator, FingerprintLibrary
-from repro.core.pipeline import AttackResult, WhiteMirrorAttack
-from repro.dataset.collection import collect_dataset, default_study_script
-from repro.dataset.format import (
-    METADATA_FILENAME,
-    load_dataset_metadata,
-    session_config_from_metadata,
+from repro.ingest.tasks import DEFAULT_CLIENT_IP  # noqa: F401 - CLI help text
+from repro.jobs import (
+    AttackJob,
+    EventBus,
+    GenerateJob,
+    InspectJob,
+    JobRunner,
+    JobSpec,
+    MergeFingerprintsJob,
+    ReproduceJob,
+    StitchJob,
+    TrainJob,
+    WatchJob,
+    renderer_for,
 )
-from repro.dataset.iitm import DatasetSummary, IITMBandersnatchDataset
-from repro.dataset.population import viewers_from_metadata_entries
-from repro.dataset.sidecar import fold_shard_sidecar
-from repro.dataset.shards import (
-    SHARD_GENERATED,
-    SHARDS_MANIFEST_FILENAME,
-    ShardedDataset,
-    discover_shard_directories,
-    generate_shard_subset,
-    generate_sharded_dataset,
-    iter_shard_training_sessions,
-    load_consistent_shard_metadata,
-    merge_shard_summaries,
-    parse_shard_selection,
-    stitch_sharded_dataset,
-)
-from repro.exceptions import DatasetError, ReproError
-from repro.experiments.report import format_table
-from repro.ingest.service import (
-    SKIP_ALREADY_ATTACKED,
-    SKIP_UNREADABLE,
-    StreamingAttackService,
-)
-from repro.ingest.tasks import (
-    DEFAULT_CLIENT_IP,
-    build_pcap_task,
-    metadata_entries_near,
-)
-from repro.net.capture import CapturedTrace
-from repro.net.packet import Direction
-from repro.streaming.session import SessionConfig
-from repro.utils.stats import summarize
 
 
-def _print_summary(summary: DatasetSummary) -> None:
-    print(
-        f"viewers={summary.viewer_count} conditions={summary.distinct_conditions} "
-        f"choices={summary.total_choices} packets={summary.total_packets}"
-    )
+def _run(arguments: argparse.Namespace, spec: JobSpec) -> int:
+    """Execute ``spec`` with the renderer the user picked; exit code 0."""
+    renderer = renderer_for(getattr(arguments, "log_format", "console"))
+    JobRunner(bus=EventBus(renderer)).run(spec)
+    return 0
 
 
 def cmd_generate_dataset(arguments: argparse.Namespace) -> int:
-    """``repro generate-dataset``: build and persist a synthetic dataset.
-
-    Generation always streams: each viewer's session is persisted as the
-    engine completes it, so peak memory is bounded by the in-flight window
-    (and, with ``--shards``, per-shard state) rather than the population.
-    """
-    config = SessionConfig(cross_traffic_enabled=not arguments.no_cross_traffic)
-    progress = lambda done, total: print(f"  {done}/{total} sessions", end="\r")  # noqa: E731
-    if arguments.resume and arguments.shards is None:
-        raise ReproError("--resume requires --shards (only sharded runs checkpoint)")
-    if arguments.shard_workers is not None and arguments.shards is None:
-        raise ReproError(
-            "--shard-workers requires --shards (only sharded runs fan whole "
-            "shards out)"
-        )
-    if arguments.only_shards is not None and arguments.shards is None:
-        raise ReproError(
-            "--only-shards requires --shards (the selection names shards of "
-            "the full plan)"
-        )
-    if arguments.shards is not None:
-        verb = "resuming" if arguments.resume else "generating"
-        # A shard reports e.g. "quarantined+generated" when a partial copy was
-        # moved aside before regeneration.
-        shard_states: dict[str, list[str]] = {}
-        record_state = lambda shard, state: shard_states.setdefault(  # noqa: E731
-            shard.dirname, []
-        ).append(state)
-        if arguments.only_shards is not None:
-            selection = parse_shard_selection(arguments.only_shards, arguments.shards)
-            print(
-                f"{verb} shards {','.join(str(i) for i in selection)} of "
-                f"{arguments.viewers} viewers (seed {arguments.seed}) "
-                f"across {arguments.shards} shards..."
-            )
-            summaries = generate_shard_subset(
-                arguments.output,
-                viewer_count=arguments.viewers,
-                shard_count=arguments.shards,
-                only_shards=selection,
-                seed=arguments.seed,
-                config=config,
-                workers=arguments.workers,
-                shard_workers=arguments.shard_workers,
-                write_pcaps=not arguments.no_pcaps,
-                progress=progress,
-                resume=arguments.resume,
-                status=record_state,
-            )
-            print()
-            for shard in summaries:
-                state = "+".join(shard_states.get(shard.directory, [SHARD_GENERATED]))
-                print(f"  {shard.directory}: viewers={shard.viewer_count} [{state}]")
-            print(
-                f"wrote {len(summaries)} of {arguments.shards} shards under "
-                f"{arguments.output} (no manifest; once every machine's "
-                "shards sit under one root, publish it with `repro stitch`)"
-            )
-            _print_summary(merge_shard_summaries(summaries))
-            return 0
-        print(
-            f"{verb} {arguments.viewers} viewers (seed {arguments.seed}) "
-            f"across {arguments.shards} shards..."
-        )
-        dataset = generate_sharded_dataset(
-            arguments.output,
-            viewer_count=arguments.viewers,
-            shard_count=arguments.shards,
+    """Handle ``repro generate-dataset``."""
+    return _run(
+        arguments,
+        GenerateJob(
+            output=arguments.output,
+            viewers=arguments.viewers,
             seed=arguments.seed,
-            config=config,
-            workers=arguments.workers,
-            shard_workers=arguments.shard_workers,
             write_pcaps=not arguments.no_pcaps,
-            progress=progress,
+            cross_traffic=not arguments.no_cross_traffic,
+            shards=arguments.shards,
             resume=arguments.resume,
-            status=record_state,
-        )
-        print()
-        for shard in dataset.shard_summaries:
-            state = "+".join(shard_states.get(shard.directory, [SHARD_GENERATED]))
-            print(f"  {shard.directory}: viewers={shard.viewer_count} [{state}]")
-        print(f"wrote {dataset.manifest_path}")
-        _print_summary(dataset.summary())
-        return 0
-    print(f"generating {arguments.viewers} viewers (seed {arguments.seed})...")
-    metadata_path, summary = IITMBandersnatchDataset.generate_streaming(
-        arguments.output,
-        viewer_count=arguments.viewers,
-        seed=arguments.seed,
-        config=config,
-        progress=progress,
-        workers=arguments.workers,
-        write_pcaps=not arguments.no_pcaps,
+            shard_workers=arguments.shard_workers,
+            only_shards=arguments.only_shards,
+            workers=arguments.workers,
+        ),
     )
-    print()
-    print(f"wrote {metadata_path}")
-    _print_summary(summary)
-    return 0
-
-
-def _print_fingerprints(library: FingerprintLibrary, output: str) -> None:
-    rows = [
-        {
-            "environment": key,
-            "type1_band": f"{library.get(key).type1_band.low}-{library.get(key).type1_band.high}",
-            "type2_band": f"{library.get(key).type2_band.low}-{library.get(key).type2_band.high}",
-            "training_records": library.get(key).training_records,
-        }
-        for key in sorted(library.condition_keys)
-    ]
-    print(format_table(rows, "Learned fingerprints"))
-    print(f"wrote {output}")
-
-
-def _train_sharded(arguments: argparse.Namespace, directory: Path) -> int:
-    """``repro train --sharded``: fold a sharded dataset in shard by shard.
-
-    The whole sharded dataset is the attacker's calibration corpus (held-out
-    evaluation splits are the experiment drivers' job), so every shard's
-    sessions are re-simulated lazily and folded into the fingerprint
-    accumulator — peak memory holds one engine window of sessions regardless
-    of the population size, and the resulting library is identical to batch
-    training over every session at once.
-
-    A *subset root* — shard directories written by ``--only-shards`` with no
-    ``shards.json`` manifest yet — also trains: the machine folds in whatever
-    shards it holds locally, and ``--save-state`` serialises the running
-    accumulator so the per-machine states can later be combined with
-    ``repro merge-fingerprints`` into exactly the library one machine
-    training over the stitched root would learn.
-
-    Shards carrying a fresh columnar sidecar (``traces/records.npz``, see
-    :mod:`repro.dataset.sidecar`) skip re-simulation entirely: their
-    recorded wire lengths and ground-truth label codes fold straight into
-    the accumulator.  The fold is per-record identical to re-simulating, so
-    the saved library (and any ``--save-state`` file) is byte-for-byte the
-    same with sidecars, without them, or with any mix.
-    """
-    if arguments.train_fraction is not None:
-        raise ReproError(
-            "--train-fraction applies to single-directory training only; "
-            "--sharded uses the whole sharded dataset as calibration data"
-        )
-    workers = getattr(arguments, "workers", None)
-    if (directory / SHARDS_MANIFEST_FILENAME).exists() or (
-        directory / METADATA_FILENAME
-    ).exists():
-        # A stitched/complete root (or a single dataset directory, which
-        # ShardedDataset.load rejects with guidance).
-        dataset = ShardedDataset.load(directory)
-        viewer_count = dataset.viewer_count
-        shard_directories = dataset.shard_directories()
-        print(
-            f"incrementally training on {viewer_count} viewers across "
-            f"{dataset.shard_count} shards..."
-        )
-    else:
-        try:
-            found = discover_shard_directories(directory)
-        except DatasetError as error:
-            raise DatasetError(
-                f"{directory} is not a sharded dataset root: no "
-                f"{SHARDS_MANIFEST_FILENAME} manifest and no shard-NNN "
-                "directories (generate one with `repro generate-dataset "
-                "--shards N`)"
-            ) from error
-        metadata_by_shard = load_consistent_shard_metadata(found)
-        viewer_count = sum(
-            int(metadata["viewer_count"]) for metadata in metadata_by_shard
-        )
-        shard_directories = [path for _index, path in found]
-        print(
-            f"incrementally training on {viewer_count} viewers across "
-            f"{len(found)} local shard(s) of an unstitched subset root..."
-        )
-    attack = WhiteMirrorAttack(graph=default_study_script(), band_margin=arguments.margin)
-    accumulator = FingerprintAccumulator()
-    pending: list[Path] = []
-    folded_shards = 0
-    folded_records = 0
-    for shard_directory in shard_directories:
-        folded = fold_shard_sidecar(shard_directory, accumulator)
-        if folded is None:
-            pending.append(shard_directory)
-        else:
-            folded_shards += 1
-            folded_records += folded
-    if folded_shards:
-        print(
-            f"  folded {folded_shards}/{len(shard_directories)} shard(s) from "
-            f"columnar sidecars ({folded_records} records, no re-simulation)"
-        )
-    if pending:
-        attack.train_incremental(
-            (
-                iter_shard_training_sessions(path, workers=workers)
-                for path in pending
-            ),
-            progress=lambda folded: print(f"  {folded} session(s) re-simulated", end="\r"),
-            accumulator=accumulator,
-        )
-        print()
-    else:
-        # Every shard folded from its sidecar; finalise the accumulated
-        # state directly (train_incremental would reject zero sessions).
-        accumulator.finalize_into(attack.library, margin=arguments.margin)
-    if getattr(arguments, "save_state", None):
-        accumulator.save(arguments.save_state)
-        print(f"wrote accumulator state to {arguments.save_state}")
-    attack.library.save(arguments.output)
-    _print_fingerprints(attack.library, arguments.output)
-    return 0
 
 
 def cmd_stitch(arguments: argparse.Namespace) -> int:
-    """``repro stitch``: verify rsync'd shards and publish the manifest.
-
-    The distributed-generation closing step: machines that split one plan
-    with ``generate-dataset --only-shards`` copy their shard directories
-    under one root, and stitching validates the union against the recorded
-    seed, session configuration and story-graph fingerprint — without
-    regenerating or re-reading a single pcap — then writes ``shards.json``.
-    """
-    print(f"stitching shards under {arguments.root}...")
-    dataset = stitch_sharded_dataset(
-        arguments.root,
-        status=lambda shard, state: print(
-            f"  {shard.dirname}: viewers={shard.viewer_count} [{state}]"
-        ),
-    )
-    print(f"wrote {dataset.manifest_path}")
-    _print_summary(dataset.summary())
-    return 0
-
-
-def cmd_merge_fingerprints(arguments: argparse.Namespace) -> int:
-    """``repro merge-fingerprints``: fold per-machine calibration states.
-
-    Each input is the accumulator state a machine saved with ``repro train
-    --sharded --save-state``; the states merge like shard summaries (band
-    extremes fold, record counts add) and finalise into a fingerprint
-    library identical — byte for byte — to single-machine training over the
-    union of the machines' shards.
-    """
-    merged = FingerprintAccumulator()
-    for path in arguments.states:
-        state = FingerprintAccumulator.load(path)
-        merged.merge(state)
-        print(
-            f"  folded {path}: {len(state.condition_keys)} environment(s), "
-            f"{state.record_count} records"
-        )
-    if arguments.save_state:
-        merged.save(arguments.save_state)
-        print(f"wrote merged accumulator state to {arguments.save_state}")
-    library = FingerprintLibrary()
-    merged.finalize_into(library, margin=arguments.margin)
-    library.save(arguments.output)
-    _print_fingerprints(library, arguments.output)
-    return 0
+    """Handle ``repro stitch``."""
+    return _run(arguments, StitchJob(root=arguments.root))
 
 
 def cmd_train(arguments: argparse.Namespace) -> int:
-    """``repro train``: learn fingerprints from a saved dataset's pcaps.
-
-    The ground-truth labels needed for training do not live in the pcaps (by
-    design), so training re-simulates the calibration viewers' sessions from
-    the dataset metadata — exactly what the researcher who generated the
-    dataset can do, and what a real attacker does by recording their own
-    sessions.  The viewers are rebuilt from the metadata entries, so any
-    saved dataset directory works, including a single shard of a sharded
-    population; ``--sharded`` instead walks a whole sharded dataset root
-    shard by shard with bounded memory.
-    """
-    directory = Path(arguments.dataset)
-    if arguments.sharded:
-        return _train_sharded(arguments, directory)
-    if getattr(arguments, "save_state", None):
-        raise ReproError(
-            "--save-state requires --sharded (accumulator state is the "
-            "incremental training path's running calibration)"
-        )
-    train_fraction = (
-        0.5 if arguments.train_fraction is None else arguments.train_fraction
+    """Handle ``repro train``."""
+    return _run(
+        arguments,
+        TrainJob(
+            dataset=arguments.dataset,
+            output=arguments.output,
+            train_fraction=arguments.train_fraction,
+            sharded=arguments.sharded,
+            margin=arguments.margin,
+            save_state=arguments.save_state,
+            workers=arguments.workers,
+        ),
     )
-    if not 0.0 < train_fraction < 1.0:
-        raise ReproError(
-            f"--train-fraction must be in (0, 1), got {train_fraction}"
-        )
-    try:
-        metadata = load_dataset_metadata(directory)
-    except DatasetError as error:
-        if (directory / SHARDS_MANIFEST_FILENAME).exists():
-            raise DatasetError(
-                f"{directory} is a sharded dataset root (it has a "
-                f"{SHARDS_MANIFEST_FILENAME}); train on it with --sharded, or "
-                "point at one of its shard directories"
-            ) from error
-        raise
-    seed = _dataset_seed_from_metadata(metadata)
-    graph = default_study_script()
-    viewers = viewers_from_metadata_entries(metadata["entries"], directory)
-    # Replay under the configuration that produced the dataset's pcaps;
-    # datasets from before configs were recorded fall back to defaults.
-    config = session_config_from_metadata(metadata) or SessionConfig()
-    points = collect_dataset(
-        viewers,
-        dataset_seed=seed,
-        graph=graph,
-        config=config,
-        workers=getattr(arguments, "workers", None),
+
+
+def cmd_merge_fingerprints(arguments: argparse.Namespace) -> int:
+    """Handle ``repro merge-fingerprints``."""
+    return _run(
+        arguments,
+        MergeFingerprintsJob(
+            states=tuple(arguments.states),
+            output=arguments.output,
+            margin=arguments.margin,
+            save_state=arguments.save_state,
+        ),
     )
-    dataset = IITMBandersnatchDataset(
-        points=points, graph=graph, seed=seed, config=config
-    )
-    train_points, _ = dataset.train_test_split(test_fraction=1.0 - train_fraction)
-    attack = WhiteMirrorAttack(graph=dataset.graph, band_margin=arguments.margin)
-    attack.train([point.session for point in train_points])
-    attack.library.save(arguments.output)
-    _print_fingerprints(attack.library, arguments.output)
-    return 0
-
-
-def _dataset_seed_from_metadata(metadata: dict) -> int:
-    """Seed the dataset was generated from (stored by ``generate-dataset``)."""
-    if "seed" not in metadata:
-        raise ReproError(
-            "dataset metadata does not record its generation seed; "
-            "re-run `repro generate-dataset` (or pass the labelled sessions "
-            "to WhiteMirrorAttack.train directly)"
-        )
-    return int(metadata["seed"])
-
-
-def _choice_rows(result: AttackResult) -> list[dict[str, object]]:
-    return [
-        {
-            "question": event.index + 1,
-            "shown_at_s": round(event.question_shown_at, 2),
-            "choice": "default" if event.took_default else "NON-DEFAULT",
-        }
-        for event in result.inferred.events
-    ]
-
-
-def _print_profile(result: AttackResult) -> None:
-    if result.profile is None:
-        return
-    trait_rows = [
-        {"trait": trait, "revealed_value": label}
-        for trait, label in result.profile.as_dict().items()
-    ]
-    print()
-    print(format_table(trait_rows, "Behavioural profile implied by the recovered path"))
 
 
 def cmd_attack(arguments: argparse.Namespace) -> int:
-    """``repro attack``: recover choices from a pcap or a directory of pcaps."""
-    target = Path(arguments.pcap)
-    if target.is_dir():
-        return _attack_directory(arguments, target)
-    if getattr(arguments, "results_log", None):
-        # Fail at the point of misuse, not in a consumer that later finds
-        # the log was never written.
-        raise ReproError(
-            "--results-log applies to directory targets; attack the "
-            "capture's directory to log its verdict"
-        )
-    return _attack_single(arguments, target)
-
-
-def _attack_single(arguments: argparse.Namespace, target: Path) -> int:
-    entry = metadata_entries_near(target.parent).get(target.name)
-    task = build_pcap_task(
-        target,
-        entry,
-        environment=arguments.environment,
-        client_ip=arguments.client_ip,
-        server_ip=arguments.server_ip,
+    """Handle ``repro attack``."""
+    return _run(
+        arguments,
+        AttackJob(
+            target=arguments.pcap,
+            library=arguments.fingerprints,
+            environment=arguments.environment,
+            client_ip=arguments.client_ip,
+            server_ip=arguments.server_ip,
+            results_log=arguments.results_log,
+            workers=arguments.workers,
+        ),
     )
-    library = FingerprintLibrary.load(arguments.fingerprints)
-    attack = WhiteMirrorAttack(graph=default_study_script(), library=library)
-    result = attack.attack_pcap(
-        task.path,
-        condition_key=task.condition_key,
-        client_ip=task.client_ip,
-        server_ip=task.server_ip,
-    )
-    print(format_table(_choice_rows(result), f"Recovered choices ({task.condition_key})"))
-    _print_profile(result)
-    return 0
-
-
-def _directory_pcaps(target: Path) -> tuple[Path, list[Path]]:
-    """The capture files of a directory target, in name order."""
-    pcaps = sorted(target.glob("*.pcap"))
-    if not pcaps and (target / "traces").is_dir():
-        # A dataset directory was given; its captures live one level down.
-        target = target / "traces"
-        pcaps = sorted(target.glob("*.pcap"))
-    if not pcaps:
-        raise ReproError(f"no .pcap files found under {target}")
-    return target, pcaps
-
-
-def _build_attack_service(
-    arguments: argparse.Namespace, log_path: str | None
-) -> StreamingAttackService:
-    """The one capture→verdict code path both attack modes run through."""
-    library = FingerprintLibrary.load(arguments.fingerprints)
-    return StreamingAttackService(
-        library=library,
-        log_path=log_path,
-        workers=getattr(arguments, "workers", None),
-        environment=arguments.environment,
-        client_ip=arguments.client_ip,
-        server_ip=arguments.server_ip,
-    )
-
-
-def _print_aggregate_line(fresh: list, total_captures: int) -> None:
-    recovered_choices = sum(verdict.choice_count for verdict in fresh)
-    correct_questions = sum(verdict.correct_questions for verdict in fresh)
-    truth_questions = sum(verdict.question_count for verdict in fresh)
-    aggregate = (
-        f"aggregate: attacked {len(fresh)}/{total_captures} captures, "
-        f"recovered {recovered_choices} choices"
-    )
-    if truth_questions:
-        accuracy = correct_questions / truth_questions
-        aggregate += (
-            f", choice accuracy {correct_questions}/{truth_questions} "
-            f"({accuracy:.1%})"
-        )
-    else:
-        aggregate += " (no ground truth available)"
-    print(aggregate)
-
-
-def _attack_directory(arguments: argparse.Namespace, target: Path) -> int:
-    target, pcaps = _directory_pcaps(target)
-    service = _build_attack_service(
-        arguments, getattr(arguments, "results_log", None)
-    )
-    skip_reasons: list[str] = []
-
-    def on_skip(path: Path, reason: str) -> None:
-        skip_reasons.append(reason)
-        print(f"skipping {path.name}: {reason}")
-
-    def on_verdict(verdict, result: AttackResult) -> None:
-        title = f"Recovered choices — {verdict.capture} ({verdict.condition_key})"
-        print(format_table(_choice_rows(result), title))
-        print()
-
-    fresh = service.process(pcaps, on_verdict=on_verdict, on_skip=on_skip)
-    if not fresh and SKIP_ALREADY_ATTACKED not in skip_reasons:
-        # Nothing was attacked and nothing resumed: the batch caller made an
-        # error upstream; name the dominant cause with its fix.
-        if any("--environment" in reason for reason in skip_reasons):
-            raise ReproError(
-                f"cannot determine the environment of the captures under "
-                f"{target}: pass --environment or attack captures that sit "
-                "next to their dataset metadata.json"
-            )
-        if SKIP_UNREADABLE in skip_reasons:
-            raise ReproError(
-                f"no readable captures under {target}: every .pcap vanished "
-                "or failed to read (rotated away by its writer?)"
-            )
-        if all("fingerprint library" in reason for reason in skip_reasons):
-            raise ReproError(
-                "no attackable captures: none of the environments are in "
-                "the fingerprint library"
-            )
-        raise ReproError(
-            f"no attackable captures under {target}: every capture was "
-            "skipped (see the reasons above)"
-        )
-    _print_aggregate_line(fresh, len(pcaps))
-    if service.log_path is not None:
-        print(f"wrote verdicts to {service.log_path}")
-    return 0
 
 
 def cmd_watch(arguments: argparse.Namespace) -> int:
-    """``repro watch``: attack captures as they land in a drop directory.
-
-    The online counterpart of ``repro attack`` over a directory, sharing its
-    capture→verdict code path (:class:`StreamingAttackService`): detected
-    captures are attacked as they finish landing, each verdict is durably
-    appended to the results log, and a running aggregate-accuracy table
-    follows every batch.  ``--once`` drains the directory and exits — over a
-    quiescent directory its results log is byte-identical to ``repro attack
-    --results-log`` on the same pcaps.  A restarted watch resumes from the
-    log, skipping captures already attacked (by content fingerprint).
-    """
-    directory = Path(arguments.directory)
-    if not directory.is_dir():
-        # Checked before the service builds its results log (which defaults
-        # into this directory), so the error names the actual mistake.
-        raise ReproError(
-            f"capture drop directory {directory} does not exist (create it "
-            "before watching, or point at a dataset's traces/)"
-        )
-    log_path = arguments.results_log or str(directory / "results.jsonl")
-    arguments.fingerprints = arguments.library
-    service = _build_attack_service(arguments, log_path)
-    resumed = len(service.verdicts)
-    if resumed:
-        print(f"resuming: {resumed} verdict(s) already in {log_path}")
-
-    def on_skip(path: Path, reason: str) -> None:
-        print(f"skipping {path.name}: {reason}")
-
-    def on_verdict(verdict, result: AttackResult) -> None:
-        pattern = "".join("d" if choice else "N" for choice in verdict.pattern)
-        scored = (
-            f", {verdict.correct_questions}/{verdict.question_count} correct"
-            if verdict.truth is not None
-            else ""
-        )
-        print(
-            f"verdict: {verdict.capture} ({verdict.condition_key}) "
-            f"pattern={pattern or '-'}{scored}"
-        )
-        print(format_table(service.aggregate_rows(), "Running aggregate accuracy"))
-        print()
-
-    try:
-        service.run(
-            directory,
+    """Handle ``repro watch``."""
+    return _run(
+        arguments,
+        WatchJob(
+            directory=arguments.directory,
+            library=arguments.library,
             follow=arguments.follow,
+            results_log=arguments.results_log,
             poll_interval=arguments.poll_interval,
-            on_verdict=on_verdict,
-            on_skip=on_skip,
-            on_error=lambda error: print(f"batch failed, still watching: {error}"),
-        )
-    except KeyboardInterrupt:
-        print("\nstopped")
-    print(
-        f"results log: {log_path} "
-        f"({len(service.verdicts)} verdict(s) total)"
+            environment=arguments.environment,
+            client_ip=arguments.client_ip,
+            server_ip=arguments.server_ip,
+            workers=arguments.workers,
+        ),
     )
-    return 0
-
-
-def cmd_inspect(arguments: argparse.Namespace) -> int:
-    """``repro inspect``: summarise a capture file."""
-    trace = CapturedTrace.from_pcap(
-        arguments.pcap, client_ip=arguments.client_ip, server_ip="0.0.0.0"
-    )
-    table = trace.flow_table()
-    flow_rows = []
-    for flow in table.flows:
-        flow_rows.append(
-            {
-                "flow": flow.five_tuple.key,
-                "packets": flow.packet_count(),
-                "uplink_bytes": flow.payload_bytes(Direction.CLIENT_TO_SERVER),
-                "downlink_bytes": flow.payload_bytes(Direction.SERVER_TO_CLIENT),
-            }
-        )
-    print(format_table(flow_rows, f"Flows in {arguments.pcap}"))
-    records = extract_client_records(trace)
-    lengths = [record.wire_length for record in records]
-    stats = summarize(lengths)
-    print()
-    print(f"client TLS records on the largest flow: {len(records)}")
-    print(
-        f"record lengths: min={stats.minimum:.0f} median={stats.median:.0f} "
-        f"p95={stats.p95:.0f} max={stats.maximum:.0f}"
-    )
-    return 0
 
 
 def cmd_reproduce(arguments: argparse.Namespace) -> int:
-    """``repro reproduce``: run the paper-reproduction experiments."""
-    from repro.experiments import (
-        reproduce_baseline_comparison,
-        reproduce_defense_ablation,
-        reproduce_figure1,
-        reproduce_figure2,
-        reproduce_headline,
-        reproduce_table1,
+    """Handle ``repro reproduce``."""
+    return _run(
+        arguments,
+        ReproduceJob(
+            experiment=arguments.experiment,
+            quick=arguments.quick,
+            dataset=arguments.dataset,
+            workers=arguments.workers,
+        ),
     )
-    from repro.experiments.conditions import figure2_condition_names
 
-    chosen = arguments.experiment
-    quick = arguments.quick
-    workers = getattr(arguments, "workers", None)
 
-    if getattr(arguments, "dataset", None) is not None:
-        from repro.experiments import reproduce_headline_from_dataset
-
-        if chosen not in ("all", "headline"):
-            raise ReproError(
-                "--dataset drives the headline experiment; combine it with "
-                "--experiment headline (or all)"
-            )
-        if chosen == "all":
-            # Don't let the default "--experiment all" silently narrow: say
-            # what runs (the other artefacts need simulated condition grids).
-            print(
-                "note: --dataset drives the headline experiment only; "
-                "table1/figure1/figure2/baselines/defenses need simulated runs"
-            )
-        result = reproduce_headline_from_dataset(
-            arguments.dataset,
-            training_sessions_per_environment=1 if quick else 2,
-            workers=workers,
-        )
-        print(
-            format_table(
-                result.rows(),
-                f"Section V — choice recovery over {arguments.dataset}",
-            )
-        )
-        print(
-            f"calibrated on {result.training_sessions} sessions, evaluated "
-            f"{result.evaluated_sessions}; worst case: "
-            f"{result.worst_case_accuracy:.4f} "
-            f"(paper: {result.paper_worst_case_accuracy:.2f})"
-        )
-        return 0
-
-    if chosen in ("all", "table1"):
-        result = reproduce_table1(viewer_count=20 if quick else 100)
-        print(format_table(result.rows, "Table I — IITM-Bandersnatch attributes"))
-        print()
-    if chosen in ("all", "figure1"):
-        result = reproduce_figure1()
-        print("Figure 1 — streaming process walkthrough")
-        print("=" * 41)
-        for kind, detail in result.protocol_events:
-            print(f"  {kind:<22s} {detail}")
-        print(f"matches the paper's description: {result.matches_paper_description()}")
-        print()
-    if chosen in ("all", "figure2"):
-        result = reproduce_figure2(
-            sessions_per_condition=1 if quick else 4, workers=workers
-        )
-        names = figure2_condition_names()
-        for distribution in result.distributions:
-            title = names[distribution.condition.fingerprint_key]
-            print(format_table(distribution.rows(), f"Figure 2 — {title}"))
-            print()
-    if chosen in ("all", "headline"):
-        result = reproduce_headline(
-            sessions_per_condition=2 if quick else 10,
-            training_sessions_per_condition=1 if quick else 2,
-            workers=workers,
-        )
-        print(format_table(result.rows(), "Section V — choice recovery accuracy"))
-        print(
-            f"worst case: {result.worst_case_accuracy:.4f} "
-            f"(paper: {result.paper_worst_case_accuracy:.2f})"
-        )
-        print()
-    if chosen in ("all", "baselines"):
-        result = reproduce_baseline_comparison(
-            train_count=2 if quick else 6, test_count=2 if quick else 6, workers=workers
-        )
-        print(format_table(result.rows(), "Ablation A — baselines vs White Mirror"))
-        print()
-    if chosen in ("all", "defenses"):
-        result = reproduce_defense_ablation(
-            train_count=2 if quick else 4, test_count=2 if quick else 4, workers=workers
-        )
-        print(format_table(result.rows(), "Ablation B — countermeasures"))
-        print()
-    return 0
+def cmd_inspect(arguments: argparse.Namespace) -> int:
+    """Handle ``repro inspect``."""
+    return _run(
+        arguments,
+        InspectJob(pcap=arguments.pcap, client_ip=arguments.client_ip),
+    )

@@ -21,6 +21,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
+            "architecture:\n"
+            "  every sub-command is a thin adapter over the repro.jobs layer:\n"
+            "  argv builds a typed, serialisable job spec (repro.jobs.specs),\n"
+            "  a JobRunner executes it against a workspace and names each\n"
+            "  durable output as a content-fingerprinted artifact, and the\n"
+            "  run narrates through a structured event bus instead of\n"
+            "  printing.  --log-format picks the renderer: the default\n"
+            "  `console` reproduces the classic terminal output byte for\n"
+            "  byte, `jsonl` emits one {\"event\": ...} JSON line per event\n"
+            "  for pipelines and services.  written artifacts (datasets,\n"
+            "  libraries, results logs) are byte-identical either way\n"
+            "\n"
             "distributed generation:\n"
             "  split one generation plan across machines, then stitch:\n"
             "    machine A: repro generate-dataset ROOT --viewers 1000 "
@@ -85,7 +97,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--log-format",
+        choices=["console", "jsonl"],
+        default="console",
+        help=(
+            "how to narrate the run: 'console' (default) prints the classic "
+            "human-readable output; 'jsonl' emits one JSON line per "
+            "structured job event for machine consumers"
+        ),
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_log_format_argument(subparser: argparse.ArgumentParser) -> None:
+        # Registered per sub-command too (with SUPPRESS, so a subparser
+        # default never clobbers the top-level value) purely so the flag
+        # may also appear after the sub-command name.
+        subparser.add_argument(
+            "--log-format",
+            choices=["console", "jsonl"],
+            default=argparse.SUPPRESS,
+            help=argparse.SUPPRESS,
+        )
 
     def add_workers_argument(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument(
@@ -155,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_workers_argument(generate)
+    add_log_format_argument(generate)
     generate.set_defaults(handler=commands.cmd_generate_dataset)
 
     stitch = subparsers.add_parser(
@@ -171,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
             "plan (the union of every machine's --only-shards output)"
         ),
     )
+    add_log_format_argument(stitch)
     stitch.set_defaults(handler=commands.cmd_stitch)
 
     train = subparsers.add_parser(
@@ -209,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_workers_argument(train)
+    add_log_format_argument(train)
     train.set_defaults(handler=commands.cmd_train)
 
     merge = subparsers.add_parser(
@@ -244,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
             "merges (merge the merges)"
         ),
     )
+    add_log_format_argument(merge)
     merge.set_defaults(handler=commands.cmd_merge_fingerprints)
 
     attack = subparsers.add_parser(
@@ -289,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_workers_argument(attack)
+    add_log_format_argument(attack)
     attack.set_defaults(handler=commands.cmd_attack)
 
     watch = subparsers.add_parser(
@@ -362,6 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="streaming server IP (default: from metadata, else the largest flow)",
     )
     add_workers_argument(watch)
+    add_log_format_argument(watch)
     watch.set_defaults(handler=commands.cmd_watch)
 
     reproduce = subparsers.add_parser(
@@ -389,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_workers_argument(reproduce)
+    add_log_format_argument(reproduce)
     reproduce.set_defaults(handler=commands.cmd_reproduce)
 
     inspect = subparsers.add_parser(
@@ -397,6 +437,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("pcap", help="capture file to inspect")
     inspect.add_argument("--client-ip", default="192.168.1.23", help="viewer's IP in the capture")
+    add_log_format_argument(inspect)
     inspect.set_defaults(handler=commands.cmd_inspect)
 
     return parser

@@ -272,7 +272,10 @@ class WhiteMirrorAttack:
         a band depends only on the extreme labelled lengths, which fold.
 
         ``progress``, when given, is invoked with the running session count
-        after each session is folded.  ``accumulator`` lets the caller supply
+        after each session is folded (the job runner adapts it onto the
+        structured event bus as unsized ``progress`` events, so incremental
+        training narrates identically to a terminal or a JSONL consumer).
+        ``accumulator`` lets the caller supply
         (and keep) the running state — a machine participating in distributed
         calibration folds its local shards in, serialises the accumulator
         (:meth:`FingerprintAccumulator.save`), and the per-machine states are

@@ -10,10 +10,10 @@ process-pool execution; both produce byte-identical data points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from repro.dataset.population import Viewer
-from repro.engine.executor import BatchExecutor
+from repro.engine.executor import BatchExecutor, ProgressCallback
 from repro.engine.plan import SessionPlan
 from repro.exceptions import DatasetError
 from repro.media.manifest import MediaManifest, build_manifest
@@ -138,7 +138,7 @@ def collect_dataset(
     dataset_seed: int = 0,
     graph: StoryGraph | None = None,
     config: SessionConfig | None = None,
-    progress: Callable[[int, int], None] | None = None,
+    progress: ProgressCallback | None = None,
     workers: int | None = None,
     executor: BatchExecutor | None = None,
 ) -> list[DataPoint]:
@@ -180,7 +180,7 @@ def iter_collect_dataset(
     dataset_seed: int = 0,
     graph: StoryGraph | None = None,
     config: SessionConfig | None = None,
-    progress: Callable[[int, int], None] | None = None,
+    progress: ProgressCallback | None = None,
     workers: int | None = None,
     executor: BatchExecutor | None = None,
     window: int | None = None,

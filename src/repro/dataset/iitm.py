@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.client.profiles import OperationalCondition
 from repro.dataset.attributes import table1_rows
@@ -22,6 +22,7 @@ from repro.dataset.collection import (
 )
 from repro.dataset.format import DatasetWriter, save_dataset_metadata
 from repro.dataset.population import Viewer, attribute_marginals, generate_population
+from repro.engine.executor import ProgressCallback
 from repro.exceptions import DatasetError
 from repro.narrative.graph import StoryGraph
 from repro.streaming.session import SessionConfig
@@ -119,7 +120,7 @@ class IITMBandersnatchDataset:
         seed: int = 0,
         graph: StoryGraph | None = None,
         config: SessionConfig | None = None,
-        progress: Callable[[int, int], None] | None = None,
+        progress: ProgressCallback | None = None,
         workers: int | None = None,
     ) -> "IITMBandersnatchDataset":
         """Generate the full dataset (population + one session per viewer).
@@ -148,7 +149,7 @@ class IITMBandersnatchDataset:
         seed: int = 0,
         graph: StoryGraph | None = None,
         config: SessionConfig | None = None,
-        progress: Callable[[int, int], None] | None = None,
+        progress: ProgressCallback | None = None,
         workers: int | None = None,
         write_pcaps: bool = True,
     ) -> tuple[Path, DatasetSummary]:

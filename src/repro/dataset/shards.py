@@ -61,7 +61,7 @@ from repro.dataset.format import (
     load_dataset_metadata,
     session_config_from_metadata,
 )
-from repro.engine.executor import BatchExecutor, resolve_workers
+from repro.engine.executor import BatchExecutor, ProgressCallback, resolve_workers
 from repro.dataset.iitm import DatasetSummary, SummaryAccumulator
 from repro.dataset.loader import LoadedDataPoint, iter_released_points
 from repro.dataset.population import (
@@ -324,6 +324,27 @@ def quarantine_partial_shard(shard_directory: str | Path) -> Path:
     )
 
 
+def require_generating_graph(
+    recorded_fingerprint: object,
+    graph: StoryGraph,
+    location: str | Path,
+) -> None:
+    """Refuse to replay or stitch against the wrong story graph.
+
+    Every consumer that re-derives sessions from stored metadata (training
+    replay, stitching) must run against the graph that generated the data —
+    otherwise replayed sessions silently diverge from the stored traces.
+    Pre-fingerprint datasets (``recorded_fingerprint`` is ``None``) are let
+    through for backwards compatibility.
+    """
+    if recorded_fingerprint is not None and recorded_fingerprint != graph.fingerprint():
+        raise DatasetError(
+            f"dataset at {location} was generated with a different story "
+            "graph than the one supplied; derived sessions would not match "
+            "the stored traces (pass the generating graph)"
+        )
+
+
 def iter_shard_training_sessions(
     shard_directory: str | Path,
     graph: StoryGraph | None = None,
@@ -353,14 +374,9 @@ def iter_shard_training_sessions(
             "generation seed, so its labelled sessions cannot be re-simulated"
         )
     graph = graph or default_study_script()
-    recorded_fingerprint = metadata.get("graph_fingerprint")
-    if recorded_fingerprint is not None and recorded_fingerprint != graph.fingerprint():
-        raise DatasetError(
-            f"dataset at {shard_directory} was generated with a different "
-            "story graph than the one supplied for re-simulation; replayed "
-            "sessions would not match the stored traces (pass the "
-            "generating graph)"
-        )
+    require_generating_graph(
+        metadata.get("graph_fingerprint"), graph, shard_directory
+    )
     viewers = viewers_from_metadata_entries(metadata["entries"], shard_directory)
     if viewer_filter is not None:
         viewers = [viewer for viewer in viewers if viewer_filter(viewer)]
@@ -912,7 +928,7 @@ def _generate_shards(
     shard_workers: int | None,
     write_pcaps: bool,
     dataset_name: str,
-    progress: Callable[[int, int], None] | None,
+    progress: ProgressCallback | None,
     resume: bool,
     status: Callable[[ShardSlice, str], None] | None,
 ) -> list[ShardSummary]:
@@ -1019,7 +1035,7 @@ def generate_sharded_dataset(
     shard_workers: int | None = None,
     write_pcaps: bool = True,
     dataset_name: str = "iitm-bandersnatch-synthetic",
-    progress: Callable[[int, int], None] | None = None,
+    progress: ProgressCallback | None = None,
     resume: bool = False,
     status: Callable[[ShardSlice, str], None] | None = None,
 ) -> ShardedDataset:
@@ -1116,7 +1132,7 @@ def generate_shard_subset(
     shard_workers: int | None = None,
     write_pcaps: bool = True,
     dataset_name: str = "iitm-bandersnatch-synthetic",
-    progress: Callable[[int, int], None] | None = None,
+    progress: ProgressCallback | None = None,
     resume: bool = False,
     status: Callable[[ShardSlice, str], None] | None = None,
 ) -> list[ShardSummary]:
@@ -1352,13 +1368,7 @@ def stitch_sharded_dataset(
             f"{','.join(str(index) for index in missing)}` or rsync the "
             "missing machine's output into place"
         )
-    recorded_fingerprint = reference.get("graph_fingerprint")
-    if recorded_fingerprint is not None and recorded_fingerprint != graph.fingerprint():
-        raise DatasetError(
-            f"shards under {directory} were generated with a different story "
-            "graph than the one supplied for stitching; pass the generating "
-            "graph"
-        )
+    require_generating_graph(reference.get("graph_fingerprint"), graph, directory)
     seed = int(reference["seed"])
     dataset_name = str(reference["name"])
     config = session_config_from_metadata(dict(reference))

@@ -37,7 +37,11 @@ R = TypeVar("R")
 
 #: Progress callback signature: ``(completed, total)``.  The streaming
 #: methods pass ``total=None`` when the input is an unsized iterable (a live
-#: source whose length is unknowable up front).
+#: source whose length is unknowable up front).  This is the one progress
+#: contract shared across the stack: the dataset generators annotate their
+#: ``progress`` parameters with it, and the jobs layer
+#: (:class:`repro.jobs.runner.JobRunner`) implements it with adapters that
+#: emit structured ``progress`` events on the run's event bus.
 ProgressCallback = Callable[[int, "int | None"], None]
 
 

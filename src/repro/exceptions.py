@@ -61,6 +61,13 @@ class IngestError(ReproError):
     """
 
 
+class JobError(ReproError):
+    """Raised by the jobs layer: an unserialisable or wrong-schema job
+    spec, an artifact that cannot be fingerprinted, or an event no
+    attached renderer knows how to surface.
+    """
+
+
 class FingerprintError(AttackError):
     """Raised when a record-length fingerprint is malformed or not trained."""
 

@@ -21,6 +21,14 @@ trailing line (crash mid-append) is repaired on load, and an in-flight
 capture that never finished landing is simply re-offered by the watcher once
 it completes — so a kill-and-restart cycle converges on exactly one verdict
 per capture.
+
+The service never prints: everything it observes surfaces through the
+``on_verdict``/``on_skip``/``on_error`` callbacks, which the job runner
+(:class:`repro.jobs.runner.JobRunner`) adapts onto the structured event
+bus — each callback becomes a ``verdict``/``capture-skipped``/``warning``
+:class:`~repro.jobs.events.JobEvent`, so the same run narrates to a
+terminal, a JSONL pipeline, or a coordinator's feed depending only on the
+attached sinks.
 """
 
 from __future__ import annotations

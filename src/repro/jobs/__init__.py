@@ -1,0 +1,66 @@
+"""The jobs application layer: typed specs, an artifact-aware runner,
+and a structured event bus.
+
+This package is the seam between *what a run is* and *how it is invoked*:
+
+* :mod:`repro.jobs.specs` — frozen, schema-versioned job specifications
+  that round-trip through ``to_dict``/``from_dict`` (the wire format a
+  fleet coordinator would lease to workers);
+* :mod:`repro.jobs.runner` — :class:`JobRunner` executes a spec against a
+  :class:`~repro.jobs.artifacts.Workspace`, returning a typed
+  :class:`~repro.jobs.runner.JobResult` that names every durable output as
+  a content-fingerprinted :class:`~repro.jobs.artifacts.Artifact`;
+* :mod:`repro.jobs.events` / :mod:`repro.jobs.renderers` — runners emit
+  semantic :class:`~repro.jobs.events.JobEvent`\\ s instead of printing;
+  the console renderer reproduces the historical terminal output
+  byte-for-byte and the JSONL renderer feeds machine consumers
+  (``repro --log-format jsonl``).
+
+The CLI in :mod:`repro.cli` is a thin adapter over this layer: parse
+arguments, build a spec, run it, let the chosen renderer narrate.
+"""
+
+from repro.jobs.artifacts import Artifact, Workspace, fingerprint_path
+from repro.jobs.events import EventBus, EventSink, JobEvent
+from repro.jobs.renderers import ConsoleRenderer, JsonlRenderer, renderer_for
+from repro.jobs.runner import JobResult, JobRunner
+from repro.jobs.specs import (
+    SCHEMA_VERSION,
+    SPEC_CLASSES,
+    AttackJob,
+    GenerateJob,
+    InspectJob,
+    JobSpec,
+    MergeFingerprintsJob,
+    ReproduceJob,
+    StitchJob,
+    TrainJob,
+    WatchJob,
+    job_from_dict,
+)
+
+__all__ = [
+    "Artifact",
+    "AttackJob",
+    "ConsoleRenderer",
+    "EventBus",
+    "EventSink",
+    "GenerateJob",
+    "InspectJob",
+    "JobEvent",
+    "JobResult",
+    "JobRunner",
+    "JobSpec",
+    "JsonlRenderer",
+    "MergeFingerprintsJob",
+    "ReproduceJob",
+    "SCHEMA_VERSION",
+    "SPEC_CLASSES",
+    "StitchJob",
+    "TrainJob",
+    "WatchJob",
+    "Workspace",
+    "fingerprint_path",
+    "job_from_dict",
+    "renderer_for",
+]

@@ -1,0 +1,103 @@
+"""The workspace / artifact-store abstraction beneath the job runner.
+
+A :class:`Workspace` anchors a run's paths and names its durable outputs —
+dataset roots, fingerprint libraries, results logs, accumulator states — as
+:class:`Artifact`\\ s with **content fingerprints** (SHA-256 over bytes for
+files, over the sorted ``(relative path, file digest)`` tree for
+directories).  The fingerprint is the artifact's identity: a future fleet
+coordinator can hand a worker a job spec, receive the resulting artifact
+descriptors, and verify — without re-reading anything — that two machines
+produced the same bytes, exactly the way the results log already dedupes
+captures by content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import JobError
+
+#: Artifact kinds.
+FILE = "file"
+DIRECTORY = "directory"
+
+
+def _file_digest(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def fingerprint_path(path: str | Path) -> str:
+    """Content fingerprint of a file, or of a directory's whole tree.
+
+    Directories fold their files in sorted relative-path order, so two
+    trees with identical contents fingerprint identically regardless of
+    where they live or how they were assembled (generated in place,
+    rsync'd together, stitched...).
+    """
+    path = Path(path)
+    if path.is_file():
+        return _file_digest(path)
+    if path.is_dir():
+        digest = hashlib.sha256()
+        for member in sorted(
+            member for member in path.rglob("*") if member.is_file()
+        ):
+            relative = member.relative_to(path).as_posix()
+            digest.update(relative.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(_file_digest(member).encode("ascii"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+    raise JobError(f"cannot fingerprint {path}: no such file or directory")
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One named, content-addressed output of a job."""
+
+    name: str
+    path: str
+    kind: str
+    fingerprint: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class Workspace:
+    """Resolves a run's paths and names its outputs as artifacts.
+
+    ``root`` anchors relative paths (defaulting to the current working
+    directory, which is exactly how the CLI has always resolved its path
+    arguments); absolute paths pass through untouched, so a spec built
+    from CLI arguments behaves identically under any workspace.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else Path.cwd()
+
+    def resolve(self, path: str | Path) -> Path:
+        path = Path(path)
+        return path if path.is_absolute() else self.root / path
+
+    def artifact(self, name: str, path: str | Path) -> Artifact:
+        """Describe a durable output: resolve it, fingerprint its content."""
+        resolved = self.resolve(path)
+        kind = DIRECTORY if resolved.is_dir() else FILE
+        return Artifact(
+            name=name,
+            path=str(path),
+            kind=kind,
+            fingerprint=fingerprint_path(resolved),
+        )

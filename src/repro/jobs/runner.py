@@ -1,0 +1,953 @@
+"""The job runner: executes a typed spec against a workspace, emitting events.
+
+This is the application layer the CLI used to fuse into its command
+handlers: one ``_run_*`` method per :mod:`repro.jobs.specs` class, each
+orchestrating the same domain calls the old ``cmd_*`` made — but reporting
+through the :class:`~repro.jobs.events.EventBus` instead of printing, and
+returning a typed :class:`JobResult` naming every durable output as a
+content-fingerprinted :class:`~repro.jobs.artifacts.Artifact`.
+
+The progress callbacks threaded into the dataset, ingest and engine layers
+(:data:`repro.engine.executor.ProgressCallback` — ``(done, total)`` with
+``total=None`` when unsized) are adapted onto the bus here, so those
+subsystems stay renderer-agnostic: the same run narrates to a terminal, a
+JSONL pipeline, or a future coordinator's event feed depending only on
+which sinks are attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.core.features import extract_client_records
+from repro.core.fingerprint import FingerprintAccumulator, FingerprintLibrary
+from repro.core.pipeline import AttackResult, WhiteMirrorAttack
+from repro.dataset.collection import collect_dataset, default_study_script
+from repro.dataset.format import (
+    METADATA_FILENAME,
+    load_dataset_metadata,
+    session_config_from_metadata,
+)
+from repro.dataset.iitm import DatasetSummary, IITMBandersnatchDataset
+from repro.dataset.population import viewers_from_metadata_entries
+from repro.dataset.shards import (
+    SHARD_GENERATED,
+    SHARDS_MANIFEST_FILENAME,
+    ShardedDataset,
+    discover_shard_directories,
+    generate_shard_subset,
+    generate_sharded_dataset,
+    iter_shard_training_sessions,
+    load_consistent_shard_metadata,
+    merge_shard_summaries,
+    parse_shard_selection,
+    stitch_sharded_dataset,
+)
+from repro.dataset.sidecar import fold_shard_sidecar
+from repro.engine.executor import ProgressCallback
+from repro.exceptions import DatasetError, JobError, ReproError
+from repro.ingest.service import (
+    SKIP_ALREADY_ATTACKED,
+    SKIP_UNREADABLE,
+    StreamingAttackService,
+)
+from repro.ingest.tasks import build_pcap_task, metadata_entries_near
+from repro.jobs import events as ev
+from repro.jobs.artifacts import Artifact, Workspace
+from repro.jobs.events import EventBus
+from repro.jobs.specs import (
+    AttackJob,
+    GenerateJob,
+    InspectJob,
+    JobSpec,
+    MergeFingerprintsJob,
+    ReproduceJob,
+    StitchJob,
+    TrainJob,
+    WatchJob,
+)
+from repro.net.capture import CapturedTrace
+from repro.net.packet import Direction
+from repro.streaming.session import SessionConfig
+from repro.utils.stats import summarize
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """What a completed job produced: artifacts plus summary numbers."""
+
+    job: str
+    artifacts: tuple[Artifact, ...] = ()
+    summary: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "job": self.job,
+            "artifacts": [artifact.to_dict() for artifact in self.artifacts],
+            "summary": dict(self.summary),
+        }
+
+
+class JobRunner:
+    """Executes job specs against a workspace, narrating through a bus."""
+
+    def __init__(self, bus: EventBus, workspace: Workspace | None = None) -> None:
+        self._bus = bus
+        self._workspace = workspace if workspace is not None else Workspace()
+        self._runners: dict[type[JobSpec], Callable[[JobSpec], JobResult]] = {
+            GenerateJob: self._run_generate,
+            TrainJob: self._run_train,
+            StitchJob: self._run_stitch,
+            MergeFingerprintsJob: self._run_merge_fingerprints,
+            AttackJob: self._run_attack,
+            WatchJob: self._run_watch,
+            ReproduceJob: self._run_reproduce,
+            InspectJob: self._run_inspect,
+        }
+
+    @property
+    def workspace(self) -> Workspace:
+        return self._workspace
+
+    def run(self, spec: JobSpec) -> JobResult:
+        """Validate and execute ``spec``; emits a final ``result`` event."""
+        runner = self._runners.get(type(spec))
+        if runner is None:
+            raise JobError(
+                f"no runner for job spec {type(spec).__name__}; known kinds: "
+                f"{sorted(cls.KIND for cls in self._runners)}"
+            )
+        spec.validate()
+        result = runner(spec)
+        self._bus.emit(ev.RESULT, **result.to_dict())
+        return result
+
+    # -- shared emit helpers -----------------------------------------------
+
+    def _emit_summary(self, summary: DatasetSummary) -> None:
+        self._bus.emit(
+            ev.DATASET_SUMMARY,
+            viewers=summary.viewer_count,
+            conditions=summary.distinct_conditions,
+            choices=summary.total_choices,
+            packets=summary.total_packets,
+        )
+
+    def _emit_fingerprints(self, library: FingerprintLibrary, output: str) -> None:
+        rows = [
+            {
+                "environment": key,
+                "type1_band": (
+                    f"{library.get(key).type1_band.low}-"
+                    f"{library.get(key).type1_band.high}"
+                ),
+                "type2_band": (
+                    f"{library.get(key).type2_band.low}-"
+                    f"{library.get(key).type2_band.high}"
+                ),
+                "training_records": library.get(key).training_records,
+            }
+            for key in sorted(library.condition_keys)
+        ]
+        self._bus.emit(ev.FINGERPRINTS, rows=rows, output=output)
+
+    def _session_progress(self) -> ProgressCallback:
+        return lambda done, total: self._bus.emit(
+            ev.PROGRESS, completed=done, total=total, unit="sessions"
+        )
+
+    # -- generate ----------------------------------------------------------
+
+    def _run_generate(self, spec: GenerateJob) -> JobResult:
+        """Build and persist a synthetic dataset (streaming generation).
+
+        Generation always streams: each viewer's session is persisted as
+        the engine completes it, so peak memory is bounded by the in-flight
+        window (and, with shards, per-shard state) rather than the
+        population.
+        """
+        config = SessionConfig(cross_traffic_enabled=spec.cross_traffic)
+        progress = self._session_progress()
+        dataset_artifact = lambda: self._workspace.artifact("dataset", spec.output)  # noqa: E731
+        if spec.shards is not None:
+            verb = "resuming" if spec.resume else "generating"
+            # A shard reports e.g. "quarantined+generated" when a partial
+            # copy was moved aside before regeneration.
+            shard_states: dict[str, list[str]] = {}
+            record_state = lambda shard, state: shard_states.setdefault(  # noqa: E731
+                shard.dirname, []
+            ).append(state)
+            if spec.only_shards is not None:
+                selection = parse_shard_selection(spec.only_shards, spec.shards)
+                self._bus.emit(
+                    ev.GENERATION_STARTED,
+                    verb=verb,
+                    viewers=spec.viewers,
+                    seed=spec.seed,
+                    shards=spec.shards,
+                    selection=list(selection),
+                )
+                summaries = generate_shard_subset(
+                    spec.output,
+                    viewer_count=spec.viewers,
+                    shard_count=spec.shards,
+                    only_shards=selection,
+                    seed=spec.seed,
+                    config=config,
+                    workers=spec.workers,
+                    shard_workers=spec.shard_workers,
+                    write_pcaps=spec.write_pcaps,
+                    progress=progress,
+                    resume=spec.resume,
+                    status=record_state,
+                )
+                self._bus.emit(ev.PROGRESS_FINISHED)
+                for shard in summaries:
+                    state = "+".join(
+                        shard_states.get(shard.directory, [SHARD_GENERATED])
+                    )
+                    self._bus.emit(
+                        ev.SHARD_COMPLETE,
+                        shard=shard.directory,
+                        viewers=shard.viewer_count,
+                        state=state,
+                    )
+                self._bus.emit(
+                    ev.SUBSET_WRITTEN,
+                    written=len(summaries),
+                    planned=spec.shards,
+                    root=spec.output,
+                )
+                merged = merge_shard_summaries(summaries)
+                self._emit_summary(merged)
+                return JobResult(
+                    job=spec.KIND,
+                    artifacts=(dataset_artifact(),),
+                    summary={
+                        "viewers": merged.viewer_count,
+                        "shards_written": len(summaries),
+                        "shards_planned": spec.shards,
+                    },
+                )
+            self._bus.emit(
+                ev.GENERATION_STARTED,
+                verb=verb,
+                viewers=spec.viewers,
+                seed=spec.seed,
+                shards=spec.shards,
+                selection=None,
+            )
+            dataset = generate_sharded_dataset(
+                spec.output,
+                viewer_count=spec.viewers,
+                shard_count=spec.shards,
+                seed=spec.seed,
+                config=config,
+                workers=spec.workers,
+                shard_workers=spec.shard_workers,
+                write_pcaps=spec.write_pcaps,
+                progress=progress,
+                resume=spec.resume,
+                status=record_state,
+            )
+            self._bus.emit(ev.PROGRESS_FINISHED)
+            for shard in dataset.shard_summaries:
+                state = "+".join(shard_states.get(shard.directory, [SHARD_GENERATED]))
+                self._bus.emit(
+                    ev.SHARD_COMPLETE,
+                    shard=shard.directory,
+                    viewers=shard.viewer_count,
+                    state=state,
+                )
+            self._bus.emit(ev.ARTIFACT_WRITTEN, path=str(dataset.manifest_path))
+            summary = dataset.summary()
+            self._emit_summary(summary)
+            return JobResult(
+                job=spec.KIND,
+                artifacts=(dataset_artifact(),),
+                summary={
+                    "viewers": summary.viewer_count,
+                    "shards": spec.shards,
+                },
+            )
+        self._bus.emit(
+            ev.GENERATION_STARTED,
+            verb="generating",
+            viewers=spec.viewers,
+            seed=spec.seed,
+            shards=None,
+            selection=None,
+        )
+        metadata_path, summary = IITMBandersnatchDataset.generate_streaming(
+            spec.output,
+            viewer_count=spec.viewers,
+            seed=spec.seed,
+            config=config,
+            progress=progress,
+            workers=spec.workers,
+            write_pcaps=spec.write_pcaps,
+        )
+        self._bus.emit(ev.PROGRESS_FINISHED)
+        self._bus.emit(ev.ARTIFACT_WRITTEN, path=str(metadata_path))
+        self._emit_summary(summary)
+        return JobResult(
+            job=spec.KIND,
+            artifacts=(dataset_artifact(),),
+            summary={"viewers": summary.viewer_count},
+        )
+
+    # -- train -------------------------------------------------------------
+
+    def _run_train(self, spec: TrainJob) -> JobResult:
+        """Learn fingerprints from a saved dataset's pcaps.
+
+        The ground-truth labels needed for training do not live in the
+        pcaps (by design), so training re-simulates the calibration
+        viewers' sessions from the dataset metadata; ``sharded`` walks a
+        whole sharded dataset root shard by shard with bounded memory.
+        """
+        directory = Path(spec.dataset)
+        if spec.sharded:
+            return self._train_sharded(spec, directory)
+        train_fraction = (
+            0.5 if spec.train_fraction is None else spec.train_fraction
+        )
+        try:
+            metadata = load_dataset_metadata(directory)
+        except DatasetError as error:
+            if (directory / SHARDS_MANIFEST_FILENAME).exists():
+                raise DatasetError(
+                    f"{directory} is a sharded dataset root (it has a "
+                    f"{SHARDS_MANIFEST_FILENAME}); train on it with --sharded, "
+                    "or point at one of its shard directories"
+                ) from error
+            raise
+        seed = _dataset_seed_from_metadata(metadata)
+        graph = default_study_script()
+        viewers = viewers_from_metadata_entries(metadata["entries"], directory)
+        # Replay under the configuration that produced the dataset's pcaps;
+        # datasets from before configs were recorded fall back to defaults.
+        config = session_config_from_metadata(metadata) or SessionConfig()
+        points = collect_dataset(
+            viewers,
+            dataset_seed=seed,
+            graph=graph,
+            config=config,
+            workers=spec.workers,
+        )
+        dataset = IITMBandersnatchDataset(
+            points=points, graph=graph, seed=seed, config=config
+        )
+        train_points, _ = dataset.train_test_split(
+            test_fraction=1.0 - train_fraction
+        )
+        attack = WhiteMirrorAttack(graph=dataset.graph, band_margin=spec.margin)
+        attack.train([point.session for point in train_points])
+        attack.library.save(spec.output)
+        self._emit_fingerprints(attack.library, spec.output)
+        return JobResult(
+            job=spec.KIND,
+            artifacts=(self._workspace.artifact("fingerprint-library", spec.output),),
+            summary={"environments": len(attack.library.condition_keys)},
+        )
+
+    def _train_sharded(self, spec: TrainJob, directory: Path) -> JobResult:
+        """Fold a sharded dataset into the fingerprints shard by shard.
+
+        The whole sharded dataset is the attacker's calibration corpus
+        (held-out evaluation splits are the experiment drivers' job), so
+        every shard's sessions are re-simulated lazily and folded into the
+        fingerprint accumulator — peak memory holds one engine window of
+        sessions regardless of the population size, and the resulting
+        library is identical to batch training over every session at once.
+
+        A *subset root* — shard directories written by ``--only-shards``
+        with no ``shards.json`` manifest yet — also trains: the machine
+        folds in whatever shards it holds locally, and ``save_state``
+        serialises the running accumulator so the per-machine states can
+        later be combined with ``repro merge-fingerprints`` into exactly
+        the library one machine training over the stitched root would
+        learn.
+
+        Shards carrying a fresh columnar sidecar (``traces/records.npz``,
+        see :mod:`repro.dataset.sidecar`) skip re-simulation entirely:
+        their recorded wire lengths and ground-truth label codes fold
+        straight into the accumulator, per-record identical to
+        re-simulating.
+        """
+        if (directory / SHARDS_MANIFEST_FILENAME).exists() or (
+            directory / METADATA_FILENAME
+        ).exists():
+            # A stitched/complete root (or a single dataset directory, which
+            # ShardedDataset.load rejects with guidance).
+            dataset = ShardedDataset.load(directory)
+            viewer_count = dataset.viewer_count
+            shard_directories = dataset.shard_directories()
+            self._bus.emit(
+                ev.TRAINING_STARTED,
+                viewers=viewer_count,
+                shards=dataset.shard_count,
+                subset=False,
+            )
+        else:
+            try:
+                found = discover_shard_directories(directory)
+            except DatasetError as error:
+                raise DatasetError(
+                    f"{directory} is not a sharded dataset root: no "
+                    f"{SHARDS_MANIFEST_FILENAME} manifest and no shard-NNN "
+                    "directories (generate one with `repro generate-dataset "
+                    "--shards N`)"
+                ) from error
+            metadata_by_shard = load_consistent_shard_metadata(found)
+            viewer_count = sum(
+                int(metadata["viewer_count"]) for metadata in metadata_by_shard
+            )
+            shard_directories = [path for _index, path in found]
+            self._bus.emit(
+                ev.TRAINING_STARTED,
+                viewers=viewer_count,
+                shards=len(found),
+                subset=True,
+            )
+        attack = WhiteMirrorAttack(
+            graph=default_study_script(), band_margin=spec.margin
+        )
+        accumulator = FingerprintAccumulator()
+        pending: list[Path] = []
+        folded_shards = 0
+        folded_records = 0
+        for shard_directory in shard_directories:
+            folded = fold_shard_sidecar(shard_directory, accumulator)
+            if folded is None:
+                pending.append(shard_directory)
+            else:
+                folded_shards += 1
+                folded_records += folded
+        if folded_shards:
+            self._bus.emit(
+                ev.SIDECAR_FOLDED,
+                folded=folded_shards,
+                shards=len(shard_directories),
+                records=folded_records,
+            )
+        if pending:
+            attack.train_incremental(
+                (
+                    iter_shard_training_sessions(path, workers=spec.workers)
+                    for path in pending
+                ),
+                progress=lambda folded: self._bus.emit(
+                    ev.PROGRESS,
+                    completed=folded,
+                    total=None,
+                    unit="resimulated-sessions",
+                ),
+                accumulator=accumulator,
+            )
+            self._bus.emit(ev.PROGRESS_FINISHED)
+        else:
+            # Every shard folded from its sidecar; finalise the accumulated
+            # state directly (train_incremental would reject zero sessions).
+            accumulator.finalize_into(attack.library, margin=spec.margin)
+        artifacts: list[Artifact] = []
+        if spec.save_state:
+            accumulator.save(spec.save_state)
+            self._bus.emit(
+                ev.ARTIFACT_WRITTEN,
+                path=spec.save_state,
+                label="accumulator-state",
+            )
+            artifacts.append(
+                self._workspace.artifact("accumulator-state", spec.save_state)
+            )
+        attack.library.save(spec.output)
+        self._emit_fingerprints(attack.library, spec.output)
+        artifacts.insert(
+            0, self._workspace.artifact("fingerprint-library", spec.output)
+        )
+        return JobResult(
+            job=spec.KIND,
+            artifacts=tuple(artifacts),
+            summary={
+                "environments": len(attack.library.condition_keys),
+                "viewers": viewer_count,
+            },
+        )
+
+    # -- stitch ------------------------------------------------------------
+
+    def _run_stitch(self, spec: StitchJob) -> JobResult:
+        """Verify rsync'd shards and publish the merged manifest.
+
+        The distributed-generation closing step: machines that split one
+        plan with ``generate-dataset --only-shards`` copy their shard
+        directories under one root, and stitching validates the union
+        against the recorded seed, session configuration and story-graph
+        fingerprint — without regenerating or re-reading a single pcap —
+        then writes ``shards.json``.
+        """
+        self._bus.emit(ev.STITCH_STARTED, root=spec.root)
+        dataset = stitch_sharded_dataset(
+            spec.root,
+            status=lambda shard, state: self._bus.emit(
+                ev.SHARD_COMPLETE,
+                shard=shard.dirname,
+                viewers=shard.viewer_count,
+                state=state,
+            ),
+        )
+        self._bus.emit(ev.ARTIFACT_WRITTEN, path=str(dataset.manifest_path))
+        summary = dataset.summary()
+        self._emit_summary(summary)
+        return JobResult(
+            job=spec.KIND,
+            artifacts=(
+                self._workspace.artifact("manifest", dataset.manifest_path),
+            ),
+            summary={"viewers": summary.viewer_count},
+        )
+
+    # -- merge-fingerprints ------------------------------------------------
+
+    def _run_merge_fingerprints(self, spec: MergeFingerprintsJob) -> JobResult:
+        """Fold per-machine calibration states into one library.
+
+        Each input is the accumulator state a machine saved with ``repro
+        train --sharded --save-state``; the states merge like shard
+        summaries (band extremes fold, record counts add) and finalise into
+        a fingerprint library identical — byte for byte — to
+        single-machine training over the union of the machines' shards.
+        """
+        merged = FingerprintAccumulator()
+        for path in spec.states:
+            state = FingerprintAccumulator.load(path)
+            merged.merge(state)
+            self._bus.emit(
+                ev.STATE_FOLDED,
+                path=path,
+                environments=len(state.condition_keys),
+                records=state.record_count,
+            )
+        artifacts: list[Artifact] = []
+        if spec.save_state:
+            merged.save(spec.save_state)
+            self._bus.emit(
+                ev.ARTIFACT_WRITTEN,
+                path=spec.save_state,
+                label="merged-accumulator-state",
+            )
+            artifacts.append(
+                self._workspace.artifact("accumulator-state", spec.save_state)
+            )
+        library = FingerprintLibrary()
+        merged.finalize_into(library, margin=spec.margin)
+        library.save(spec.output)
+        self._emit_fingerprints(library, spec.output)
+        artifacts.insert(
+            0, self._workspace.artifact("fingerprint-library", spec.output)
+        )
+        return JobResult(
+            job=spec.KIND,
+            artifacts=tuple(artifacts),
+            summary={"environments": len(library.condition_keys)},
+        )
+
+    # -- attack ------------------------------------------------------------
+
+    def _run_attack(self, spec: AttackJob) -> JobResult:
+        """Recover choices from a pcap or a directory of pcaps."""
+        target = Path(spec.target)
+        if target.is_dir():
+            return self._attack_directory(spec, target)
+        if spec.results_log:
+            # Fail at the point of misuse, not in a consumer that later
+            # finds the log was never written.
+            raise ReproError(
+                "--results-log applies to directory targets; attack the "
+                "capture's directory to log its verdict"
+            )
+        return self._attack_single(spec, target)
+
+    def _attack_single(self, spec: AttackJob, target: Path) -> JobResult:
+        entry = metadata_entries_near(target.parent).get(target.name)
+        task = build_pcap_task(
+            target,
+            entry,
+            environment=spec.environment,
+            client_ip=spec.client_ip,
+            server_ip=spec.server_ip,
+        )
+        library = FingerprintLibrary.load(spec.library)
+        attack = WhiteMirrorAttack(graph=default_study_script(), library=library)
+        result = attack.attack_pcap(
+            task.path,
+            condition_key=task.condition_key,
+            client_ip=task.client_ip,
+            server_ip=task.server_ip,
+        )
+        self._bus.emit(
+            ev.CHOICES_RECOVERED,
+            capture=None,
+            condition_key=task.condition_key,
+            rows=_choice_rows(result),
+        )
+        if result.profile is not None:
+            self._bus.emit(
+                ev.PROFILE,
+                rows=[
+                    {"trait": trait, "revealed_value": label}
+                    for trait, label in result.profile.as_dict().items()
+                ],
+            )
+        return JobResult(
+            job=spec.KIND,
+            summary={"choices": len(result.inferred.events)},
+        )
+
+    def _build_attack_service(
+        self, spec: AttackJob | WatchJob, log_path: str | None
+    ) -> StreamingAttackService:
+        """The one capture→verdict code path both attack modes run through."""
+        library = FingerprintLibrary.load(spec.library)
+        return StreamingAttackService(
+            library=library,
+            log_path=log_path,
+            workers=spec.workers,
+            environment=spec.environment,
+            client_ip=spec.client_ip,
+            server_ip=spec.server_ip,
+        )
+
+    def _attack_directory(self, spec: AttackJob, target: Path) -> JobResult:
+        target, pcaps = _directory_pcaps(target)
+        service = self._build_attack_service(spec, spec.results_log)
+        skip_reasons: list[str] = []
+
+        def on_skip(path: Path, reason: str) -> None:
+            skip_reasons.append(reason)
+            self._bus.emit(ev.CAPTURE_SKIPPED, capture=path.name, reason=reason)
+
+        def on_verdict(verdict, result: AttackResult) -> None:
+            self._bus.emit(
+                ev.CHOICES_RECOVERED,
+                capture=verdict.capture,
+                condition_key=verdict.condition_key,
+                rows=_choice_rows(result),
+            )
+
+        fresh = service.process(pcaps, on_verdict=on_verdict, on_skip=on_skip)
+        if not fresh and SKIP_ALREADY_ATTACKED not in skip_reasons:
+            # Nothing was attacked and nothing resumed: the batch caller
+            # made an error upstream; name the dominant cause with its fix.
+            if any("--environment" in reason for reason in skip_reasons):
+                raise ReproError(
+                    f"cannot determine the environment of the captures under "
+                    f"{target}: pass --environment or attack captures that sit "
+                    "next to their dataset metadata.json"
+                )
+            if SKIP_UNREADABLE in skip_reasons:
+                raise ReproError(
+                    f"no readable captures under {target}: every .pcap vanished "
+                    "or failed to read (rotated away by its writer?)"
+                )
+            if all("fingerprint library" in reason for reason in skip_reasons):
+                raise ReproError(
+                    "no attackable captures: none of the environments are in "
+                    "the fingerprint library"
+                )
+            raise ReproError(
+                f"no attackable captures under {target}: every capture was "
+                "skipped (see the reasons above)"
+            )
+        self._bus.emit(
+            ev.AGGREGATE,
+            attacked=len(fresh),
+            total=len(pcaps),
+            choices=sum(verdict.choice_count for verdict in fresh),
+            correct=sum(verdict.correct_questions for verdict in fresh),
+            questions=sum(verdict.question_count for verdict in fresh),
+        )
+        artifacts: tuple[Artifact, ...] = ()
+        if service.log_path is not None:
+            self._bus.emit(
+                ev.ARTIFACT_WRITTEN,
+                path=str(service.log_path),
+                label="results-log",
+            )
+            artifacts = (
+                self._workspace.artifact("results-log", service.log_path),
+            )
+        return JobResult(
+            job=spec.KIND,
+            artifacts=artifacts,
+            summary={"attacked": len(fresh), "captures": len(pcaps)},
+        )
+
+    # -- watch -------------------------------------------------------------
+
+    def _run_watch(self, spec: WatchJob) -> JobResult:
+        """Attack captures as they land in a drop directory.
+
+        The online counterpart of ``repro attack`` over a directory,
+        sharing its capture→verdict code path
+        (:class:`StreamingAttackService`): detected captures are attacked
+        as they finish landing, each verdict is durably appended to the
+        results log, and a running aggregate-accuracy table follows every
+        batch.  ``follow=False`` drains the directory and exits — over a
+        quiescent directory its results log is byte-identical to ``repro
+        attack --results-log`` on the same pcaps.  A restarted watch
+        resumes from the log, skipping captures already attacked (by
+        content fingerprint).
+        """
+        directory = Path(spec.directory)
+        if not directory.is_dir():
+            # Checked before the service builds its results log (which
+            # defaults into this directory), so the error names the actual
+            # mistake.
+            raise ReproError(
+                f"capture drop directory {directory} does not exist (create it "
+                "before watching, or point at a dataset's traces/)"
+            )
+        log_path = spec.results_log or str(directory / "results.jsonl")
+        service = self._build_attack_service(spec, log_path)
+        resumed = len(service.verdicts)
+        if resumed:
+            self._bus.emit(ev.RESUMED, count=resumed, path=log_path)
+
+        def on_skip(path: Path, reason: str) -> None:
+            self._bus.emit(ev.CAPTURE_SKIPPED, capture=path.name, reason=reason)
+
+        def on_verdict(verdict, result: AttackResult) -> None:
+            self._bus.emit(
+                ev.VERDICT,
+                capture=verdict.capture,
+                fingerprint=verdict.fingerprint,
+                condition_key=verdict.condition_key,
+                pattern=list(verdict.pattern),
+                truth=list(verdict.truth) if verdict.truth is not None else None,
+                correct=verdict.correct_questions,
+                questions=verdict.question_count,
+            )
+            self._bus.emit(ev.AGGREGATE, rows=service.aggregate_rows())
+
+        try:
+            service.run(
+                directory,
+                follow=spec.follow,
+                poll_interval=spec.poll_interval,
+                on_verdict=on_verdict,
+                on_skip=on_skip,
+                on_error=lambda error: self._bus.emit(
+                    ev.WARNING,
+                    text=f"batch failed, still watching: {error}",
+                ),
+            )
+        except KeyboardInterrupt:
+            self._bus.emit(ev.STOPPED)
+        self._bus.emit(
+            ev.RESULTS_LOG, path=log_path, total=len(service.verdicts)
+        )
+        return JobResult(
+            job=spec.KIND,
+            artifacts=(self._workspace.artifact("results-log", log_path),),
+            summary={"verdicts": len(service.verdicts)},
+        )
+
+    # -- inspect -----------------------------------------------------------
+
+    def _run_inspect(self, spec: InspectJob) -> JobResult:
+        """Summarise a capture file."""
+        trace = CapturedTrace.from_pcap(
+            spec.pcap, client_ip=spec.client_ip, server_ip="0.0.0.0"
+        )
+        table = trace.flow_table()
+        flow_rows = []
+        for flow in table.flows:
+            flow_rows.append(
+                {
+                    "flow": flow.five_tuple.key,
+                    "packets": flow.packet_count(),
+                    "uplink_bytes": flow.payload_bytes(Direction.CLIENT_TO_SERVER),
+                    "downlink_bytes": flow.payload_bytes(Direction.SERVER_TO_CLIENT),
+                }
+            )
+        self._bus.emit(ev.FLOWS, pcap=spec.pcap, rows=flow_rows)
+        records = extract_client_records(trace)
+        lengths = [record.wire_length for record in records]
+        stats = summarize(lengths)
+        self._bus.emit(
+            ev.RECORD_STATS,
+            count=len(records),
+            minimum=stats.minimum,
+            median=stats.median,
+            p95=stats.p95,
+            maximum=stats.maximum,
+        )
+        return JobResult(
+            job=spec.KIND,
+            summary={"records": len(records)},
+        )
+
+    # -- reproduce ---------------------------------------------------------
+
+    def _run_reproduce(self, spec: ReproduceJob) -> JobResult:
+        """Run the paper-reproduction experiments."""
+        from repro.experiments import (
+            reproduce_baseline_comparison,
+            reproduce_defense_ablation,
+            reproduce_figure1,
+            reproduce_figure2,
+            reproduce_headline,
+            reproduce_table1,
+        )
+        from repro.experiments.conditions import figure2_condition_names
+
+        chosen = spec.experiment
+        quick = spec.quick
+        workers = spec.workers
+
+        if spec.dataset is not None:
+            from repro.experiments import reproduce_headline_from_dataset
+
+            if chosen == "all":
+                # Don't let the default "--experiment all" silently narrow:
+                # say what runs (the other artefacts need simulated
+                # condition grids).
+                self._bus.emit(
+                    ev.NOTE,
+                    text=(
+                        "note: --dataset drives the headline experiment only; "
+                        "table1/figure1/figure2/baselines/defenses need "
+                        "simulated runs"
+                    ),
+                )
+            result = reproduce_headline_from_dataset(
+                spec.dataset,
+                training_sessions_per_environment=1 if quick else 2,
+                workers=workers,
+            )
+            self._bus.emit(
+                ev.TABLE,
+                title=f"Section V — choice recovery over {spec.dataset}",
+                rows=result.rows(),
+            )
+            self._bus.emit(
+                ev.HEADLINE,
+                training_sessions=result.training_sessions,
+                evaluated_sessions=result.evaluated_sessions,
+                worst_case=result.worst_case_accuracy,
+                paper_worst_case=result.paper_worst_case_accuracy,
+            )
+            return JobResult(
+                job=spec.KIND,
+                summary={"worst_case_accuracy": result.worst_case_accuracy},
+            )
+
+        summary: dict[str, object] = {}
+        if chosen in ("all", "table1"):
+            result = reproduce_table1(viewer_count=20 if quick else 100)
+            self._bus.emit(
+                ev.TABLE,
+                title="Table I — IITM-Bandersnatch attributes",
+                rows=result.rows,
+                blank_after=True,
+            )
+        if chosen in ("all", "figure1"):
+            result = reproduce_figure1()
+            self._bus.emit(
+                ev.FIGURE1,
+                events=[list(event) for event in result.protocol_events],
+                matches=result.matches_paper_description(),
+            )
+        if chosen in ("all", "figure2"):
+            result = reproduce_figure2(
+                sessions_per_condition=1 if quick else 4, workers=workers
+            )
+            names = figure2_condition_names()
+            for distribution in result.distributions:
+                title = names[distribution.condition.fingerprint_key]
+                self._bus.emit(
+                    ev.TABLE,
+                    title=f"Figure 2 — {title}",
+                    rows=distribution.rows(),
+                    blank_after=True,
+                )
+        if chosen in ("all", "headline"):
+            result = reproduce_headline(
+                sessions_per_condition=2 if quick else 10,
+                training_sessions_per_condition=1 if quick else 2,
+                workers=workers,
+            )
+            self._bus.emit(
+                ev.TABLE,
+                title="Section V — choice recovery accuracy",
+                rows=result.rows(),
+            )
+            self._bus.emit(
+                ev.HEADLINE,
+                worst_case=result.worst_case_accuracy,
+                paper_worst_case=result.paper_worst_case_accuracy,
+            )
+            summary["worst_case_accuracy"] = result.worst_case_accuracy
+        if chosen in ("all", "baselines"):
+            result = reproduce_baseline_comparison(
+                train_count=2 if quick else 6,
+                test_count=2 if quick else 6,
+                workers=workers,
+            )
+            self._bus.emit(
+                ev.TABLE,
+                title="Ablation A — baselines vs White Mirror",
+                rows=result.rows(),
+                blank_after=True,
+            )
+        if chosen in ("all", "defenses"):
+            result = reproduce_defense_ablation(
+                train_count=2 if quick else 4,
+                test_count=2 if quick else 4,
+                workers=workers,
+            )
+            self._bus.emit(
+                ev.TABLE,
+                title="Ablation B — countermeasures",
+                rows=result.rows(),
+                blank_after=True,
+            )
+        return JobResult(job=spec.KIND, summary=summary)
+
+
+def _dataset_seed_from_metadata(metadata: dict) -> int:
+    """Seed the dataset was generated from (stored by ``generate-dataset``)."""
+    if "seed" not in metadata:
+        raise ReproError(
+            "dataset metadata does not record its generation seed; "
+            "re-run `repro generate-dataset` (or pass the labelled sessions "
+            "to WhiteMirrorAttack.train directly)"
+        )
+    return int(metadata["seed"])
+
+
+def _choice_rows(result: AttackResult) -> list[dict[str, object]]:
+    return [
+        {
+            "question": event.index + 1,
+            "shown_at_s": round(event.question_shown_at, 2),
+            "choice": "default" if event.took_default else "NON-DEFAULT",
+        }
+        for event in result.inferred.events
+    ]
+
+
+def _directory_pcaps(target: Path) -> tuple[Path, list[Path]]:
+    """The capture files of a directory target, in name order."""
+    pcaps = sorted(target.glob("*.pcap"))
+    if not pcaps and (target / "traces").is_dir():
+        # A dataset directory was given; its captures live one level down.
+        target = target / "traces"
+        pcaps = sorted(target.glob("*.pcap"))
+    if not pcaps:
+        raise ReproError(f"no .pcap files found under {target}")
+    return target, pcaps

@@ -1,0 +1,120 @@
+"""Bad-input behaviour of every sub-command, driven through ``main()``.
+
+Each case runs the real argv path end to end and pins the exit status and
+the first stderr line — the contract scripts and CI greps rely on.  The
+messages come from spec validation (:mod:`repro.jobs.specs`) and the job
+runner, so these tests also pin that the jobs-layer refactor kept every
+historical CLI error intact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.mark.parametrize(
+    ("argv", "first_stderr_line"),
+    [
+        pytest.param(
+            ["generate-dataset", "out", "--resume"],
+            "error: --resume requires --shards (only sharded runs checkpoint)",
+            id="generate-resume-without-shards",
+        ),
+        pytest.param(
+            ["generate-dataset", "out", "--shard-workers", "2"],
+            "error: --shard-workers requires --shards (only sharded runs fan "
+            "whole shards out)",
+            id="generate-shard-workers-without-shards",
+        ),
+        pytest.param(
+            ["generate-dataset", "out", "--only-shards", "0"],
+            "error: --only-shards requires --shards (the selection names "
+            "shards of the full plan)",
+            id="generate-only-shards-without-shards",
+        ),
+        pytest.param(
+            ["stitch", "{tmp}/missing-root"],
+            "error: {tmp}/missing-root is not a directory",
+            id="stitch-missing-root",
+        ),
+        pytest.param(
+            ["train", "{tmp}/missing-dataset", "lib.json"],
+            "error: cannot load dataset metadata: [Errno 2] No such file or "
+            "directory: '{tmp}/missing-dataset/metadata.json'",
+            id="train-missing-dataset",
+        ),
+        pytest.param(
+            ["train", "{tmp}/missing-dataset", "lib.json", "--train-fraction", "1.5"],
+            "error: --train-fraction must be in (0, 1), got 1.5",
+            id="train-fraction-out-of-range",
+        ),
+        pytest.param(
+            ["train", "{tmp}/missing-dataset", "lib.json", "--save-state", "s.json"],
+            "error: --save-state requires --sharded (accumulator state is the "
+            "incremental training path's running calibration)",
+            id="train-save-state-without-sharded",
+        ),
+        pytest.param(
+            ["merge-fingerprints", "{tmp}/missing-state.json", "-o", "lib.json"],
+            "error: cannot load accumulator state: [Errno 2] No such file or "
+            "directory: '{tmp}/missing-state.json'",
+            id="merge-missing-state",
+        ),
+        pytest.param(
+            ["attack", "{tmp}/missing.pcap", "{tmp}/missing-lib.json"],
+            "error: cannot determine the environment of {tmp}/missing.pcap: "
+            "pass --environment or attack captures that sit next to their "
+            "dataset metadata.json",
+            id="attack-missing-pcap",
+        ),
+        pytest.param(
+            [
+                "attack",
+                "{tmp}/missing.pcap",
+                "{tmp}/missing-lib.json",
+                "--results-log",
+                "r.jsonl",
+            ],
+            "error: --results-log applies to directory targets; attack the "
+            "capture's directory to log its verdict",
+            id="attack-results-log-on-file-target",
+        ),
+        pytest.param(
+            ["watch", "{tmp}/missing-drop", "--library", "{tmp}/missing-lib.json"],
+            "error: capture drop directory {tmp}/missing-drop does not exist "
+            "(create it before watching, or point at a dataset's traces/)",
+            id="watch-missing-directory",
+        ),
+        pytest.param(
+            ["reproduce", "--dataset", "{tmp}/ds", "--experiment", "table1"],
+            "error: --dataset drives the headline experiment; combine it with "
+            "--experiment headline (or all)",
+            id="reproduce-dataset-wrong-experiment",
+        ),
+        pytest.param(
+            ["inspect", "{tmp}/missing.pcap"],
+            "error: cannot read pcap file {tmp}/missing.pcap: [Errno 2] No "
+            "such file or directory: '{tmp}/missing.pcap'",
+            id="inspect-missing-pcap",
+        ),
+    ],
+)
+def test_bad_input_exit_status_and_first_stderr_line(
+    argv, first_stderr_line, tmp_path, capsys
+):
+    tmp = str(tmp_path)
+    exit_code = main([part.format(tmp=tmp) for part in argv])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert captured.err.splitlines()[0] == first_stderr_line.format(tmp=tmp)
+
+
+def test_unknown_log_format_rejected_by_argparse(tmp_path, capsys):
+    # argparse itself polices the renderer choice (exit code 2, usage on
+    # stderr) — a typo never reaches the runner.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--log-format", "xml", "inspect", str(tmp_path / "x.pcap")])
+    assert excinfo.value.code == 2
+    assert "--log-format" in capsys.readouterr().err

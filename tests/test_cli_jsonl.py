@@ -1,0 +1,114 @@
+"""``--log-format jsonl``: the machine-readable narration contract.
+
+Every stdout line of a jsonl run must parse as JSON with an ``event``
+field, the flag must work both before and after the sub-command name, and
+switching renderers must change narration only — the artifacts written are
+byte-identical to a console run's.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+
+
+@pytest.fixture(scope="module")
+def dataset_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("jsonl-cli") / "dataset"
+    assert (
+        main(
+            [
+                "generate-dataset",
+                str(root),
+                "--viewers",
+                "3",
+                "--seed",
+                "11",
+                "--no-cross-traffic",
+            ]
+        )
+        == 0
+    )
+    return root
+
+
+def _jsonl_events(output: str) -> list[dict]:
+    lines = output.splitlines()
+    assert lines, "jsonl run emitted nothing"
+    events = []
+    for line in lines:
+        event = json.loads(line)  # every line must parse
+        assert "event" in event, f"line without an 'event' field: {line}"
+        events.append(event)
+    return events
+
+
+def test_every_line_is_a_json_event(dataset_root, tmp_path, capsys):
+    library = tmp_path / "lib.json"
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "--log-format",
+                "jsonl",
+                "train",
+                str(dataset_root),
+                str(library),
+                "--train-fraction",
+                "0.67",
+            ]
+        )
+        == 0
+    )
+    events = _jsonl_events(capsys.readouterr().out)
+    kinds = [event["event"] for event in events]
+    assert "fingerprints" in kinds
+    assert kinds[-1] == "result"
+    result = events[-1]
+    assert result["job"] == "train"
+    artifact = result["artifacts"][0]
+    assert artifact["name"] == "fingerprint-library"
+    assert len(artifact["fingerprint"]) == 64  # sha256 hex of the written file
+
+
+def test_flag_works_after_the_subcommand_name(dataset_root, tmp_path, capsys):
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "train",
+                str(dataset_root),
+                str(tmp_path / "lib.json"),
+                "--log-format",
+                "jsonl",
+            ]
+        )
+        == 0
+    )
+    _jsonl_events(capsys.readouterr().out)
+
+
+def test_renderer_choice_never_changes_artifacts(dataset_root, tmp_path, capsys):
+    console_lib = tmp_path / "console.json"
+    jsonl_lib = tmp_path / "jsonl.json"
+    assert main(["train", str(dataset_root), str(console_lib)]) == 0
+    console_output = capsys.readouterr().out
+    assert (
+        main(["--log-format", "jsonl", "train", str(dataset_root), str(jsonl_lib)])
+        == 0
+    )
+    jsonl_output = capsys.readouterr().out
+    # Same bytes on disk; entirely different narration on stdout.
+    assert console_lib.read_bytes() == jsonl_lib.read_bytes()
+    assert "Learned fingerprints" in console_output
+    assert "Learned fingerprints" not in jsonl_output
+    _jsonl_events(jsonl_output)
+
+
+def test_default_console_run_emits_no_json_events(dataset_root, tmp_path, capsys):
+    assert main(["train", str(dataset_root), str(tmp_path / "lib.json")]) == 0
+    output = capsys.readouterr().out
+    assert not any(line.startswith('{"event"') for line in output.splitlines())
