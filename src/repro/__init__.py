@@ -23,6 +23,27 @@ Quickstart
 >>> outcome = quick_attack_demo(seed=7)
 >>> outcome["choice_accuracy"] >= 0.9
 True
+
+Import contract
+---------------
+Two layers are public API, re-exported here and covered by the schema/wire
+versioning rules; everything else is internal and may move between
+releases.
+
+*Domain layer* — the attack itself: :class:`WhiteMirrorAttack`,
+:class:`IITMBandersnatchDataset`, :func:`build_bandersnatch_script`,
+:class:`SessionConfig`, :func:`simulate_session`.
+
+*Jobs layer* — programmatic runs, the same surface the CLI and the fleet
+coordinator drive: build a spec dict, rebuild it with
+:func:`job_from_dict` (the wire format ``repro serve`` leases to
+``repro work`` pullers), execute it with :class:`JobRunner` against a
+:class:`Workspace`, and read the :class:`JobResult`'s
+content-fingerprinted artifacts.  Spec dicts carry ``"schema"``
+(:data:`repro.jobs.SCHEMA_VERSION`), event lines carry ``"schema"``
+(:data:`repro.jobs.EVENT_SCHEMA_VERSION`), and coordinator traffic
+carries ``"wire"`` (:data:`repro.coordinator.WIRE_VERSION`); consumers
+must refuse versions they do not speak, as every repro component does.
 """
 
 from __future__ import annotations
@@ -31,17 +52,22 @@ __version__ = "1.0.0"
 
 from repro.core.pipeline import WhiteMirrorAttack
 from repro.dataset.iitm import IITMBandersnatchDataset
+from repro.jobs import JobResult, JobRunner, Workspace, job_from_dict
 from repro.narrative.bandersnatch import build_bandersnatch_script
 from repro.streaming.session import SessionConfig, simulate_session
 
 __all__ = [
-    "__version__",
-    "WhiteMirrorAttack",
     "IITMBandersnatchDataset",
-    "build_bandersnatch_script",
+    "JobResult",
+    "JobRunner",
     "SessionConfig",
-    "simulate_session",
+    "WhiteMirrorAttack",
+    "Workspace",
+    "__version__",
+    "build_bandersnatch_script",
+    "job_from_dict",
     "quick_attack_demo",
+    "simulate_session",
 ]
 
 

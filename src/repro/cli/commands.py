@@ -22,9 +22,11 @@ from repro.jobs import (
     JobSpec,
     MergeFingerprintsJob,
     ReproduceJob,
+    ServeJob,
     StitchJob,
     TrainJob,
     WatchJob,
+    WorkJob,
     renderer_for,
 )
 
@@ -119,6 +121,40 @@ def cmd_watch(arguments: argparse.Namespace) -> int:
             client_ip=arguments.client_ip,
             server_ip=arguments.server_ip,
             workers=arguments.workers,
+        ),
+    )
+
+
+def cmd_serve(arguments: argparse.Namespace) -> int:
+    """Handle ``repro serve``."""
+    return _run(
+        arguments,
+        ServeJob(
+            output=arguments.output,
+            library=arguments.library,
+            viewers=arguments.viewers,
+            shards=arguments.shards,
+            seed=arguments.seed,
+            margin=arguments.margin,
+            cross_traffic=not arguments.no_cross_traffic,
+            write_pcaps=not arguments.no_pcaps,
+            host=arguments.host,
+            port=arguments.port,
+            lease_ttl=arguments.lease_ttl,
+        ),
+    )
+
+
+def cmd_work(arguments: argparse.Namespace) -> int:
+    """Handle ``repro work``."""
+    return _run(
+        arguments,
+        WorkJob(
+            url=arguments.url,
+            worker_id=arguments.worker_id,
+            scratch=arguments.scratch,
+            poll_interval=arguments.poll_interval,
+            max_units=arguments.max_units,
         ),
     )
 

@@ -54,6 +54,32 @@ def build_parser() -> argparse.ArgumentParser:
             "  the stitched dataset (see examples/generate_dataset.py "
             "stitch-demo)\n"
             "\n"
+            "fleet coordination:\n"
+            "  the distributed flows above, as a service (no rsync, no "
+            "manual merge):\n"
+            "    coordinator: repro serve ROOT lib.json --viewers 1000 "
+            "--shards 10 --seed 7\n"
+            "    each worker: repro work http://COORDINATOR:PORT\n"
+            "  the coordinator leases one shard-sized unit at a time over "
+            "a versioned\n"
+            "  JSON wire API (/v1/plan /v1/lease /v1/complete /v1/events "
+            "/v1/status);\n"
+            "  workers run the leased job specs in a scratch workspace, "
+            "verify the\n"
+            "  artifacts by content fingerprint and upload them; the "
+            "coordinator\n"
+            "  verifies the fingerprints again, re-leases units whose "
+            "workers go\n"
+            "  silent past --lease-ttl (kill -9 a worker and its unit is "
+            "simply\n"
+            "  redone), folds the accumulator states in a hierarchical "
+            "merge tree\n"
+            "  and atomically publishes the stitched manifest + merged "
+            "library —\n"
+            "  byte-identical to one machine running the whole plan "
+            "(see\n"
+            "  examples/fleet_coordinator.py)\n"
+            "\n"
             "live capture ingest:\n"
             "  tail a pcap drop directory and attack captures as they "
             "finish landing:\n"
@@ -402,6 +428,110 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers_argument(watch)
     add_log_format_argument(watch)
     watch.set_defaults(handler=commands.cmd_watch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "coordinate a sharded generate+train plan across pull workers "
+            "(repro work) and publish the stitched dataset + merged library"
+        ),
+    )
+    serve.add_argument("output", help="directory to publish the dataset into")
+    serve.add_argument(
+        "library", help="path of the merged fingerprint library JSON to write"
+    )
+    serve.add_argument(
+        "--viewers", type=int, default=20, help="number of viewers (default 20)"
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help=(
+            "shards in the plan; each shard is one leasable work unit "
+            "(default 2)"
+        ),
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="dataset seed (default 0)"
+    )
+    serve.add_argument(
+        "--margin",
+        type=int,
+        default=8,
+        help="band widening margin in bytes for the merged library",
+    )
+    serve.add_argument(
+        "--no-pcaps",
+        action="store_true",
+        help="workers write only metadata, skipping the pcap files",
+    )
+    serve.add_argument(
+        "--no-cross-traffic",
+        action="store_true",
+        help="disable background cross traffic in generated sessions",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="address to bind the wire API on (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default 0: pick a free port and announce it)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help=(
+            "seconds before a silent worker's unit returns to the pool "
+            "(default 60)"
+        ),
+    )
+    add_log_format_argument(serve)
+    serve.set_defaults(handler=commands.cmd_serve)
+
+    work = subparsers.add_parser(
+        "work",
+        help=(
+            "pull leased work units from a `repro serve` coordinator, run "
+            "them and upload the fingerprint-verified results"
+        ),
+    )
+    work.add_argument(
+        "url", help="coordinator base URL, e.g. http://127.0.0.1:8400"
+    )
+    work.add_argument(
+        "--worker-id",
+        default=None,
+        help="name this worker reports (default: worker-<pid>)",
+    )
+    work.add_argument(
+        "--scratch",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for per-lease scratch workspaces (default: a fresh "
+            "temporary directory)"
+        ),
+    )
+    work.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between lease polls while idle (default 0.5)",
+    )
+    work.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        help="stop after completing N units (default: work until done)",
+    )
+    add_log_format_argument(work)
+    work.set_defaults(handler=commands.cmd_work)
 
     reproduce = subparsers.add_parser(
         "reproduce",

@@ -1,0 +1,38 @@
+"""Fleet coordination: ``repro serve`` + pull workers over a wire API.
+
+The coordinator turns the manual distributed flow (per-machine
+``generate-dataset --only-shards`` + ``train --sharded --save-state``,
+rsync, ``stitch-dataset``, ``merge-fingerprints``) into a service:
+
+* :mod:`repro.coordinator.plan` — the logical plan, cut into leasable
+  per-shard units of ordinary :mod:`repro.jobs` specs;
+* :mod:`repro.coordinator.wire` — the versioned JSON envelope those specs
+  and event feeds travel in;
+* :mod:`repro.coordinator.ledger` — durable lease state, crash-safe via
+  atomic rewrites, with TTL-based reassignment;
+* :mod:`repro.coordinator.service` — the HTTP coordinator itself;
+* :mod:`repro.coordinator.worker` — the pull worker (``repro work URL``);
+* :mod:`repro.coordinator.merge` — the hierarchical state merge tree.
+
+The invariant the whole package answers to: a fleet run's published
+dataset root and fingerprint library are byte-identical to one machine
+running the same plan serially.
+"""
+
+from repro.coordinator.ledger import LeaseLedger, WorkUnit
+from repro.coordinator.merge import fold_states_tree
+from repro.coordinator.plan import FleetPlan
+from repro.coordinator.service import Coordinator
+from repro.coordinator.wire import WIRE_VERSION
+from repro.coordinator.worker import PullWorker, RemoteEventSink
+
+__all__ = [
+    "Coordinator",
+    "FleetPlan",
+    "LeaseLedger",
+    "PullWorker",
+    "RemoteEventSink",
+    "WIRE_VERSION",
+    "WorkUnit",
+    "fold_states_tree",
+]

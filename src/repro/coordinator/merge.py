@@ -1,0 +1,46 @@
+"""Hierarchical merge tree for fingerprint-accumulator states.
+
+The ``--save-state`` blobs workers upload are associative-mergeable by
+construction (:meth:`repro.core.fingerprint.FingerprintAccumulator.merge`:
+min of mins, max of maxes, counts add), so *any* merge shape finalises the
+same library.  The coordinator folds them as a balanced binary tree rather
+than a left-to-right chain: pairwise rounds halve the state count each
+pass, which is the shape that parallelises (each round's merges are
+independent) and the shape hierarchical fleets compose (a regional
+coordinator's merged state is just another leaf upstream — ``repro
+merge-fingerprints --save-state`` already emits exactly that).
+
+The tree fold is pinned byte-identical to the sequential fold by test, the
+same guarantee ``repro merge-fingerprints`` gives across machines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.fingerprint import FingerprintAccumulator
+from repro.exceptions import CoordinatorError
+
+
+def fold_states_tree(
+    states: Sequence[FingerprintAccumulator],
+) -> FingerprintAccumulator:
+    """Fold accumulator states pairwise until one remains.
+
+    Mutates and returns the first state (merging folds in place, exactly
+    like ``repro merge-fingerprints`` folding its inputs); callers that
+    need the leaves afterwards should pass copies.
+    """
+    if not states:
+        raise CoordinatorError(
+            "cannot merge zero accumulator states", field="states"
+        )
+    level = list(states)
+    while len(level) > 1:
+        merged = []
+        for index in range(0, len(level) - 1, 2):
+            merged.append(level[index].merge(level[index + 1]))
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+    return level[0]

@@ -1,0 +1,145 @@
+"""The fleet plan: one sharded generate+train run, cut into leasable units.
+
+A :class:`FleetPlan` is the *logical* plan the coordinator owns — viewers,
+shard count, seed, band margin, session toggles — with none of the
+coordinator's local paths in it, so the same plan dict can be shown on the
+wire (``GET /v1/plan``) without leaking filesystem layout.  Each shard of
+the plan becomes one work unit: a pair of ordinary :mod:`repro.jobs` specs
+(``generate-dataset --only-shards i`` then ``train --sharded
+--save-state``) whose paths are *workspace-relative*, so a worker runs
+them against its own scratch :class:`~repro.jobs.artifacts.Workspace`
+untouched — the specs are byte-for-byte what a human would have built for
+the manual ``--only-shards`` + rsync flow PR 4 shipped.
+
+Because session bytes derive from ``(dataset seed, viewer id)`` alone and
+accumulator states merge associatively, the shard directories and state
+blobs a fleet uploads stitch and fold into exactly the artifacts one
+machine running the whole plan would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from repro.dataset.shards import shard_dirname
+from repro.exceptions import CoordinatorError
+from repro.jobs.specs import GenerateJob, TrainJob
+
+#: Workspace-relative paths every leased unit writes into.
+UNIT_DATASET_DIR = "dataset"
+UNIT_STATE_FILE = "state.json"
+UNIT_LIBRARY_FILE = "library.json"
+
+#: Upload kinds (mirroring the artifact kinds of :mod:`repro.jobs.artifacts`).
+UPLOAD_DIRECTORY = "directory"
+UPLOAD_FILE = "file"
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """What the fleet is building, independent of where it is built."""
+
+    viewers: int = 20
+    shards: int = 2
+    seed: int = 0
+    margin: int = 8
+    cross_traffic: bool = True
+    write_pcaps: bool = True
+
+    def validate(self) -> None:
+        if self.shards < 1:
+            raise CoordinatorError(
+                "a fleet plan needs at least one shard", field="shards"
+            )
+        if self.viewers < 1:
+            raise CoordinatorError(
+                "a fleet plan needs at least one viewer", field="viewers"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return dict(
+            sorted(
+                (field.name, getattr(self, field.name)) for field in fields(self)
+            )
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetPlan":
+        field_names = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - field_names)
+        if unknown:
+            raise CoordinatorError(
+                f"fleet plan has unknown field(s) {unknown} "
+                f"(known fields: {sorted(field_names)})",
+                field=unknown[0],
+            )
+        missing = sorted(field_names - set(data))
+        if missing:
+            raise CoordinatorError(
+                f"fleet plan is missing field(s) {missing}", field=missing[0]
+            )
+        return cls(**{name: data[name] for name in field_names})
+
+    # -- work units --------------------------------------------------------
+
+    def unit_ids(self) -> tuple[str, ...]:
+        """One unit per shard, named after the shard directory it produces."""
+        return tuple(shard_dirname(index) for index in range(self.shards))
+
+    def unit_jobs(self, shard: int) -> tuple[GenerateJob, TrainJob]:
+        """The spec pair a worker runs for one shard, in order.
+
+        Generation writes only this shard of the full plan (so the bytes
+        match the corresponding shard of a whole-plan run exactly), and
+        training folds the freshly written subset root into an accumulator
+        state — the blob the coordinator's merge tree consumes.
+        """
+        self._require_shard(shard)
+        return (
+            GenerateJob(
+                output=UNIT_DATASET_DIR,
+                viewers=self.viewers,
+                seed=self.seed,
+                write_pcaps=self.write_pcaps,
+                cross_traffic=self.cross_traffic,
+                shards=self.shards,
+                only_shards=str(shard),
+            ),
+            TrainJob(
+                dataset=UNIT_DATASET_DIR,
+                output=UNIT_LIBRARY_FILE,
+                sharded=True,
+                margin=self.margin,
+                save_state=UNIT_STATE_FILE,
+            ),
+        )
+
+    def unit_uploads(self, shard: int) -> tuple[dict[str, str], ...]:
+        """What the worker must upload for one shard, by name/path/kind.
+
+        The shard directory (pcaps, metadata, sidecar) and the accumulator
+        state blob; the per-unit ``library.json`` is a worker-local
+        by-product the coordinator never collects (the published library
+        comes from the merged states).
+        """
+        self._require_shard(shard)
+        return (
+            {
+                "name": "shard",
+                "path": f"{UNIT_DATASET_DIR}/{shard_dirname(shard)}",
+                "kind": UPLOAD_DIRECTORY,
+            },
+            {
+                "name": "state",
+                "path": UNIT_STATE_FILE,
+                "kind": UPLOAD_FILE,
+            },
+        )
+
+    def _require_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.shards:
+            raise CoordinatorError(
+                f"shard {shard} is outside the plan's 0..{self.shards - 1}",
+                field="shard",
+            )

@@ -1,0 +1,566 @@
+"""The coordinator service: ``repro serve`` behind the jobs wire API.
+
+One :class:`Coordinator` owns one :class:`~repro.coordinator.plan.FleetPlan`
+and drives it to publication:
+
+* ``GET /v1/plan`` and ``GET /v1/status`` describe the plan and the
+  ledger's current unit dispositions;
+* ``POST /v1/lease`` hands the next pending unit — a pair of ordinary
+  :mod:`repro.jobs` specs in their wire form — to a pulling worker, after
+  sweeping expired leases back into the pool;
+* ``POST /v1/complete`` accepts a worker's upload (shard directory as a
+  tar, accumulator state as a file, both base64 in the JSON body), verifies
+  every blob against its claimed sha256 content fingerprint *before* any of
+  it reaches the dataset root, and marks the unit complete;
+* ``POST /v1/events`` ingests a worker's JSONL event feed and re-emits it
+  on the coordinator's own bus, so fleet progress renders through the
+  stock renderers exactly like a local run.
+
+When the last unit completes, the serve loop folds the collected
+accumulator states in a hierarchical merge tree, validates and publishes
+the stitched manifest (:func:`~repro.dataset.shards.stitch_sharded_dataset`
+— the same closing step as the manual rsync flow), and writes the merged
+library atomically.  The published root and library are byte-identical to
+a single-machine ``generate-dataset --shards`` + ``train --sharded`` run.
+
+All coordinator-local bookkeeping (ledger, collected states, staged
+uploads) lives in a ``<root>.coordinator`` sibling directory, so the
+dataset root itself stays byte-comparable with ``diff -r``.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import io
+import json
+import os
+import tarfile
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.coordinator import wire
+from repro.coordinator.ledger import LeaseLedger, WorkUnit
+from repro.coordinator.merge import fold_states_tree
+from repro.coordinator.plan import UPLOAD_DIRECTORY, UPLOAD_FILE, FleetPlan
+from repro.core.fingerprint import FingerprintAccumulator, FingerprintLibrary
+from repro.dataset.shards import stitch_sharded_dataset
+from repro.exceptions import CoordinatorError, JobError
+from repro.jobs import events as ev
+from repro.jobs.artifacts import fingerprint_path
+from repro.jobs.events import EVENT_SCHEMA_VERSION, EventBus
+
+
+class Coordinator:
+    """Serves one fleet plan until its artifacts are published.
+
+    ``clock`` is injectable for deterministic lease-expiry tests; ``linger``
+    is how long the server stays up after publication so workers polling
+    for their next lease observe ``done`` instead of a vanished socket
+    (idle workers also tolerate the vanished socket — belt and braces).
+    """
+
+    def __init__(
+        self,
+        plan: FleetPlan,
+        bus: EventBus,
+        *,
+        root: str | Path,
+        library: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_ttl: float = 60.0,
+        linger: float = 0.5,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        plan.validate()
+        self._plan = plan
+        self._bus = bus
+        self._root = Path(root)
+        self._library_path = Path(library)
+        self._host = host
+        self._port = port
+        self._lease_ttl = lease_ttl
+        self._linger = linger
+        self._clock = clock
+        self._state_dir = self._root.parent / (self._root.name + ".coordinator")
+        self._states_dir = self._state_dir / "states"
+        self._incoming_dir = self._state_dir / "incoming"
+        for directory in (
+            self._root,
+            self._state_dir,
+            self._states_dir,
+            self._incoming_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        self._ledger = LeaseLedger(
+            self._state_dir / "ledger.json", plan, clock=clock
+        )
+        self._lock = threading.RLock()
+        self._emit_lock = threading.Lock()
+        self._complete = threading.Event()
+        if self._ledger.all_complete():
+            # A restart after every upload landed but before (or during)
+            # publication: republish — stitch and the library write are
+            # idempotent.
+            self._complete.set()
+        self._done = False
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- narration ---------------------------------------------------------
+
+    def _emit(self, kind: str, **data: object) -> None:
+        # Handler threads and the serve loop share the renderers; one event
+        # at a time keeps console lines whole.
+        with self._emit_lock:
+            self._bus.emit(kind, **data)
+
+    def _sweep_expired(self) -> None:
+        with self._lock:
+            reclaimed = self._ledger.reclaim_expired()
+        for unit in reclaimed:
+            self._emit(
+                ev.LEASE_RECLAIMED,
+                unit=unit.unit,
+                worker=unit.worker,
+                lease=unit.lease,
+            )
+
+    # -- wire API ----------------------------------------------------------
+
+    def api_plan(self) -> dict[str, Any]:
+        return {
+            "plan": self._plan.to_dict(),
+            "units": list(self._plan.unit_ids()),
+            "lease_ttl": self._lease_ttl,
+        }
+
+    def api_status(self) -> dict[str, Any]:
+        with self._lock:
+            units = [
+                {
+                    "unit": unit.unit,
+                    "status": unit.status,
+                    "worker": unit.worker,
+                    "lease": unit.lease,
+                    "attempts": unit.attempts,
+                }
+                for unit in self._ledger.units()
+            ]
+            counts = self._ledger.counts()
+        return {"done": self._done, "counts": counts, "units": units}
+
+    def api_lease(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        worker = wire.require_field(body, "worker", str)
+        self._sweep_expired()
+        if self._done:
+            return {"lease": None, "done": True}
+        with self._lock:
+            unit = self._ledger.lease(worker, self._lease_ttl)
+        if unit is None:
+            # Nothing pending: either everything is leased out and this
+            # worker should poll again, or everything is complete and
+            # publication is in flight — done flips once it lands.
+            return {"lease": None, "done": False}
+        self._emit(
+            ev.LEASE_GRANTED, unit=unit.unit, worker=worker, lease=unit.lease
+        )
+        return {
+            "lease": {
+                "id": unit.lease,
+                "unit": unit.unit,
+                "ttl": self._lease_ttl,
+                "jobs": [
+                    spec.to_dict() for spec in self._plan.unit_jobs(unit.shard)
+                ],
+                "uploads": [
+                    dict(upload) for upload in self._plan.unit_uploads(unit.shard)
+                ],
+            },
+            "done": False,
+        }
+
+    def api_complete(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        lease_id = wire.require_field(body, "lease", str)
+        worker = wire.require_field(body, "worker", str)
+        uploads = body.get("uploads")
+        if not isinstance(uploads, list):
+            raise CoordinatorError(
+                "completion needs an 'uploads' list (shard directory + "
+                "accumulator state)",
+                field="uploads",
+            )
+        self._sweep_expired()
+        with self._lock:
+            unit = self._ledger.unit_for_lease(lease_id)
+            expected = self._plan.unit_uploads(unit.shard)
+        _check_upload_shape(uploads, expected)
+        # Decode, verify and stage outside the ledger lock: uploads are the
+        # slow part and must not block lease polls.
+        staged = [
+            self._materialise(unit, index, upload)
+            for index, upload in enumerate(uploads)
+        ]
+        with self._lock:
+            # The lease may have expired while the upload was verified; a
+            # dead lease means the unit was reassigned and this copy is
+            # redundant — refuse it rather than racing the replacement.
+            unit = self._ledger.unit_for_lease(lease_id)
+            for place in staged:
+                place()
+            self._ledger.complete(
+                lease_id,
+                {upload["name"]: upload["fingerprint"] for upload in uploads},
+            )
+            all_complete = self._ledger.all_complete()
+        self._emit(
+            ev.UNIT_COMPLETE,
+            unit=unit.unit,
+            worker=worker,
+            fingerprint=uploads[0]["fingerprint"],
+        )
+        if all_complete:
+            self._complete.set()
+        return {"accepted": True, "done": self._done}
+
+    def api_events(self, raw: bytes) -> dict[str, Any]:
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise CoordinatorError(
+                f"event feed is not UTF-8: {error}", field="events"
+            ) from error
+        accepted = 0
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise CoordinatorError(
+                    f"event feed line is not JSON: {error}", field="events"
+                ) from error
+            if not isinstance(payload, dict):
+                raise CoordinatorError(
+                    "event feed lines must be JSON objects", field="events"
+                )
+            schema = payload.get("schema")
+            if schema != EVENT_SCHEMA_VERSION:
+                raise CoordinatorError(
+                    f"unsupported event schema version {schema!r} (this "
+                    f"build speaks event schema {EVENT_SCHEMA_VERSION})",
+                    field="schema",
+                )
+            kind = payload.get("event")
+            if not isinstance(kind, str) or not kind:
+                raise CoordinatorError(
+                    "event feed line has no 'event' kind", field="event"
+                )
+            data = {
+                key: value
+                for key, value in payload.items()
+                if key not in ("event", "schema")
+            }
+            try:
+                self._emit(kind, **data)
+            except JobError as error:
+                raise CoordinatorError(str(error), field="event") from error
+            accepted += 1
+        return {"accepted": accepted}
+
+    # -- upload materialisation --------------------------------------------
+
+    def _materialise(
+        self, unit: WorkUnit, index: int, upload: Mapping[str, Any]
+    ) -> Callable[[], None]:
+        """Decode + fingerprint-verify one upload; returns its placement.
+
+        Verification happens against *staged* bytes in the coordinator's
+        sibling state directory; nothing touches the dataset root until the
+        whole completion is accepted under the ledger lock.
+        """
+        try:
+            blob = base64.b64decode(upload["data"], validate=True)
+        except (binascii.Error, TypeError) as error:
+            raise CoordinatorError(
+                f"upload {upload['name']!r} carries undecodable base64 data: "
+                f"{error}",
+                field=f"uploads[{index}].data",
+            ) from error
+        claimed = upload["fingerprint"]
+        if upload["kind"] == UPLOAD_FILE:
+            actual = hashlib.sha256(blob).hexdigest()
+            if actual != claimed:
+                raise CoordinatorError(
+                    f"upload {upload['name']!r} fingerprint mismatch: worker "
+                    f"claimed {claimed[:12]} but the bytes hash to "
+                    f"{actual[:12]}",
+                    field=f"uploads[{index}].fingerprint",
+                    status=409,
+                )
+            destination = self._states_dir / f"{unit.unit}.json"
+
+            def place_file() -> None:
+                with tempfile.NamedTemporaryFile(
+                    dir=self._states_dir, delete=False
+                ) as handle:
+                    handle.write(blob)
+                os.replace(handle.name, destination)
+
+            return place_file
+        staging = Path(
+            tempfile.mkdtemp(prefix=f"{unit.unit}-", dir=self._incoming_dir)
+        )
+        _extract_tar(blob, staging, name=upload["name"])
+        actual = fingerprint_path(staging)
+        if actual != claimed:
+            raise CoordinatorError(
+                f"upload {upload['name']!r} fingerprint mismatch: worker "
+                f"claimed {claimed[:12]} but the extracted tree fingerprints "
+                f"to {actual[:12]}",
+                field=f"uploads[{index}].fingerprint",
+                status=409,
+            )
+        destination = self._root / unit.unit
+
+        def place_directory() -> None:
+            if destination.exists():
+                # A unit completed twice can only mean a reassignment race
+                # the ledger already lost track of; identical bytes are
+                # harmlessly redundant, anything else must fail loudly.
+                if fingerprint_path(destination) == claimed:
+                    return
+                raise CoordinatorError(
+                    f"{destination} already holds different bytes than this "
+                    f"upload claims ({claimed[:12]})",
+                    field=f"uploads[{index}].fingerprint",
+                    status=409,
+                )
+            os.replace(staging, destination)
+
+        return place_directory
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind the wire API and serve it from a daemon thread."""
+        handler = _build_handler(self)
+        self._server = ThreadingHTTPServer((self._host, self._port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        return self._host, self._server.server_address[1]
+
+    def serve_until_complete(self) -> dict[str, object]:
+        """Serve leases until every unit is in, then publish and stop."""
+        if self._server is None:
+            host, port = self.start()
+        else:
+            host, port = self._host, self._server.server_address[1]
+        self._emit(
+            ev.SERVE_STARTED,
+            viewers=self._plan.viewers,
+            seed=self._plan.seed,
+            shards=self._plan.shards,
+            host=host,
+            port=port,
+            lease_ttl=self._lease_ttl,
+        )
+        # Short waits keep the loop interruptible (Ctrl-C stops a serve).
+        while not self._complete.wait(0.1):
+            pass
+        summary = self._publish()
+        self._done = True
+        time.sleep(self._linger)
+        self.close()
+        return summary
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _publish(self) -> dict[str, object]:
+        """Merge states, stitch the root, write the library — atomically.
+
+        Everything here is a pure function of the verified uploads, so a
+        crash between any two steps republishes identically on restart.
+        """
+        states = []
+        for unit in self._ledger.units():
+            path = self._states_dir / f"{unit.unit}.json"
+            state = FingerprintAccumulator.load(path)
+            self._emit(
+                ev.STATE_FOLDED,
+                path=str(path),
+                environments=len(state.condition_keys),
+                records=state.record_count,
+            )
+            states.append(state)
+        merged = fold_states_tree(states)
+        library = FingerprintLibrary()
+        merged.finalize_into(library, margin=self._plan.margin)
+        self._emit(ev.STITCH_STARTED, root=str(self._root))
+        dataset = stitch_sharded_dataset(
+            self._root,
+            status=lambda shard, state: self._emit(
+                ev.SHARD_COMPLETE,
+                shard=shard.dirname,
+                viewers=shard.viewer_count,
+                state=state,
+            ),
+        )
+        self._emit(ev.ARTIFACT_WRITTEN, path=str(dataset.manifest_path))
+        temporary = self._library_path.with_name(self._library_path.name + ".tmp")
+        library.save(temporary)
+        os.replace(temporary, self._library_path)
+        from repro.jobs.runner import fingerprint_rows
+
+        self._emit(
+            ev.FINGERPRINTS,
+            rows=fingerprint_rows(library),
+            output=str(self._library_path),
+        )
+        units = self._ledger.units()
+        workers = sorted({unit.worker for unit in units if unit.worker})
+        self._emit(ev.PLAN_COMPLETE, units=len(units), workers=len(workers))
+        return {
+            "units": len(units),
+            "workers": len(workers),
+            "environments": len(library.condition_keys),
+        }
+
+
+def _check_upload_shape(
+    uploads: list[Any], expected: tuple[dict[str, str], ...]
+) -> None:
+    """The uploads list must match the lease's declared artifact set."""
+    if len(uploads) != len(expected):
+        raise CoordinatorError(
+            f"completion carries {len(uploads)} upload(s), the lease "
+            f"declared {len(expected)}",
+            field="uploads",
+        )
+    for index, (upload, declared) in enumerate(zip(uploads, expected)):
+        if not isinstance(upload, dict):
+            raise CoordinatorError(
+                "each upload must be a JSON object",
+                field=f"uploads[{index}]",
+            )
+        for key in ("name", "kind", "fingerprint", "data"):
+            if not isinstance(upload.get(key), str) or not upload[key]:
+                raise CoordinatorError(
+                    f"upload {index} needs a non-empty string {key!r}",
+                    field=f"uploads[{index}].{key}",
+                )
+        for key in ("name", "kind"):
+            if upload[key] != declared[key]:
+                raise CoordinatorError(
+                    f"upload {index} {key} is {upload[key]!r}, the lease "
+                    f"declared {declared[key]!r}",
+                    field=f"uploads[{index}].{key}",
+                )
+
+
+def _extract_tar(blob: bytes, destination: Path, *, name: str) -> None:
+    """Extract a directory upload, refusing anything but plain members."""
+    try:
+        archive = tarfile.open(fileobj=io.BytesIO(blob), mode="r:")
+    except tarfile.TarError as error:
+        raise CoordinatorError(
+            f"upload {name!r} is not a readable tar archive: {error}",
+            field="uploads",
+        ) from error
+    with archive:
+        for member in archive.getmembers():
+            member_path = Path(member.name)
+            if member_path.is_absolute() or ".." in member_path.parts:
+                raise CoordinatorError(
+                    f"upload {name!r} names an unsafe member {member.name!r}",
+                    field="uploads",
+                )
+            if not (member.isreg() or member.isdir()):
+                raise CoordinatorError(
+                    f"upload {name!r} member {member.name!r} is not a plain "
+                    "file or directory",
+                    field="uploads",
+                )
+        archive.extractall(destination)
+
+
+def _build_handler(coordinator: Coordinator) -> type[BaseHTTPRequestHandler]:
+    """A request handler bound to one coordinator instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # The event bus is the coordinator's narration channel; the default
+        # per-request stderr log would drown it.
+        def log_message(self, *args: object) -> None:
+            pass
+
+        def do_GET(self) -> None:
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:
+            self._dispatch("POST")
+
+        def _dispatch(self, method: str) -> None:
+            try:
+                payload = self._route(method)
+            except CoordinatorError as error:
+                self._respond(error.status, wire.error_body(error))
+            except Exception as error:  # noqa: BLE001 - the API boundary
+                fault = CoordinatorError(
+                    f"internal coordinator error: {error!r}",
+                    field="internal",
+                    status=500,
+                )
+                self._respond(500, wire.error_body(fault))
+            else:
+                self._respond(200, wire.dump_body(payload))
+
+        def _route(self, method: str) -> dict[str, Any]:
+            if method == "GET" and self.path == wire.PLAN_PATH:
+                return coordinator.api_plan()
+            if method == "GET" and self.path == wire.STATUS_PATH:
+                return coordinator.api_status()
+            if method == "POST" and self.path == wire.LEASE_PATH:
+                return coordinator.api_lease(wire.parse_body(self._body()))
+            if method == "POST" and self.path == wire.COMPLETE_PATH:
+                return coordinator.api_complete(wire.parse_body(self._body()))
+            if method == "POST" and self.path == wire.EVENTS_PATH:
+                return coordinator.api_events(self._body())
+            raise CoordinatorError(
+                f"unknown wire endpoint {method} {self.path} (endpoints: "
+                f"GET {wire.PLAN_PATH}, POST {wire.LEASE_PATH}, "
+                f"POST {wire.COMPLETE_PATH}, POST {wire.EVENTS_PATH}, "
+                f"GET {wire.STATUS_PATH})",
+                field="path",
+                status=404,
+            )
+
+        def _body(self) -> bytes:
+            length = int(self.headers.get("Content-Length") or 0)
+            return self.rfile.read(length)
+
+        def _respond(self, status: int, body: bytes) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+    return Handler

@@ -68,6 +68,42 @@ class JobError(ReproError):
     """
 
 
+class CoordinatorError(ReproError):
+    """Raised when the fleet coordinator or a pull worker cannot proceed.
+
+    Covers the versioned jobs wire API (a malformed request or response
+    names its failing field via :attr:`field`, exactly as ``job_from_dict``
+    names a bad spec field), the durable lease ledger, result uploads whose
+    content fingerprint does not match the worker's claim, and plan
+    publication (the stitch + merge closing step).
+
+    ``status`` is the HTTP status the wire layer responds with when the
+    error crosses the API boundary; library callers can ignore it.
+    """
+
+    STATUS = 400
+
+    def __init__(
+        self, message: str, *, field: str | None = None, status: int | None = None
+    ) -> None:
+        super().__init__(message)
+        self.field = field
+        self.status = self.STATUS if status is None else status
+
+
+class LeaseExpired(CoordinatorError):
+    """Raised when a worker acts on a lease the coordinator has reclaimed.
+
+    A lease outlives its TTL only while its worker keeps completing work;
+    a SIGKILLed worker's lease expires and the unit returns to the pool
+    for reassignment, so a late upload under the dead lease must be
+    rejected — the replacement worker's verified upload is already (or
+    will be) in place, byte-identical by construction.
+    """
+
+    STATUS = 410
+
+
 class FingerprintError(AttackError):
     """Raised when a record-length fingerprint is malformed or not trained."""
 

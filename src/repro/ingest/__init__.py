@@ -36,15 +36,15 @@ from repro.ingest.watcher import (
 
 __all__ = [
     "CAPTURE_PATTERN",
-    "DEFAULT_CLIENT_IP",
-    "INPROGRESS_SUFFIX",
-    "RESULTS_LOG_VERSION",
-    "SKIP_ALREADY_ATTACKED",
-    "SKIP_UNREADABLE",
     "CaptureVerdict",
     "CaptureWatcher",
+    "DEFAULT_CLIENT_IP",
+    "INPROGRESS_SUFFIX",
     "IngestQueue",
+    "RESULTS_LOG_VERSION",
     "ResultsLog",
+    "SKIP_ALREADY_ATTACKED",
+    "SKIP_UNREADABLE",
     "StreamingAttackService",
     "build_pcap_task",
     "capture_fingerprint",

@@ -21,7 +21,12 @@ arguments, build a spec, run it, let the chosen renderer narrate.
 """
 
 from repro.jobs.artifacts import Artifact, Workspace, fingerprint_path
-from repro.jobs.events import EventBus, EventSink, JobEvent
+from repro.jobs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventBus,
+    EventSink,
+    JobEvent,
+)
 from repro.jobs.renderers import ConsoleRenderer, JsonlRenderer, renderer_for
 from repro.jobs.runner import JobResult, JobRunner
 from repro.jobs.specs import (
@@ -33,9 +38,11 @@ from repro.jobs.specs import (
     JobSpec,
     MergeFingerprintsJob,
     ReproduceJob,
+    ServeJob,
     StitchJob,
     TrainJob,
     WatchJob,
+    WorkJob,
     job_from_dict,
 )
 
@@ -43,6 +50,7 @@ __all__ = [
     "Artifact",
     "AttackJob",
     "ConsoleRenderer",
+    "EVENT_SCHEMA_VERSION",
     "EventBus",
     "EventSink",
     "GenerateJob",
@@ -56,9 +64,11 @@ __all__ = [
     "ReproduceJob",
     "SCHEMA_VERSION",
     "SPEC_CLASSES",
+    "ServeJob",
     "StitchJob",
     "TrainJob",
     "WatchJob",
+    "WorkJob",
     "Workspace",
     "fingerprint_path",
     "job_from_dict",

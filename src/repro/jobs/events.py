@@ -20,6 +20,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Mapping, Protocol
 
+#: Version stamped into every serialised event line (``"schema": N``), so
+#: the jsonl streams coordinators and workers exchange can evolve: a
+#: consumer that sees an unfamiliar version refuses it by name instead of
+#: misreading the payload.  Bump on any incompatible payload change; new
+#: event *kinds* are not incompatible (consumers skip unknown kinds).
+EVENT_SCHEMA_VERSION = 1
+
 # The event vocabulary.  Constants rather than an Enum so payloads stay
 # plain JSON and new kinds can be introduced without a schema migration;
 # the console renderer fails loudly on a kind it has no formatter for.
@@ -51,6 +58,16 @@ NOTE = "note"
 FIGURE1 = "figure1"
 HEADLINE = "headline"
 RESULT = "result"
+# Fleet coordination (repro serve / repro work).
+SERVE_STARTED = "serve-started"
+LEASE_GRANTED = "lease-granted"
+LEASE_RECLAIMED = "lease-reclaimed"
+UNIT_COMPLETE = "unit-complete"
+PLAN_COMPLETE = "plan-complete"
+WORK_STARTED = "work-started"
+UNIT_LEASED = "unit-leased"
+UNIT_UPLOADED = "unit-uploaded"
+WORK_FINISHED = "work-finished"
 
 
 @dataclass(frozen=True)
@@ -61,14 +78,17 @@ class JobEvent:
     data: Mapping[str, object] = field(default_factory=dict)
 
     def to_json(self) -> str:
-        """One machine-readable line: ``{"event": kind, ...payload}``.
+        """One machine-readable line: ``{"event": kind, "schema": N, ...}``.
 
         Keys are sorted and separators compact so identical events always
         serialise to identical bytes (the results-log determinism rule,
-        applied to the event stream).
+        applied to the event stream).  Every line carries the event schema
+        version (:data:`EVENT_SCHEMA_VERSION`) so stream consumers — the
+        coordinator ingesting a worker's feed, a pipeline tailing
+        ``--log-format jsonl`` — can refuse an incompatible stream by name.
         """
         return json.dumps(
-            {"event": self.kind, **self.data},
+            {"event": self.kind, "schema": EVENT_SCHEMA_VERSION, **self.data},
             sort_keys=True,
             separators=(",", ":"),
         )

@@ -80,6 +80,15 @@ class ConsoleRenderer:
             ev.NOTE: self._note,
             ev.FIGURE1: self._figure1,
             ev.HEADLINE: self._headline,
+            ev.SERVE_STARTED: self._serve_started,
+            ev.LEASE_GRANTED: self._lease_granted,
+            ev.LEASE_RECLAIMED: self._lease_reclaimed,
+            ev.UNIT_COMPLETE: self._unit_complete,
+            ev.PLAN_COMPLETE: self._plan_complete,
+            ev.WORK_STARTED: self._work_started,
+            ev.UNIT_LEASED: self._unit_leased,
+            ev.UNIT_UPLOADED: self._unit_uploaded,
+            ev.WORK_FINISHED: self._work_finished,
         }
 
     def handle(self, event: JobEvent) -> None:
@@ -290,6 +299,52 @@ class ConsoleRenderer:
             self._print(f"  {kind:<22s} {detail}")
         self._print(f"matches the paper's description: {data['matches']}")
         self._print()
+
+    def _serve_started(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"serving plan: {data['viewers']} viewers (seed {data['seed']}) "
+            f"across {data['shards']} shards at "
+            f"http://{data['host']}:{data['port']} "
+            f"(lease ttl {data['lease_ttl']:g}s)"
+        )
+
+    def _lease_granted(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"  {data['unit']}: leased to {data['worker']} ({data['lease']})"
+        )
+
+    def _lease_reclaimed(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"  {data['unit']}: reclaimed from {data['worker']} "
+            f"({data['lease']} expired); unit returns to the pool"
+        )
+
+    def _unit_complete(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"  {data['unit']}: verified upload from {data['worker']} "
+            f"[{data['fingerprint'][:12]}]"
+        )
+
+    def _plan_complete(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"plan complete: {data['units']} unit(s) from "
+            f"{data['workers']} worker(s)"
+        )
+
+    def _work_started(self, data: Mapping[str, object]) -> None:
+        self._print(f"pulling work from {data['url']} as {data['worker']}")
+
+    def _unit_leased(self, data: Mapping[str, object]) -> None:
+        self._print(f"  {data['unit']}: leased ({data['lease']})")
+
+    def _unit_uploaded(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"  {data['unit']}: uploaded {data['uploads']} artifact(s) "
+            f"[{data['fingerprint'][:12]}]"
+        )
+
+    def _work_finished(self, data: Mapping[str, object]) -> None:
+        self._print(f"done: {data['units']} unit(s) completed")
 
     def _headline(self, data: Mapping[str, object]) -> None:
         if "training_sessions" in data:

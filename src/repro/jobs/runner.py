@@ -64,9 +64,11 @@ from repro.jobs.specs import (
     JobSpec,
     MergeFingerprintsJob,
     ReproduceJob,
+    ServeJob,
     StitchJob,
     TrainJob,
     WatchJob,
+    WorkJob,
 )
 from repro.net.capture import CapturedTrace
 from repro.net.packet import Direction
@@ -105,6 +107,8 @@ class JobRunner:
             WatchJob: self._run_watch,
             ReproduceJob: self._run_reproduce,
             InspectJob: self._run_inspect,
+            ServeJob: self._run_serve,
+            WorkJob: self._run_work,
         }
 
     @property
@@ -124,6 +128,16 @@ class JobRunner:
         self._bus.emit(ev.RESULT, **result.to_dict())
         return result
 
+    def _resolve(self, path: str) -> str:
+        """A spec path, anchored to this runner's workspace.
+
+        Domain calls receive resolved paths (so the same spec runs in any
+        workspace — the CLI's cwd, a worker's scratch directory); event
+        payloads keep the spec's own strings, so narration matches what
+        the caller wrote.
+        """
+        return str(self._workspace.resolve(path))
+
     # -- shared emit helpers -----------------------------------------------
 
     def _emit_summary(self, summary: DatasetSummary) -> None:
@@ -136,22 +150,9 @@ class JobRunner:
         )
 
     def _emit_fingerprints(self, library: FingerprintLibrary, output: str) -> None:
-        rows = [
-            {
-                "environment": key,
-                "type1_band": (
-                    f"{library.get(key).type1_band.low}-"
-                    f"{library.get(key).type1_band.high}"
-                ),
-                "type2_band": (
-                    f"{library.get(key).type2_band.low}-"
-                    f"{library.get(key).type2_band.high}"
-                ),
-                "training_records": library.get(key).training_records,
-            }
-            for key in sorted(library.condition_keys)
-        ]
-        self._bus.emit(ev.FINGERPRINTS, rows=rows, output=output)
+        self._bus.emit(
+            ev.FINGERPRINTS, rows=fingerprint_rows(library), output=output
+        )
 
     def _session_progress(self) -> ProgressCallback:
         return lambda done, total: self._bus.emit(
@@ -190,7 +191,7 @@ class JobRunner:
                     selection=list(selection),
                 )
                 summaries = generate_shard_subset(
-                    spec.output,
+                    self._resolve(spec.output),
                     viewer_count=spec.viewers,
                     shard_count=spec.shards,
                     only_shards=selection,
@@ -240,7 +241,7 @@ class JobRunner:
                 selection=None,
             )
             dataset = generate_sharded_dataset(
-                spec.output,
+                self._resolve(spec.output),
                 viewer_count=spec.viewers,
                 shard_count=spec.shards,
                 seed=spec.seed,
@@ -261,7 +262,10 @@ class JobRunner:
                     viewers=shard.viewer_count,
                     state=state,
                 )
-            self._bus.emit(ev.ARTIFACT_WRITTEN, path=str(dataset.manifest_path))
+            self._bus.emit(
+                ev.ARTIFACT_WRITTEN,
+                path=str(Path(spec.output) / SHARDS_MANIFEST_FILENAME),
+            )
             summary = dataset.summary()
             self._emit_summary(summary)
             return JobResult(
@@ -281,7 +285,7 @@ class JobRunner:
             selection=None,
         )
         metadata_path, summary = IITMBandersnatchDataset.generate_streaming(
-            spec.output,
+            self._resolve(spec.output),
             viewer_count=spec.viewers,
             seed=spec.seed,
             config=config,
@@ -290,7 +294,10 @@ class JobRunner:
             write_pcaps=spec.write_pcaps,
         )
         self._bus.emit(ev.PROGRESS_FINISHED)
-        self._bus.emit(ev.ARTIFACT_WRITTEN, path=str(metadata_path))
+        self._bus.emit(
+            ev.ARTIFACT_WRITTEN,
+            path=str(Path(spec.output) / METADATA_FILENAME),
+        )
         self._emit_summary(summary)
         return JobResult(
             job=spec.KIND,
@@ -308,7 +315,7 @@ class JobRunner:
         viewers' sessions from the dataset metadata; ``sharded`` walks a
         whole sharded dataset root shard by shard with bounded memory.
         """
-        directory = Path(spec.dataset)
+        directory = self._workspace.resolve(spec.dataset)
         if spec.sharded:
             return self._train_sharded(spec, directory)
         train_fraction = (
@@ -345,7 +352,7 @@ class JobRunner:
         )
         attack = WhiteMirrorAttack(graph=dataset.graph, band_margin=spec.margin)
         attack.train([point.session for point in train_points])
-        attack.library.save(spec.output)
+        attack.library.save(self._resolve(spec.output))
         self._emit_fingerprints(attack.library, spec.output)
         return JobResult(
             job=spec.KIND,
@@ -454,7 +461,7 @@ class JobRunner:
             accumulator.finalize_into(attack.library, margin=spec.margin)
         artifacts: list[Artifact] = []
         if spec.save_state:
-            accumulator.save(spec.save_state)
+            accumulator.save(self._resolve(spec.save_state))
             self._bus.emit(
                 ev.ARTIFACT_WRITTEN,
                 path=spec.save_state,
@@ -463,7 +470,7 @@ class JobRunner:
             artifacts.append(
                 self._workspace.artifact("accumulator-state", spec.save_state)
             )
-        attack.library.save(spec.output)
+        attack.library.save(self._resolve(spec.output))
         self._emit_fingerprints(attack.library, spec.output)
         artifacts.insert(
             0, self._workspace.artifact("fingerprint-library", spec.output)
@@ -491,7 +498,7 @@ class JobRunner:
         """
         self._bus.emit(ev.STITCH_STARTED, root=spec.root)
         dataset = stitch_sharded_dataset(
-            spec.root,
+            self._resolve(spec.root),
             status=lambda shard, state: self._bus.emit(
                 ev.SHARD_COMPLETE,
                 shard=shard.dirname,
@@ -499,7 +506,10 @@ class JobRunner:
                 state=state,
             ),
         )
-        self._bus.emit(ev.ARTIFACT_WRITTEN, path=str(dataset.manifest_path))
+        self._bus.emit(
+            ev.ARTIFACT_WRITTEN,
+            path=str(Path(spec.root) / SHARDS_MANIFEST_FILENAME),
+        )
         summary = dataset.summary()
         self._emit_summary(summary)
         return JobResult(
@@ -523,7 +533,7 @@ class JobRunner:
         """
         merged = FingerprintAccumulator()
         for path in spec.states:
-            state = FingerprintAccumulator.load(path)
+            state = FingerprintAccumulator.load(self._resolve(path))
             merged.merge(state)
             self._bus.emit(
                 ev.STATE_FOLDED,
@@ -533,7 +543,7 @@ class JobRunner:
             )
         artifacts: list[Artifact] = []
         if spec.save_state:
-            merged.save(spec.save_state)
+            merged.save(self._resolve(spec.save_state))
             self._bus.emit(
                 ev.ARTIFACT_WRITTEN,
                 path=spec.save_state,
@@ -544,7 +554,7 @@ class JobRunner:
             )
         library = FingerprintLibrary()
         merged.finalize_into(library, margin=spec.margin)
-        library.save(spec.output)
+        library.save(self._resolve(spec.output))
         self._emit_fingerprints(library, spec.output)
         artifacts.insert(
             0, self._workspace.artifact("fingerprint-library", spec.output)
@@ -559,7 +569,7 @@ class JobRunner:
 
     def _run_attack(self, spec: AttackJob) -> JobResult:
         """Recover choices from a pcap or a directory of pcaps."""
-        target = Path(spec.target)
+        target = self._workspace.resolve(spec.target)
         if target.is_dir():
             return self._attack_directory(spec, target)
         if spec.results_log:
@@ -580,7 +590,7 @@ class JobRunner:
             client_ip=spec.client_ip,
             server_ip=spec.server_ip,
         )
-        library = FingerprintLibrary.load(spec.library)
+        library = FingerprintLibrary.load(self._resolve(spec.library))
         attack = WhiteMirrorAttack(graph=default_study_script(), library=library)
         result = attack.attack_pcap(
             task.path,
@@ -611,10 +621,10 @@ class JobRunner:
         self, spec: AttackJob | WatchJob, log_path: str | None
     ) -> StreamingAttackService:
         """The one capture→verdict code path both attack modes run through."""
-        library = FingerprintLibrary.load(spec.library)
+        library = FingerprintLibrary.load(self._resolve(spec.library))
         return StreamingAttackService(
             library=library,
-            log_path=log_path,
+            log_path=self._resolve(log_path) if log_path else None,
             workers=spec.workers,
             environment=spec.environment,
             client_ip=spec.client_ip,
@@ -674,11 +684,11 @@ class JobRunner:
         if service.log_path is not None:
             self._bus.emit(
                 ev.ARTIFACT_WRITTEN,
-                path=str(service.log_path),
+                path=spec.results_log,
                 label="results-log",
             )
             artifacts = (
-                self._workspace.artifact("results-log", service.log_path),
+                self._workspace.artifact("results-log", spec.results_log),
             )
         return JobResult(
             job=spec.KIND,
@@ -702,7 +712,7 @@ class JobRunner:
         resumes from the log, skipping captures already attacked (by
         content fingerprint).
         """
-        directory = Path(spec.directory)
+        directory = self._workspace.resolve(spec.directory)
         if not directory.is_dir():
             # Checked before the service builds its results log (which
             # defaults into this directory), so the error names the actual
@@ -711,7 +721,7 @@ class JobRunner:
                 f"capture drop directory {directory} does not exist (create it "
                 "before watching, or point at a dataset's traces/)"
             )
-        log_path = spec.results_log or str(directory / "results.jsonl")
+        log_path = spec.results_log or str(Path(spec.directory) / "results.jsonl")
         service = self._build_attack_service(spec, log_path)
         resumed = len(service.verdicts)
         if resumed:
@@ -761,7 +771,7 @@ class JobRunner:
     def _run_inspect(self, spec: InspectJob) -> JobResult:
         """Summarise a capture file."""
         trace = CapturedTrace.from_pcap(
-            spec.pcap, client_ip=spec.client_ip, server_ip="0.0.0.0"
+            self._resolve(spec.pcap), client_ip=spec.client_ip, server_ip="0.0.0.0"
         )
         table = trace.flow_table()
         flow_rows = []
@@ -790,6 +800,69 @@ class JobRunner:
             job=spec.KIND,
             summary={"records": len(records)},
         )
+
+    # -- fleet coordination ------------------------------------------------
+
+    def _run_serve(self, spec: ServeJob) -> JobResult:
+        """Coordinate a fleet run: lease units, collect, stitch, publish.
+
+        The coordinator package is imported lazily because its worker side
+        imports this runner — the same seam that keeps the experiments
+        package out of every non-``reproduce`` invocation.
+        """
+        from repro.coordinator.plan import FleetPlan
+        from repro.coordinator.service import Coordinator
+
+        plan = FleetPlan(
+            viewers=spec.viewers,
+            shards=spec.shards,
+            seed=spec.seed,
+            margin=spec.margin,
+            cross_traffic=spec.cross_traffic,
+            write_pcaps=spec.write_pcaps,
+        )
+        coordinator = Coordinator(
+            plan,
+            self._bus,
+            root=self._workspace.resolve(spec.output),
+            library=self._workspace.resolve(spec.library),
+            host=spec.host,
+            port=spec.port,
+            lease_ttl=spec.lease_ttl,
+        )
+        try:
+            summary = coordinator.serve_until_complete()
+        except KeyboardInterrupt:
+            coordinator.close()
+            self._bus.emit(ev.STOPPED)
+            return JobResult(job=spec.KIND, summary={"stopped": True})
+        return JobResult(
+            job=spec.KIND,
+            artifacts=(
+                self._workspace.artifact("dataset", spec.output),
+                self._workspace.artifact("library", spec.library),
+            ),
+            summary=dict(summary),
+        )
+
+    def _run_work(self, spec: WorkJob) -> JobResult:
+        """Pull and run leased units from a coordinator until it is done."""
+        from repro.coordinator.worker import PullWorker
+
+        worker = PullWorker(
+            spec.url,
+            self._bus,
+            worker_id=spec.worker_id,
+            scratch=spec.scratch,
+            poll_interval=spec.poll_interval,
+            max_units=spec.max_units,
+        )
+        try:
+            summary = worker.run()
+        except KeyboardInterrupt:
+            self._bus.emit(ev.STOPPED)
+            return JobResult(job=spec.KIND, summary={"stopped": True})
+        return JobResult(job=spec.KIND, summary=dict(summary))
 
     # -- reproduce ---------------------------------------------------------
 
@@ -825,7 +898,7 @@ class JobRunner:
                     ),
                 )
             result = reproduce_headline_from_dataset(
-                spec.dataset,
+                self._resolve(spec.dataset),
                 training_sessions_per_environment=1 if quick else 2,
                 workers=workers,
             )
@@ -917,6 +990,30 @@ class JobRunner:
                 blank_after=True,
             )
         return JobResult(job=spec.KIND, summary=summary)
+
+
+def fingerprint_rows(library: FingerprintLibrary) -> list[dict[str, object]]:
+    """The fingerprint-table rows for a library, in environment order.
+
+    Shared between the runner's ``fingerprints`` emission and the
+    coordinator's publication step, so a fleet run's closing table is
+    byte-identical to a local ``train``'s.
+    """
+    return [
+        {
+            "environment": key,
+            "type1_band": (
+                f"{library.get(key).type1_band.low}-"
+                f"{library.get(key).type1_band.high}"
+            ),
+            "type2_band": (
+                f"{library.get(key).type2_band.low}-"
+                f"{library.get(key).type2_band.high}"
+            ),
+            "training_records": library.get(key).training_records,
+        }
+        for key in sorted(library.condition_keys)
+    ]
 
 
 def _dataset_seed_from_metadata(metadata: dict) -> int:

@@ -243,6 +243,66 @@ class ReproduceJob(JobSpec):
 
 
 @dataclass(frozen=True)
+class ServeJob(JobSpec):
+    """``repro serve``: coordinate a sharded plan across pull workers.
+
+    The coordinator owns the plan (viewers, shards, seed, margin), leases
+    one shard-sized work unit at a time to ``repro work`` pull loops over
+    the versioned jobs wire API, collects their fingerprint-verified
+    uploads, and — once every unit is complete — folds the accumulator
+    states in a hierarchical merge tree and atomically publishes the
+    stitched manifest plus the merged library, byte-identical to a
+    single-machine ``generate-dataset --shards`` + ``train --sharded`` run.
+    """
+
+    KIND: ClassVar[str] = "serve"
+
+    output: str = ""
+    library: str = ""
+    viewers: int = 20
+    shards: int = 2
+    seed: int = 0
+    margin: int = 8
+    cross_traffic: bool = True
+    write_pcaps: bool = True
+    host: str = "127.0.0.1"
+    port: int = 0
+    lease_ttl: float = 60.0
+
+    def validate(self) -> None:
+        if self.shards < 1:
+            raise ReproError(
+                "--shards must be at least 1 (the plan leases whole shards)"
+            )
+        if self.viewers < 1:
+            raise ReproError("--viewers must be at least 1")
+        if self.lease_ttl <= 0:
+            raise ReproError(
+                "--lease-ttl must be positive (seconds before a silent "
+                "worker's unit is reassigned)"
+            )
+
+
+@dataclass(frozen=True)
+class WorkJob(JobSpec):
+    """``repro work``: pull, execute and upload leased units until done."""
+
+    KIND: ClassVar[str] = "work"
+
+    url: str = ""
+    worker_id: str | None = None
+    scratch: str | None = None
+    poll_interval: float = 0.5
+    max_units: int | None = None
+
+    def validate(self) -> None:
+        if self.poll_interval <= 0:
+            raise ReproError("--poll-interval must be positive")
+        if self.max_units is not None and self.max_units < 1:
+            raise ReproError("--max-units must be at least 1")
+
+
+@dataclass(frozen=True)
 class InspectJob(JobSpec):
     """``repro inspect``: summarise a capture file."""
 
@@ -262,6 +322,8 @@ SPEC_CLASSES: tuple[type[JobSpec], ...] = (
     WatchJob,
     ReproduceJob,
     InspectJob,
+    ServeJob,
+    WorkJob,
 )
 _SPECS_BY_KIND: dict[str, type[JobSpec]] = {
     spec_class.KIND: spec_class for spec_class in SPEC_CLASSES

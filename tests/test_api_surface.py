@@ -1,0 +1,73 @@
+"""The public import contract: ``__all__`` audits and top-level re-exports.
+
+``repro``'s package docstring promises two public layers — the domain
+attack API and the jobs layer the CLI and fleet coordinator drive.  These
+tests pin that promise: everything in an ``__all__`` actually exists,
+everything public-looking is listed, and the names the docstring calls out
+import from the top-level package directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+import repro.coordinator
+import repro.ingest
+import repro.jobs
+
+
+AUDITED_PACKAGES = [repro, repro.coordinator, repro.ingest, repro.jobs]
+
+
+@pytest.mark.parametrize(
+    "package", AUDITED_PACKAGES, ids=lambda module: module.__name__
+)
+def test_all_names_resolve_and_stay_sorted(package):
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package.__name__}.__all__ lists {name}"
+    assert list(package.__all__) == sorted(package.__all__)
+    assert len(set(package.__all__)) == len(package.__all__)
+
+
+@pytest.mark.parametrize(
+    "package", AUDITED_PACKAGES, ids=lambda module: module.__name__
+)
+def test_no_public_binding_is_missing_from_all(package):
+    # Anything bound at package level without a leading underscore is either
+    # exported or a submodule; a "public" helper that is neither is an
+    # accidental API we would have to support forever.
+    import types
+
+    for name, value in vars(package).items():
+        if name.startswith("_") or isinstance(value, types.ModuleType):
+            continue
+        if name == "annotations":
+            continue
+        assert name in package.__all__, (
+            f"{package.__name__}.{name} looks public but is not in __all__"
+        )
+
+
+def test_jobs_layer_is_importable_from_the_top_level_package():
+    # The exact surface the package docstring's "Import contract" promises.
+    from repro import JobResult, JobRunner, Workspace, job_from_dict
+
+    assert JobRunner is repro.jobs.JobRunner
+    assert Workspace is repro.jobs.Workspace
+    assert job_from_dict is repro.jobs.job_from_dict
+    assert JobResult is repro.jobs.JobResult
+    for name in ("JobResult", "JobRunner", "Workspace", "job_from_dict"):
+        assert name in repro.__all__
+
+
+def test_version_stamps_are_integers_and_documented():
+    # The three version handshakes the import contract names.
+    assert isinstance(repro.jobs.SCHEMA_VERSION, int)
+    assert isinstance(repro.jobs.EVENT_SCHEMA_VERSION, int)
+    assert isinstance(repro.coordinator.WIRE_VERSION, int)
+    docstring = repro.__doc__
+    assert "Import contract" in docstring
+    assert "job_from_dict" in docstring
+    assert "EVENT_SCHEMA_VERSION" in docstring
+    assert "WIRE_VERSION" in docstring

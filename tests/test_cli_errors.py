@@ -99,6 +99,32 @@ from repro.cli.main import main
             "such file or directory: '{tmp}/missing.pcap'",
             id="inspect-missing-pcap",
         ),
+        pytest.param(
+            ["serve", "{tmp}/root", "{tmp}/lib.json", "--shards", "0"],
+            "error: --shards must be at least 1 (the plan leases whole shards)",
+            id="serve-zero-shards",
+        ),
+        pytest.param(
+            ["serve", "{tmp}/root", "{tmp}/lib.json", "--viewers", "0"],
+            "error: --viewers must be at least 1",
+            id="serve-zero-viewers",
+        ),
+        pytest.param(
+            ["serve", "{tmp}/root", "{tmp}/lib.json", "--lease-ttl", "0"],
+            "error: --lease-ttl must be positive (seconds before a silent "
+            "worker's unit is reassigned)",
+            id="serve-zero-lease-ttl",
+        ),
+        pytest.param(
+            ["work", "http://127.0.0.1:1", "--poll-interval", "0"],
+            "error: --poll-interval must be positive",
+            id="work-zero-poll-interval",
+        ),
+        pytest.param(
+            ["work", "http://127.0.0.1:1", "--max-units", "0"],
+            "error: --max-units must be at least 1",
+            id="work-zero-max-units",
+        ),
     ],
 )
 def test_bad_input_exit_status_and_first_stderr_line(

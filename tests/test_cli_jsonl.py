@@ -1,9 +1,11 @@
 """``--log-format jsonl``: the machine-readable narration contract.
 
 Every stdout line of a jsonl run must parse as JSON with an ``event``
-field, the flag must work both before and after the sub-command name, and
-switching renderers must change narration only — the artifacts written are
-byte-identical to a console run's.
+field and the event schema version stamp (``"schema": N`` — the version
+handshake coordinators and workers refuse mismatches by), the flag must
+work both before and after the sub-command name, and switching renderers
+must change narration only — the artifacts written are byte-identical to a
+console run's.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import json
 import pytest
 
 from repro.cli.main import main
+from repro.jobs import EVENT_SCHEMA_VERSION
 
 
 @pytest.fixture(scope="module")
@@ -42,6 +45,9 @@ def _jsonl_events(output: str) -> list[dict]:
     for line in lines:
         event = json.loads(line)  # every line must parse
         assert "event" in event, f"line without an 'event' field: {line}"
+        assert event.get("schema") == EVENT_SCHEMA_VERSION, (
+            f"line without the event schema stamp: {line}"
+        )
         events.append(event)
     return events
 

@@ -1,0 +1,132 @@
+"""Workspace / fingerprint edge cases the fleet protocol leans on.
+
+Content fingerprints are the coordinator's only defence against corrupted
+uploads, so the corners matter: empty directories, trees re-fingerprinted
+after partial writes, and the worker-side refusal to upload artifacts whose
+bytes changed after their job finished.
+"""
+
+from __future__ import annotations
+
+import io
+import tarfile
+from pathlib import Path
+
+import pytest
+
+from repro.coordinator.worker import pack_directory, verify_artifacts
+from repro.exceptions import CoordinatorError, JobError
+from repro.jobs import Workspace, fingerprint_path
+from repro.jobs.runner import JobResult
+
+
+# -- fingerprint_path -------------------------------------------------------
+
+
+def test_empty_directories_fingerprint_identically(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    assert fingerprint_path(tmp_path / "a") == fingerprint_path(tmp_path / "b")
+
+
+def test_empty_directory_differs_from_one_with_an_empty_file(tmp_path):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    (tmp_path / "b" / "stub").write_bytes(b"")
+    # The tree fold hashes relative paths, so even zero-byte members count.
+    assert fingerprint_path(tmp_path / "a") != fingerprint_path(tmp_path / "b")
+
+
+def test_fingerprint_is_location_independent(tmp_path):
+    for root in ("here", "there/nested"):
+        directory = tmp_path / root
+        directory.mkdir(parents=True)
+        (directory / "x.txt").write_text("payload")
+        (directory / "sub").mkdir()
+        (directory / "sub" / "y.txt").write_text("more")
+    assert fingerprint_path(tmp_path / "here") == fingerprint_path(
+        tmp_path / "there/nested"
+    )
+
+
+def test_refingerprinting_detects_a_partial_write(tmp_path):
+    directory = tmp_path / "dataset"
+    directory.mkdir()
+    target = directory / "trace.pcap"
+    target.write_bytes(b"x" * 1024)
+    before = fingerprint_path(directory)
+    # Simulate a writer dying mid-rewrite: same file, truncated bytes.
+    target.write_bytes(b"x" * 100)
+    assert fingerprint_path(directory) != before
+    # Restoring the original bytes restores the fingerprint exactly.
+    target.write_bytes(b"x" * 1024)
+    assert fingerprint_path(directory) == before
+
+
+def test_missing_path_fails_loudly(tmp_path):
+    with pytest.raises(JobError):
+        fingerprint_path(tmp_path / "nope")
+
+
+# -- Workspace --------------------------------------------------------------
+
+
+def test_workspace_anchors_relative_paths_only(tmp_path):
+    workspace = Workspace(tmp_path)
+    assert workspace.resolve("out/lib.json") == tmp_path / "out/lib.json"
+    absolute = Path("/somewhere/else")
+    assert workspace.resolve(absolute) == absolute
+
+
+def test_workspace_artifact_kinds_follow_the_filesystem(tmp_path):
+    workspace = Workspace(tmp_path)
+    (tmp_path / "d").mkdir()
+    (tmp_path / "d" / "f").write_text("x")
+    (tmp_path / "f.json").write_text("{}")
+    assert workspace.artifact("d", "d").kind == "directory"
+    assert workspace.artifact("f", "f.json").kind == "file"
+
+
+# -- worker upload guards ---------------------------------------------------
+
+
+def _result_with(workspace: Workspace, path: str) -> JobResult:
+    return JobResult(
+        job="generate-dataset",
+        artifacts=(workspace.artifact("dataset", path),),
+    )
+
+
+def test_verify_artifacts_accepts_untouched_outputs(tmp_path):
+    workspace = Workspace(tmp_path)
+    (tmp_path / "dataset").mkdir()
+    (tmp_path / "dataset" / "metadata.json").write_text("{}")
+    verify_artifacts(workspace, [_result_with(workspace, "dataset")])
+
+
+def test_verify_artifacts_refuses_bytes_changed_after_the_job(tmp_path):
+    workspace = Workspace(tmp_path)
+    (tmp_path / "dataset").mkdir()
+    target = tmp_path / "dataset" / "metadata.json"
+    target.write_text("{}")
+    result = _result_with(workspace, "dataset")
+    target.write_text('{"tampered": true}')  # partial write / concurrent writer
+    with pytest.raises(CoordinatorError) as caught:
+        verify_artifacts(workspace, [result])
+    assert caught.value.field == "artifact"
+    assert "refusing to upload" in str(caught.value)
+
+
+def test_pack_directory_round_trips_the_fingerprint(tmp_path):
+    source = tmp_path / "source"
+    source.mkdir()
+    (source / "a.txt").write_text("alpha")
+    (source / "deep").mkdir()
+    (source / "deep" / "b.bin").write_bytes(bytes(range(256)))
+    blob = pack_directory(source)
+
+    extracted = tmp_path / "extracted"
+    extracted.mkdir()
+    with tarfile.open(fileobj=io.BytesIO(blob)) as archive:
+        archive.extractall(extracted)
+    assert fingerprint_path(extracted) == fingerprint_path(source)
