@@ -1,0 +1,96 @@
+"""Arena sweep benchmark: cell throughput and peak per-cell memory.
+
+The arena's unit of work is the cell — simulate, defend, retrain the
+attacker, score — and a sweep's wall-clock is cells × cell cost, whether
+the cells run serially, in a ``--shard-workers`` pool, or leased across a
+fleet.  This benchmark scores a small grid through the same
+:func:`~repro.arena.cell.run_cell` every execution path uses and publishes:
+
+* ``arena_cells_per_minute`` — end-to-end cell throughput on this runner;
+* ``arena_peak_cell_bytes`` — peak traced Python-heap of one cell, the
+  number that bounds per-worker memory when a pool scores cells
+  concurrently (cells are independent, so pool peak ≈ workers × this).
+
+It also re-scores one cell and asserts the canonical bytes are identical —
+the determinism the resume and coordinator paths stand on, checked in the
+same process that measures it.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from repro.arena.cell import cell_to_json, run_cell
+from repro.arena.grid import ArenaGrid
+
+from conftest import run_once
+
+DEFENSES = (
+    "pad-to-multiple:block_bytes=64",
+    "pad-to-constant:target_bytes=4096",
+)
+CLASSIFIERS = ("interval:margin=8",)
+SEED = 29
+
+
+def _cell_kwargs(grid, cell) -> dict:
+    return dict(
+        cell_id=cell.cell_id,
+        condition=cell.condition,
+        defense=cell.defense,
+        classifier=cell.classifier,
+        train_count=grid.train_count,
+        test_count=grid.test_count,
+        seed=grid.seed,
+    )
+
+
+def _score_grid(grid):
+    """Score every cell serially; returns (results, elapsed seconds)."""
+    started = time.perf_counter()
+    results = [run_cell(**_cell_kwargs(grid, cell)) for cell in grid.cells()]
+    return results, time.perf_counter() - started
+
+
+def test_arena_sweep_throughput_and_cell_memory(benchmark):
+    grid = ArenaGrid.from_axes(
+        defenses=DEFENSES,
+        classifiers=CLASSIFIERS,
+        train_count=1,
+        test_count=1,
+        seed=SEED,
+    )
+    results, elapsed = run_once(benchmark, _score_grid, grid)
+    cells_per_minute = len(results) / elapsed * 60.0
+
+    # Peak heap of one representative (defended) cell, traced in isolation.
+    last = grid.cells()[-1]
+    tracemalloc.start()
+    try:
+        rescored = run_cell(**_cell_kwargs(grid, last))
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    # The determinism pin: same cell spec, same canonical bytes.
+    assert cell_to_json(rescored) == cell_to_json(results[-1])
+
+    benchmark.extra_info.update(
+        {
+            "arena_cells_per_minute": cells_per_minute,
+            "arena_peak_cell_bytes": float(peak),
+        }
+    )
+    print(
+        f"\narena sweep of {len(results)} cells: "
+        f"{elapsed:.2f}s ({cells_per_minute:.1f} cells/minute), "
+        f"peak cell heap {peak / 1e6:.1f}MB"
+    )
+
+    # Sanity, not a perf gate: the undefended baseline costs nothing and
+    # the constant-padding cell pays the most overhead.
+    undefended = results[0]["metrics"]
+    padded = results[-1]["metrics"]
+    assert undefended["overhead_bytes_per_session"] == 0.0
+    assert padded["overhead_bytes_per_session"] > 0.0

@@ -40,6 +40,6 @@ def test_defense_ablation(benchmark):
     # record-length channel; and the timing channel survives all of them.
     assert result.undefended_accuracy >= 0.95
     assert result.best_defense.choice_accuracy <= 0.4
-    assert result.evaluation_for("pad-to-constant-4096").choice_accuracy <= 0.2
-    assert result.evaluation_for("pad-to-multiple-64").choice_accuracy >= 0.9
+    assert result.evaluation_for("pad-to-constant(target_bytes=4096)").choice_accuracy <= 0.2
+    assert result.evaluation_for("pad-to-multiple(block_bytes=64)").choice_accuracy >= 0.9
     assert result.timing_channel_survives

@@ -26,13 +26,21 @@ True
 
 Import contract
 ---------------
-Two layers are public API, re-exported here and covered by the schema/wire
-versioning rules; everything else is internal and may move between
-releases.
+Three layers are public API, re-exported here (or from their package)
+and covered by the schema/wire versioning rules; everything else is
+internal and may move between releases.
 
 *Domain layer* — the attack itself: :class:`WhiteMirrorAttack`,
 :class:`IITMBandersnatchDataset`, :func:`build_bandersnatch_script`,
 :class:`SessionConfig`, :func:`simulate_session`.
+
+*Component-spec layer* — declarative construction of the swappable
+pieces: :data:`repro.defenses.DEFENSE_REGISTRY` and
+:data:`repro.ml.CLASSIFIER_REGISTRY` map stable names plus params dicts
+to instances, and every registry-built instance round-trips through
+``spec()``/``from_spec()`` (sorted keys, ``"schema"``-stamped).  The
+arena (``repro arena``, :mod:`repro.arena`) constructs every defense and
+classifier it sweeps exclusively through these registries.
 
 *Jobs layer* — programmatic runs, the same surface the CLI and the fleet
 coordinator drive: build a spec dict, rebuild it with

@@ -1,0 +1,179 @@
+"""The sweep grammar and the ordered cartesian grid of arena cells.
+
+A sweep axis entry is ``name[:key=value,...]`` — the registry name of a
+defense or classifier, optionally followed by constructor params
+(``pad-to-multiple:block_bytes=64``).  Values auto-type: integers, floats
+and ``true``/``false`` parse to their Python types, anything else stays a
+string.  Entries are validated eagerly through the component registries,
+so a typo fails at grid construction naming the bad entry, not mid-sweep.
+
+Conditions are the usual five-attribute keys
+(``linux/desktop/firefox/wired/noon``).  The grid always adds the
+undefended baseline per condition × classifier, so every report carries
+its own reference rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.client.profiles import OperationalCondition
+from repro.components import ComponentRegistry
+from repro.defenses.registry import DEFENSE_REGISTRY
+from repro.exceptions import ComponentError, ConfigurationError
+from repro.ml.registry import CLASSIFIER_REGISTRY
+
+#: Default axes: the standard defense suite, the two strongest estimator
+#: families of the classifier ablation, and the Figure 2 Linux condition.
+DEFAULT_DEFENSES: tuple[str, ...] = (
+    "pad-to-multiple:block_bytes=64",
+    "pad-to-multiple:block_bytes=512",
+    "pad-to-constant:target_bytes=4096",
+    "split-records:parts=3",
+    "compress-state-reports",
+)
+DEFAULT_CLASSIFIERS: tuple[str, ...] = (
+    "interval:margin=8",
+    "knn:k=7",
+)
+DEFAULT_CONDITIONS: tuple[str, ...] = ("linux/desktop/firefox/wired/noon",)
+
+
+def _parse_value(text: str) -> object:
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_component_entry(
+    entry: str, registry: ComponentRegistry
+) -> dict[str, object]:
+    """One sweep-axis entry → a validated canonical component spec."""
+    name, separator, rest = entry.partition(":")
+    name = name.strip()
+    params: dict[str, object] = {}
+    if separator:
+        for item in rest.split(","):
+            key, equals, value = item.partition("=")
+            if not equals or not key.strip():
+                raise ComponentError(
+                    f"bad {registry.kind} sweep entry {entry!r}: expected "
+                    "name[:key=value,...]"
+                )
+            params[key.strip()] = _parse_value(value.strip())
+    return registry.spec(registry.build(name, params))
+
+
+def parse_condition_entry(entry: str) -> str:
+    """One condition entry → its validated canonical key."""
+    parts = entry.split("/")
+    if len(parts) != 5:
+        raise ConfigurationError(
+            f"bad condition entry {entry!r}: expected 5 '/'-separated "
+            "attributes (os/platform/browser/connection/traffic)"
+        )
+    return OperationalCondition(*parts).key
+
+
+@dataclass(frozen=True)
+class ArenaCell:
+    """One scored point of the sweep: defense × classifier × condition."""
+
+    index: int
+    cell_id: str
+    defense: dict | None
+    classifier: dict
+    condition: str
+
+
+@dataclass(frozen=True)
+class ArenaGrid:
+    """The full sweep, with axes held as canonical component specs."""
+
+    defenses: tuple[dict, ...]
+    classifiers: tuple[dict, ...]
+    conditions: tuple[str, ...]
+    train_count: int = 2
+    test_count: int = 2
+    seed: int = 0
+
+    @classmethod
+    def from_axes(
+        cls,
+        defenses: Sequence[str] = (),
+        classifiers: Sequence[str] = (),
+        conditions: Sequence[str] = (),
+        train_count: int = 2,
+        test_count: int = 2,
+        seed: int = 0,
+    ) -> "ArenaGrid":
+        """Parse grammar-string axes into a validated grid.
+
+        Empty axes fall back to the defaults, so ``repro arena`` with no
+        axis flags sweeps the standard defense suite.
+        """
+        if train_count < 1 or test_count < 1:
+            raise ConfigurationError(
+                "arena session counts must be positive "
+                f"(got train={train_count}, test={test_count})"
+            )
+        return cls(
+            defenses=tuple(
+                parse_component_entry(entry, DEFENSE_REGISTRY)
+                for entry in (defenses or DEFAULT_DEFENSES)
+            ),
+            classifiers=tuple(
+                parse_component_entry(entry, CLASSIFIER_REGISTRY)
+                for entry in (classifiers or DEFAULT_CLASSIFIERS)
+            ),
+            conditions=tuple(
+                parse_condition_entry(entry)
+                for entry in (conditions or DEFAULT_CONDITIONS)
+            ),
+            train_count=train_count,
+            test_count=test_count,
+            seed=seed,
+        )
+
+    @property
+    def cell_count(self) -> int:
+        """Cells in the grid, including the undefended baselines."""
+        return (
+            len(self.conditions)
+            * (len(self.defenses) + 1)
+            * len(self.classifiers)
+        )
+
+    def cells(self) -> list[ArenaCell]:
+        """Every cell in canonical order (condition → defense → classifier).
+
+        The undefended baseline leads each condition block, so reference
+        rows sit next to the defenses they calibrate.  Cell ids are
+        positional (``cell-0000`` ...) and stable for a given grid — the
+        resume and coordinator paths key on them.
+        """
+        cells: list[ArenaCell] = []
+        for condition in self.conditions:
+            for defense in (None, *self.defenses):
+                for classifier in self.classifiers:
+                    index = len(cells)
+                    cells.append(
+                        ArenaCell(
+                            index=index,
+                            cell_id=f"cell-{index:04d}",
+                            defense=defense,
+                            classifier=classifier,
+                            condition=condition,
+                        )
+                    )
+        return cells

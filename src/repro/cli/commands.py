@@ -14,6 +14,7 @@ import argparse
 
 from repro.ingest.tasks import DEFAULT_CLIENT_IP  # noqa: F401 - CLI help text
 from repro.jobs import (
+    ArenaJob,
     AttackJob,
     EventBus,
     GenerateJob,
@@ -125,6 +126,25 @@ def cmd_watch(arguments: argparse.Namespace) -> int:
     )
 
 
+def cmd_arena(arguments: argparse.Namespace) -> int:
+    """Handle ``repro arena``."""
+    return _run(
+        arguments,
+        ArenaJob(
+            output=arguments.output,
+            report=arguments.report,
+            defenses=tuple(arguments.defenses),
+            classifiers=tuple(arguments.classifiers),
+            conditions=tuple(arguments.conditions),
+            train_count=arguments.train_count,
+            test_count=arguments.test_count,
+            seed=arguments.seed,
+            shard_workers=arguments.shard_workers,
+            resume=arguments.resume,
+        ),
+    )
+
+
 def cmd_serve(arguments: argparse.Namespace) -> int:
     """Handle ``repro serve``."""
     return _run(
@@ -141,6 +161,12 @@ def cmd_serve(arguments: argparse.Namespace) -> int:
             host=arguments.host,
             port=arguments.port,
             lease_ttl=arguments.lease_ttl,
+            arena=arguments.arena,
+            defenses=tuple(arguments.defenses),
+            classifiers=tuple(arguments.classifiers),
+            conditions=tuple(arguments.conditions),
+            train_count=arguments.train_count,
+            test_count=arguments.test_count,
         ),
     )
 

@@ -80,6 +80,33 @@ def build_parser() -> argparse.ArgumentParser:
             "(see\n"
             "  examples/fleet_coordinator.py)\n"
             "\n"
+            "attack-vs-defense arena:\n"
+            "  sweep defense x classifier x condition cells and publish the\n"
+            "  Pareto frontier of (overhead, leakage):\n"
+            "    repro arena OUT --defenses pad-to-multiple:block_bytes=64 "
+            "\\\n"
+            "      pad-to-constant:target_bytes=4096 --classifiers "
+            "interval:margin=8 knn:k=7\n"
+            "  sweep entries are declarative component specs "
+            "(name[:key=value,...])\n"
+            "  resolved through the defense/classifier registries — a typo "
+            "fails at\n"
+            "  parse time naming the bad entry.  each cell retrains its "
+            "classifier on\n"
+            "  the defended traffic (an adaptive attacker) and scores "
+            "overhead and\n"
+            "  leakage; cells land atomically under OUT/cells/ and the "
+            "report at\n"
+            "  OUT/report.json.  --shard-workers N scores cells in a "
+            "process pool,\n"
+            "  --resume reuses cells whose files match the grid (kill -9 "
+            "mid-sweep and\n"
+            "  re-run: only missing cells are re-scored), and `repro serve "
+            "--arena` +\n"
+            "  `repro work` lease cells across machines — the published "
+            "report is\n"
+            "  byte-identical in every mode\n"
+            "\n"
             "live capture ingest:\n"
             "  tail a pcap drop directory and attack captures as they "
             "finish landing:\n"
@@ -112,9 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
             "  (pcap resized or newer than it) falls back to parsing "
             "transparently.\n"
             "  pcap reading and record classification are vectorized; CI's\n"
-            "  perf-ratchet job replays benchmarks/bench_hotpath.py and\n"
-            "  benchmarks/bench_ingest_latency.py against the floors in\n"
-            "  benchmarks/BENCH_baselines.json and fails on regression.  "
+            "  perf-ratchet job replays benchmarks/bench_hotpath.py,\n"
+            "  benchmarks/bench_ingest_latency.py and "
+            "benchmarks/bench_arena_sweep.py\n"
+            "  against the floors in benchmarks/BENCH_baselines.json and "
+            "fails on regression.  "
             "after a\n"
             "  legitimate speedup, re-baseline with one line and commit the "
             "result:\n"
@@ -429,6 +458,90 @@ def build_parser() -> argparse.ArgumentParser:
     add_log_format_argument(watch)
     watch.set_defaults(handler=commands.cmd_watch)
 
+    arena = subparsers.add_parser(
+        "arena",
+        help=(
+            "sweep defense × classifier × condition cells (adaptive "
+            "attacker) and publish the overhead/leakage Pareto report"
+        ),
+    )
+    arena.add_argument(
+        "output",
+        help="directory cell results land in (cells/ + report.json)",
+    )
+    arena.add_argument(
+        "--report",
+        default="",
+        metavar="PATH",
+        help="where to write the report (default: <output>/report.json)",
+    )
+    arena.add_argument(
+        "--defenses",
+        nargs="+",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "defense sweep entries, name[:key=value,...] resolved through "
+            "the defense registry (default: the standard defense suite); "
+            "the undefended baseline is always added"
+        ),
+    )
+    arena.add_argument(
+        "--classifiers",
+        nargs="+",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "classifier sweep entries, name[:key=value,...] resolved "
+            "through the classifier registry (default: interval:margin=8 "
+            "knn:k=7)"
+        ),
+    )
+    arena.add_argument(
+        "--conditions",
+        nargs="+",
+        default=[],
+        metavar="KEY",
+        help=(
+            "operational conditions to sweep, os/platform/browser/"
+            "connection/traffic (default: linux/desktop/firefox/wired/noon)"
+        ),
+    )
+    arena.add_argument(
+        "--train-count",
+        type=int,
+        default=2,
+        help="training sessions per cell (default 2)",
+    )
+    arena.add_argument(
+        "--test-count",
+        type=int,
+        default=2,
+        help="attacked sessions per cell (default 2)",
+    )
+    arena.add_argument(
+        "--seed", type=int, default=0, help="sweep seed (default 0)"
+    )
+    arena.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help=(
+            "score cells in a process pool of N; the report is "
+            "byte-identical to the serial run"
+        ),
+    )
+    arena.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reuse cell files that match the current grid and re-score "
+            "only the missing or mismatched cells"
+        ),
+    )
+    add_log_format_argument(arena)
+    arena.set_defaults(handler=commands.cmd_arena)
+
     serve = subparsers.add_parser(
         "serve",
         help=(
@@ -490,6 +603,50 @@ def build_parser() -> argparse.ArgumentParser:
             "seconds before a silent worker's unit returns to the pool "
             "(default 60)"
         ),
+    )
+    serve.add_argument(
+        "--arena",
+        action="store_true",
+        help=(
+            "serve an arena sweep instead of a generate+train plan: each "
+            "grid cell is one leasable unit, LIBRARY is the arena report "
+            "path, and --defenses/--classifiers/--conditions/--train-count/"
+            "--test-count describe the grid (--viewers/--shards/--margin "
+            "are ignored)"
+        ),
+    )
+    serve.add_argument(
+        "--defenses",
+        nargs="+",
+        default=[],
+        metavar="SPEC",
+        help="arena defense sweep entries (requires --arena)",
+    )
+    serve.add_argument(
+        "--classifiers",
+        nargs="+",
+        default=[],
+        metavar="SPEC",
+        help="arena classifier sweep entries (requires --arena)",
+    )
+    serve.add_argument(
+        "--conditions",
+        nargs="+",
+        default=[],
+        metavar="KEY",
+        help="arena conditions to sweep (requires --arena)",
+    )
+    serve.add_argument(
+        "--train-count",
+        type=int,
+        default=2,
+        help="arena training sessions per cell (default 2)",
+    )
+    serve.add_argument(
+        "--test-count",
+        type=int,
+        default=2,
+        help="arena attacked sessions per cell (default 2)",
     )
     add_log_format_argument(serve)
     serve.set_defaults(handler=commands.cmd_serve)

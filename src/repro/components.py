@@ -1,0 +1,220 @@
+"""Declarative component specs: names + params as first-class wire citizens.
+
+The arena sweeps defenses and classifiers across processes and machines, so
+both must serialise exactly like job specs do: a component is described by a
+spec dict ``{"component": kind, "name": ..., "params": {...}, "schema": 1}``
+with sorted keys, and a :class:`ComponentRegistry` maps that description to a
+constructed instance.  ``from_spec(spec(x))`` round-trips byte-identically
+because the canonical spec records exactly the params the caller supplied
+(defaults are neither merged in nor dropped).
+
+Malformed input fails loudly and names the offending field: an unregistered
+name lists the registered ones, an unknown param names it and the accepted
+params, a wrong-typed param names the param and both types, and a malformed
+spec dict names the spec field that is missing or wrong.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Mapping
+
+from repro.exceptions import ComponentError
+
+#: Version stamped into every component spec.  Bump on incompatible change;
+#: consumers must refuse versions they do not speak.
+COMPONENT_SCHEMA_VERSION = 1
+
+#: Spec fields every component spec carries, and nothing else.
+_SPEC_FIELDS = ("component", "name", "params", "schema")
+
+
+def component_instance_name(spec: Mapping[str, object]) -> str:
+    """Unique, parameter-bearing display name for a component spec.
+
+    ``pad-to-multiple`` with ``{"block_bytes": 64}`` becomes
+    ``"pad-to-multiple(block_bytes=64)"``; a parameterless component keeps
+    its bare registry name.  Params are sorted, so the name is stable no
+    matter how the spec was built.
+    """
+    name = spec["name"]
+    params = spec.get("params") or {}
+    if not params:
+        return str(name)
+    inner = ",".join(f"{key}={params[key]}" for key in sorted(params))
+    return f"{name}({inner})"
+
+
+def _annotation_name(parameter: inspect.Parameter) -> str:
+    annotation = parameter.annotation
+    if annotation is inspect.Parameter.empty:
+        return ""
+    if isinstance(annotation, str):
+        return annotation
+    return getattr(annotation, "__name__", str(annotation))
+
+
+def _check_param_type(kind: str, name: str, param: str, expected: str, value: object) -> None:
+    """Validate one param value against its factory annotation.
+
+    Only the simple scalar annotations are enforced (``int`` / ``float`` /
+    ``bool`` / ``str``); anything fancier is the factory's own job to
+    validate.  ``bool`` is deliberately not an acceptable ``int``/``float``
+    even though Python subclasses it — ``{"k": true}`` is a spec bug.
+    """
+    ok = True
+    if expected == "bool":
+        ok = isinstance(value, bool)
+    elif expected == "int":
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif expected == "float":
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif expected == "str":
+        ok = isinstance(value, str)
+    if not ok:
+        raise ComponentError(
+            f"{kind} {name!r} param {param!r} must be {expected}, "
+            f"got {type(value).__name__} {value!r}"
+        )
+
+
+class ComponentRegistry:
+    """Maps stable names + params dicts to constructed component instances.
+
+    One registry per component kind (``"defense"``, ``"classifier"``);
+    the kind is stamped into every spec so a defense spec handed to the
+    classifier registry fails by name instead of constructing nonsense.
+    """
+
+    def __init__(self, kind: str, base_type: type) -> None:
+        self._kind = kind
+        self._base_type = base_type
+        self._factories: dict[str, Callable[..., object]] = {}
+
+    @property
+    def kind(self) -> str:
+        """The component kind stamped into specs (e.g. ``"defense"``)."""
+        return self._kind
+
+    def register(self, name: str, factory: Callable[..., object]) -> None:
+        """Register a factory (usually the class itself) under a stable name."""
+        if name in self._factories:
+            raise ComponentError(f"{self._kind} {name!r} is already registered")
+        self._factories[name] = factory
+
+    def names(self) -> tuple[str, ...]:
+        """The registered names, sorted."""
+        return tuple(sorted(self._factories))
+
+    def _factory_for(self, name: object) -> Callable[..., object]:
+        if not isinstance(name, str) or name not in self._factories:
+            registered = ", ".join(self.names())
+            raise ComponentError(
+                f"unknown {self._kind} {name!r}; registered {self._kind}s: {registered}"
+            )
+        return self._factories[name]
+
+    def build(self, name: str, params: Mapping[str, object] | None = None) -> object:
+        """Construct a component from its registry name and a params dict.
+
+        Params are validated against the factory signature — unknown or
+        wrong-typed params and missing required ones fail by name before the
+        factory runs — and the canonical spec is stamped onto the instance so
+        :meth:`spec` can round-trip it.
+        """
+        factory = self._factory_for(name)
+        params = dict(params or {})
+        signature = inspect.signature(factory)
+        accepted = {
+            parameter.name: parameter
+            for parameter in signature.parameters.values()
+            if parameter.kind
+            in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        }
+        unknown = sorted(set(params) - set(accepted))
+        if unknown:
+            raise ComponentError(
+                f"{self._kind} {name!r} got unknown param(s) {unknown}; "
+                f"accepted params: {sorted(accepted)}"
+            )
+        missing = sorted(
+            parameter.name
+            for parameter in accepted.values()
+            if parameter.default is inspect.Parameter.empty
+            and parameter.name not in params
+        )
+        if missing:
+            raise ComponentError(
+                f"{self._kind} {name!r} is missing required param(s) {missing}"
+            )
+        for param_name in sorted(params):
+            expected = _annotation_name(accepted[param_name])
+            if expected:
+                _check_param_type(self._kind, name, param_name, expected, params[param_name])
+        instance = factory(**params)
+        if not isinstance(instance, self._base_type):
+            raise ComponentError(
+                f"{self._kind} {name!r} factory returned {type(instance).__name__}, "
+                f"not a {self._base_type.__name__}"
+            )
+        instance._component_spec = {
+            "component": self._kind,
+            "name": name,
+            "params": {key: params[key] for key in sorted(params)},
+            "schema": COMPONENT_SCHEMA_VERSION,
+        }
+        return instance
+
+    def spec(self, instance: object) -> dict[str, object]:
+        """The canonical spec dict of a registry-built instance.
+
+        Only instances constructed through :meth:`build` / :meth:`from_spec`
+        carry a spec; a directly-constructed instance fails loudly so sweep
+        code cannot silently bypass the registry.
+        """
+        stamped = getattr(instance, "_component_spec", None)
+        if stamped is None or stamped.get("component") != self._kind:
+            raise ComponentError(
+                f"{type(instance).__name__} instance was not built by the "
+                f"{self._kind} registry; construct it via build() or from_spec()"
+            )
+        return {
+            "component": stamped["component"],
+            "name": stamped["name"],
+            "params": dict(stamped["params"]),
+            "schema": stamped["schema"],
+        }
+
+    def from_spec(self, data: object) -> object:
+        """Inverse of :meth:`spec`: validate a spec dict and build it."""
+        if not isinstance(data, Mapping):
+            raise ComponentError(
+                f"{self._kind} spec must be a mapping, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(_SPEC_FIELDS))
+        if unknown:
+            raise ComponentError(f"{self._kind} spec has unknown field(s) {unknown}")
+        missing = sorted(field for field in _SPEC_FIELDS if field not in data)
+        if missing:
+            raise ComponentError(f"{self._kind} spec is missing field(s) {missing}")
+        schema = data["schema"]
+        if schema != COMPONENT_SCHEMA_VERSION:
+            raise ComponentError(
+                f"unsupported component spec field 'schema': expected "
+                f"{COMPONENT_SCHEMA_VERSION}, got {schema!r}"
+            )
+        component = data["component"]
+        if component != self._kind:
+            raise ComponentError(
+                f"spec field 'component' is {component!r}, "
+                f"but this is the {self._kind!r} registry"
+            )
+        params = data["params"]
+        if not isinstance(params, Mapping):
+            raise ComponentError(
+                f"{self._kind} spec field 'params' must be a mapping, "
+                f"got {type(params).__name__}"
+            )
+        name = data["name"]
+        self._factory_for(name)
+        return self.build(name, params)

@@ -4,8 +4,10 @@ The coordinator turns the manual distributed flow (per-machine
 ``generate-dataset --only-shards`` + ``train --sharded --save-state``,
 rsync, ``stitch-dataset``, ``merge-fingerprints``) into a service:
 
-* :mod:`repro.coordinator.plan` — the logical plan, cut into leasable
-  per-shard units of ordinary :mod:`repro.jobs` specs;
+* :mod:`repro.coordinator.plan` — the logical plans, cut into leasable
+  units of ordinary :mod:`repro.jobs` specs: per-shard generate+train
+  pairs (:class:`FleetPlan`) or per-cell arena sweeps
+  (:class:`ArenaPlan`, ``repro serve --arena``);
 * :mod:`repro.coordinator.wire` — the versioned JSON envelope those specs
   and event feeds travel in;
 * :mod:`repro.coordinator.ledger` — durable lease state, crash-safe via
@@ -21,12 +23,13 @@ running the same plan serially.
 
 from repro.coordinator.ledger import LeaseLedger, WorkUnit
 from repro.coordinator.merge import fold_states_tree
-from repro.coordinator.plan import FleetPlan
+from repro.coordinator.plan import ArenaPlan, FleetPlan
 from repro.coordinator.service import Coordinator
 from repro.coordinator.wire import WIRE_VERSION
 from repro.coordinator.worker import PullWorker, RemoteEventSink
 
 __all__ = [
+    "ArenaPlan",
     "Coordinator",
     "FleetPlan",
     "LeaseLedger",

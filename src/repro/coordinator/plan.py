@@ -24,12 +24,13 @@ from typing import Any, Mapping
 
 from repro.dataset.shards import shard_dirname
 from repro.exceptions import CoordinatorError
-from repro.jobs.specs import GenerateJob, TrainJob
+from repro.jobs.specs import ArenaCellJob, GenerateJob, TrainJob
 
 #: Workspace-relative paths every leased unit writes into.
 UNIT_DATASET_DIR = "dataset"
 UNIT_STATE_FILE = "state.json"
 UNIT_LIBRARY_FILE = "library.json"
+UNIT_CELL_FILE = "cell.json"
 
 #: Upload kinds (mirroring the artifact kinds of :mod:`repro.jobs.artifacts`).
 UPLOAD_DIRECTORY = "directory"
@@ -143,3 +144,115 @@ class FleetPlan:
                 f"shard {shard} is outside the plan's 0..{self.shards - 1}",
                 field="shard",
             )
+
+
+@dataclass(frozen=True)
+class ArenaPlan:
+    """An arena sweep cut into leasable one-cell units.
+
+    The axes travel as the sweep grammar strings (``name[:key=value,...]``)
+    the user wrote, so the plan dict on the wire stays declarative; each
+    unit's :class:`~repro.jobs.specs.ArenaCellJob` carries the *canonical*
+    component specs the grid validated, and the worker rebuilds both
+    components through the registries.  Because a cell is a pure function
+    of its spec, the cell files a fleet uploads are byte-identical to the
+    ones a local ``repro arena`` writes, and so is the published report.
+    """
+
+    defenses: tuple[str, ...] = ()
+    classifiers: tuple[str, ...] = ()
+    conditions: tuple[str, ...] = ()
+    train_count: int = 2
+    test_count: int = 2
+    seed: int = 0
+
+    def validate(self) -> None:
+        # Grid construction is the validation: every axis entry round-trips
+        # through the component registries, and bad entries/counts raise
+        # naming themselves.
+        self._grid()
+
+    def _grid(self):
+        from repro.arena.grid import ArenaGrid
+
+        return ArenaGrid.from_axes(
+            defenses=self.defenses,
+            classifiers=self.classifiers,
+            conditions=self.conditions,
+            train_count=self.train_count,
+            test_count=self.test_count,
+            seed=self.seed,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        data = {}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            data[field.name] = value
+        return dict(sorted(data.items()))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArenaPlan":
+        field_names = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - field_names)
+        if unknown:
+            raise CoordinatorError(
+                f"arena plan has unknown field(s) {unknown} "
+                f"(known fields: {sorted(field_names)})",
+                field=unknown[0],
+            )
+        missing = sorted(field_names - set(data))
+        if missing:
+            raise CoordinatorError(
+                f"arena plan is missing field(s) {missing}", field=missing[0]
+            )
+        return cls(
+            **{
+                name: tuple(data[name])
+                if isinstance(data[name], list)
+                else data[name]
+                for name in field_names
+            }
+        )
+
+    # -- work units --------------------------------------------------------
+
+    def unit_ids(self) -> tuple[str, ...]:
+        """One unit per grid cell, named after the cell id."""
+        return tuple(cell.cell_id for cell in self._grid().cells())
+
+    def unit_jobs(self, index: int) -> tuple[ArenaCellJob]:
+        """The single-cell spec a worker runs for one unit."""
+        cell = self._require_cell(index)
+        grid = self._grid()
+        return (
+            ArenaCellJob(
+                output=UNIT_CELL_FILE,
+                cell=cell.cell_id,
+                condition=cell.condition,
+                defense=cell.defense,
+                classifier=cell.classifier,
+                train_count=grid.train_count,
+                test_count=grid.test_count,
+                seed=grid.seed,
+            ),
+        )
+
+    def unit_uploads(self, index: int) -> tuple[dict[str, str], ...]:
+        """One file upload per unit: the cell's canonical JSON bytes."""
+        self._require_cell(index)
+        return (
+            {"name": "cell", "path": UNIT_CELL_FILE, "kind": UPLOAD_FILE},
+        )
+
+    def _require_cell(self, index: int):
+        cells = self._grid().cells()
+        if not 0 <= index < len(cells):
+            raise CoordinatorError(
+                f"cell index {index} is outside the plan's "
+                f"0..{len(cells) - 1}",
+                field="shard",
+            )
+        return cells[index]

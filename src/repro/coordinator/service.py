@@ -47,7 +47,12 @@ from typing import Any, Callable, Mapping
 from repro.coordinator import wire
 from repro.coordinator.ledger import LeaseLedger, WorkUnit
 from repro.coordinator.merge import fold_states_tree
-from repro.coordinator.plan import UPLOAD_DIRECTORY, UPLOAD_FILE, FleetPlan
+from repro.coordinator.plan import (
+    UPLOAD_DIRECTORY,
+    UPLOAD_FILE,
+    ArenaPlan,
+    FleetPlan,
+)
 from repro.core.fingerprint import FingerprintAccumulator, FingerprintLibrary
 from repro.dataset.shards import stitch_sharded_dataset
 from repro.exceptions import CoordinatorError, JobError
@@ -67,7 +72,7 @@ class Coordinator:
 
     def __init__(
         self,
-        plan: FleetPlan,
+        plan: FleetPlan | ArenaPlan,
         bus: EventBus,
         *,
         root: str | Path,
@@ -367,15 +372,25 @@ class Coordinator:
             host, port = self.start()
         else:
             host, port = self._host, self._server.server_address[1]
-        self._emit(
-            ev.SERVE_STARTED,
-            viewers=self._plan.viewers,
-            seed=self._plan.seed,
-            shards=self._plan.shards,
-            host=host,
-            port=port,
-            lease_ttl=self._lease_ttl,
-        )
+        if isinstance(self._plan, ArenaPlan):
+            self._emit(
+                ev.SERVE_STARTED,
+                cells=len(self._plan.unit_ids()),
+                seed=self._plan.seed,
+                host=host,
+                port=port,
+                lease_ttl=self._lease_ttl,
+            )
+        else:
+            self._emit(
+                ev.SERVE_STARTED,
+                viewers=self._plan.viewers,
+                seed=self._plan.seed,
+                shards=self._plan.shards,
+                host=host,
+                port=port,
+                lease_ttl=self._lease_ttl,
+            )
         # Short waits keep the loop interruptible (Ctrl-C stops a serve).
         while not self._complete.wait(0.1):
             pass
@@ -400,6 +415,8 @@ class Coordinator:
         Everything here is a pure function of the verified uploads, so a
         crash between any two steps republishes identically on restart.
         """
+        if isinstance(self._plan, ArenaPlan):
+            return self._publish_arena()
         states = []
         for unit in self._ledger.units():
             path = self._states_dir / f"{unit.unit}.json"
@@ -442,6 +459,50 @@ class Coordinator:
             "units": len(units),
             "workers": len(workers),
             "environments": len(library.condition_keys),
+        }
+
+    def _publish_arena(self) -> dict[str, object]:
+        """Place the verified cell bytes and write the arena report.
+
+        The staged uploads *are* the canonical cell files (workers write
+        them with :func:`repro.arena.cell.cell_to_json`), so publication
+        copies bytes verbatim into ``<root>/cells/`` and rebuilds the
+        report from them — byte-identical to a local ``repro arena`` run
+        of the same grid, and idempotent on restart.
+        """
+        from repro.arena.report import ArenaReport
+
+        cells_dir = self._root / "cells"
+        cells_dir.mkdir(parents=True, exist_ok=True)
+        results = []
+        for unit in self._ledger.units():
+            payload = (self._states_dir / f"{unit.unit}.json").read_bytes()
+            destination = cells_dir / f"{unit.unit}.json"
+            with tempfile.NamedTemporaryFile(dir=cells_dir, delete=False) as handle:
+                handle.write(payload)
+            os.replace(handle.name, destination)
+            results.append(json.loads(payload.decode("utf-8")))
+        report = ArenaReport(results)
+        self._emit(
+            ev.TABLE,
+            title="Arena — defense × classifier sweep",
+            rows=report.rows(),
+            blank_after=True,
+        )
+        report.save(self._library_path)
+        self._emit(
+            ev.ARTIFACT_WRITTEN,
+            path=str(self._library_path),
+            label="arena-report",
+        )
+        units = self._ledger.units()
+        workers = sorted({unit.worker for unit in units if unit.worker})
+        self._emit(ev.PLAN_COMPLETE, units=len(units), workers=len(workers))
+        return {
+            "units": len(units),
+            "workers": len(workers),
+            "cells": len(results),
+            "frontier": len(report.frontier),
         }
 
 

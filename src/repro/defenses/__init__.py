@@ -13,17 +13,30 @@ from repro.defenses.splitting import SplitRecords
 from repro.defenses.compression import CompressStateReports
 from repro.defenses.base import RecordDefense, apply_defense
 from repro.defenses.timing import TimingOnlyAttack, timing_question_recall
-from repro.defenses.evaluation import DefenseEvaluation, evaluate_defenses
+from repro.defenses.evaluation import DefenseEvaluation, evaluate_defenses, timing_scores
+from repro.defenses.registry import (
+    DEFENSE_REGISTRY,
+    build_defense,
+    defense_from_spec,
+    defense_names,
+    defense_spec,
+)
 
 __all__ = [
+    "CompressStateReports",
+    "DEFENSE_REGISTRY",
+    "DefenseEvaluation",
     "PadToConstant",
     "PadToMultiple",
-    "SplitRecords",
-    "CompressStateReports",
     "RecordDefense",
-    "apply_defense",
+    "SplitRecords",
     "TimingOnlyAttack",
-    "timing_question_recall",
-    "DefenseEvaluation",
+    "apply_defense",
+    "build_defense",
+    "defense_from_spec",
+    "defense_names",
+    "defense_spec",
     "evaluate_defenses",
+    "timing_question_recall",
+    "timing_scores",
 ]

@@ -10,6 +10,7 @@ ground-truth labels attached so the defended traffic can still be scored.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import Sequence
 
@@ -20,8 +21,37 @@ from repro.exceptions import DefenseError
 class RecordDefense(ABC):
     """A transformation applied to the client-side record sequence."""
 
-    #: Human-readable name used in evaluation tables.
-    name: str = "defense"
+    #: Legacy display name set by subclass constructors; superseded by the
+    #: registry-derived :attr:`instance_name` for registry-built instances.
+    _instance_name: str | None = None
+
+    @property
+    def instance_name(self) -> str:
+        """Unique, parameter-bearing name used in evaluation tables.
+
+        Registry-built instances derive it from their component spec (e.g.
+        ``"pad-to-multiple(block_bytes=64)"``), so two differently-tuned
+        instances of the same class can never collide in a table.  Directly
+        constructed instances fall back to the legacy constructor-set name.
+        """
+        spec = getattr(self, "_component_spec", None)
+        if spec is not None:
+            from repro.components import component_instance_name
+
+            return component_instance_name(spec)
+        if self._instance_name is not None:
+            return self._instance_name
+        return "defense"
+
+    @property
+    def name(self) -> str:
+        """Deprecated alias of :attr:`instance_name`; removed next release."""
+        warnings.warn(
+            "RecordDefense.name is deprecated; use RecordDefense.instance_name",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.instance_name
 
     @abstractmethod
     def transform(self, records: Sequence[ClientRecord]) -> list[ClientRecord]:
@@ -42,8 +72,12 @@ def apply_defense(
         raise DefenseError("cannot defend an empty record sequence")
     defended = defense.transform(records)
     if not defended:
-        raise DefenseError(f"defence {defense.name!r} produced an empty record sequence")
+        raise DefenseError(
+            f"defence {defense.instance_name!r} produced an empty record sequence"
+        )
     timestamps = [record.timestamp for record in defended]
     if timestamps != sorted(timestamps):
-        raise DefenseError(f"defence {defense.name!r} broke record time ordering")
+        raise DefenseError(
+            f"defence {defense.instance_name!r} broke record time ordering"
+        )
     return defended

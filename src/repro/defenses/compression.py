@@ -52,7 +52,7 @@ class CompressStateReports(RecordDefense):
         self._jitter = ratio_jitter
         self._min_length = min_length_to_compress
         self._rng = RandomSource(seed, ("compression-defense",))
-        self.name = f"compress-ratio-{mean_ratio:.2f}"
+        self._instance_name = f"compress-ratio-{mean_ratio:.2f}"
 
     def transform(self, records: Sequence[ClientRecord]) -> list[ClientRecord]:
         defended: list[ClientRecord] = []

@@ -62,10 +62,14 @@ def _choice_accuracy(evaluations: Sequence[AttackEvaluation]) -> float:
     return correct / total if total else 0.0
 
 
-def _timing_scores(
+def timing_scores(
     session: SessionResult, defended: Sequence[ClientRecord]
 ) -> tuple[float, float]:
-    """(choice accuracy, question recall) of the timing-only attack."""
+    """(choice accuracy, question recall) of the timing-only attack.
+
+    Shared by the defence ablation and the arena's per-cell scoring: both
+    must report the residual timing channel with identical arithmetic.
+    """
     attack = TimingOnlyAttack()
     inferred = attack.infer(defended, session.trace)
     truth = session.path.default_pattern
@@ -142,7 +146,7 @@ def evaluate_defenses(
                 overheads.append(float(defense.overhead_bytes(original, defended)))
             else:
                 overheads.append(0.0)
-            timing_accuracy, recall = _timing_scores(session, defended)
+            timing_accuracy, recall = timing_scores(session, defended)
             timing_accuracies.append(timing_accuracy)
             timing_recalls.append(recall)
         return DefenseEvaluation(
@@ -159,5 +163,5 @@ def evaluate_defenses(
     if include_undefended:
         results.append(_evaluate("no defense", None))
     for defense in defenses:
-        results.append(_evaluate(defense.name, defense))
+        results.append(_evaluate(defense.instance_name, defense))
     return results

@@ -22,7 +22,7 @@ class PadToMultiple(RecordDefense):
         if block_bytes <= 0:
             raise DefenseError(f"block size must be positive, got {block_bytes}")
         self._block = block_bytes
-        self.name = f"pad-to-multiple-{block_bytes}"
+        self._instance_name = f"pad-to-multiple-{block_bytes}"
 
     @property
     def block_bytes(self) -> int:
@@ -56,7 +56,7 @@ class PadToConstant(RecordDefense):
         if target_bytes <= 0:
             raise DefenseError(f"target size must be positive, got {target_bytes}")
         self._target = target_bytes
-        self.name = f"pad-to-constant-{target_bytes}"
+        self._instance_name = f"pad-to-constant-{target_bytes}"
 
     @property
     def target_bytes(self) -> int:

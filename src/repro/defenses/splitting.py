@@ -35,7 +35,7 @@ class SplitRecords(RecordDefense):
         self._parts = parts
         self._min_length = min_length_to_split
         self._overhead = per_part_overhead
-        self.name = f"split-into-{parts}"
+        self._instance_name = f"split-into-{parts}"
 
     @property
     def parts(self) -> int:

@@ -61,6 +61,15 @@ class IngestError(ReproError):
     """
 
 
+class ComponentError(ReproError):
+    """Raised for malformed component specs or misuse of a component registry.
+
+    Every message names the offending piece: the unregistered component
+    name (listing the registered ones), the unknown/missing/wrong-typed
+    param, or the spec field that is absent or carries the wrong value.
+    """
+
+
 class JobError(ReproError):
     """Raised by the jobs layer: an unserialisable or wrong-schema job
     spec, an artifact that cannot be fingerprinted, or an event no

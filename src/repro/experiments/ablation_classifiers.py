@@ -28,11 +28,7 @@ from repro.engine.executor import BatchExecutor
 from repro.engine.plan import SessionPlan
 from repro.exceptions import AttackError
 from repro.ml.base import Classifier
-from repro.ml.interval import IntervalClassifier
-from repro.ml.knn import KNearestNeighbors
-from repro.ml.logistic import LogisticRegressionClassifier
-from repro.ml.naive_bayes import GaussianNaiveBayes
-from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.registry import build_classifier
 from repro.narrative.bandersnatch import build_bandersnatch_script
 from repro.narrative.graph import StoryGraph
 from repro.utils.rng import derive_seed
@@ -101,12 +97,17 @@ class ClassifierAblationResult:
 
 
 def _generic_estimators() -> dict[str, Callable[[], Classifier]]:
+    """Display name → factory; every factory goes through the registry."""
+    specs: dict[str, tuple[str, dict[str, object]]] = {
+        "interval classifier": ("interval", {"margin": 8}),
+        "k-nearest neighbours (k=7)": ("knn", {"k": 7}),
+        "gaussian naive bayes": ("naive-bayes", {}),
+        "decision tree (depth 8)": ("tree", {"max_depth": 8}),
+        "logistic regression": ("logistic", {"iterations": 300}),
+    }
     return {
-        "interval classifier": lambda: IntervalClassifier(margin=8),
-        "k-nearest neighbours (k=7)": lambda: KNearestNeighbors(k=7),
-        "gaussian naive bayes": lambda: GaussianNaiveBayes(),
-        "decision tree (depth 8)": lambda: DecisionTreeClassifier(max_depth=8),
-        "logistic regression": lambda: LogisticRegressionClassifier(iterations=300),
+        display: (lambda name=name, params=params: build_classifier(name, params))
+        for display, (name, params) in specs.items()
     }
 
 

@@ -7,10 +7,8 @@ from dataclasses import dataclass
 from repro.client.profiles import OperationalCondition
 from repro.client.viewer import ViewerBehavior
 from repro.defenses.base import RecordDefense
-from repro.defenses.compression import CompressStateReports
 from repro.defenses.evaluation import DefenseEvaluation, evaluate_defenses
-from repro.defenses.padding import PadToConstant, PadToMultiple
-from repro.defenses.splitting import SplitRecords
+from repro.defenses.registry import build_defense
 from repro.engine.executor import BatchExecutor
 from repro.engine.plan import SessionPlan
 from repro.exceptions import DefenseError
@@ -24,14 +22,21 @@ def standard_defense_suite() -> list[RecordDefense]:
 
     Ordered from weakest (coarse padding) to strongest (constant-size
     records), with splitting and compression in between — the two fixes the
-    paper explicitly suggests.
+    paper explicitly suggests.  Every instance is built through the defense
+    registry, so its ``instance_name`` carries its parameters and its spec
+    round-trips over the wire.
     """
+    return [build_defense(name, params) for name, params in standard_defense_specs()]
+
+
+def standard_defense_specs() -> list[tuple[str, dict[str, object]]]:
+    """(registry name, params) pairs behind :func:`standard_defense_suite`."""
     return [
-        PadToMultiple(64),
-        PadToMultiple(512),
-        PadToConstant(4096),
-        SplitRecords(parts=3),
-        CompressStateReports(),
+        ("pad-to-multiple", {"block_bytes": 64}),
+        ("pad-to-multiple", {"block_bytes": 512}),
+        ("pad-to-constant", {"target_bytes": 4096}),
+        ("split-records", {"parts": 3}),
+        ("compress-state-reports", {}),
     ]
 
 

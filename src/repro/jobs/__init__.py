@@ -32,6 +32,8 @@ from repro.jobs.runner import JobResult, JobRunner
 from repro.jobs.specs import (
     SCHEMA_VERSION,
     SPEC_CLASSES,
+    ArenaCellJob,
+    ArenaJob,
     AttackJob,
     GenerateJob,
     InspectJob,
@@ -47,6 +49,8 @@ from repro.jobs.specs import (
 )
 
 __all__ = [
+    "ArenaCellJob",
+    "ArenaJob",
     "Artifact",
     "AttackJob",
     "ConsoleRenderer",

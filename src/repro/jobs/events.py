@@ -58,6 +58,9 @@ NOTE = "note"
 FIGURE1 = "figure1"
 HEADLINE = "headline"
 RESULT = "result"
+# Attack-vs-defense arena (repro arena).
+ARENA_STARTED = "arena-started"
+CELL_COMPLETE = "cell-complete"
 # Fleet coordination (repro serve / repro work).
 SERVE_STARTED = "serve-started"
 LEASE_GRANTED = "lease-granted"

@@ -80,6 +80,8 @@ class ConsoleRenderer:
             ev.NOTE: self._note,
             ev.FIGURE1: self._figure1,
             ev.HEADLINE: self._headline,
+            ev.ARENA_STARTED: self._arena_started,
+            ev.CELL_COMPLETE: self._cell_complete,
             ev.SERVE_STARTED: self._serve_started,
             ev.LEASE_GRANTED: self._lease_granted,
             ev.LEASE_RECLAIMED: self._lease_reclaimed,
@@ -300,7 +302,28 @@ class ConsoleRenderer:
         self._print(f"matches the paper's description: {data['matches']}")
         self._print()
 
+    def _arena_started(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"arena: {data['cells']} cell(s) — {data['defenses']} defense(s) "
+            f"(+ undefended) × {data['classifiers']} classifier(s) × "
+            f"{data['conditions']} condition(s), seed {data['seed']}..."
+        )
+
+    def _cell_complete(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"  {data['cell']}: {data['defense']} vs {data['classifier']} "
+            f"acc={data['choice_accuracy']:.4f} "
+            f"overhead={data['overhead_bytes']:.1f}B [{data['state']}]"
+        )
+
     def _serve_started(self, data: Mapping[str, object]) -> None:
+        if "cells" in data:
+            self._print(
+                f"serving arena plan: {data['cells']} cell(s) "
+                f"(seed {data['seed']}) at http://{data['host']}:{data['port']} "
+                f"(lease ttl {data['lease_ttl']:g}s)"
+            )
+            return
         self._print(
             f"serving plan: {data['viewers']} viewers (seed {data['seed']}) "
             f"across {data['shards']} shards at "

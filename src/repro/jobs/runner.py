@@ -17,6 +17,9 @@ which sinks are attached.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -58,6 +61,8 @@ from repro.jobs import events as ev
 from repro.jobs.artifacts import Artifact, Workspace
 from repro.jobs.events import EventBus
 from repro.jobs.specs import (
+    ArenaCellJob,
+    ArenaJob,
     AttackJob,
     GenerateJob,
     InspectJob,
@@ -107,6 +112,8 @@ class JobRunner:
             WatchJob: self._run_watch,
             ReproduceJob: self._run_reproduce,
             InspectJob: self._run_inspect,
+            ArenaJob: self._run_arena,
+            ArenaCellJob: self._run_arena_cell,
             ServeJob: self._run_serve,
             WorkJob: self._run_work,
         }
@@ -801,6 +808,163 @@ class JobRunner:
             summary={"records": len(records)},
         )
 
+    # -- arena -------------------------------------------------------------
+
+    def _run_arena(self, spec: ArenaJob) -> JobResult:
+        """Score the sweep grid locally, cell by cell, and publish the report.
+
+        Every execution path lands on the same bytes: cells are scored by
+        the pure :func:`repro.arena.cell.run_cell` (optionally fanned out
+        across ``--shard-workers`` processes), written atomically under
+        ``<output>/cells/``, and the report is rebuilt from the cell
+        results in grid order — so serial, sharded, resumed and
+        coordinator-leased runs publish identical reports.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.arena.cell import cell_to_json, run_cell
+        from repro.arena.grid import ArenaGrid
+        from repro.arena.report import ArenaReport
+
+        grid = ArenaGrid.from_axes(
+            defenses=spec.defenses,
+            classifiers=spec.classifiers,
+            conditions=spec.conditions,
+            train_count=spec.train_count,
+            test_count=spec.test_count,
+            seed=spec.seed,
+        )
+        cells = grid.cells()
+        output = Path(self._resolve(spec.output))
+        cells_dir = output / "cells"
+        cells_dir.mkdir(parents=True, exist_ok=True)
+        self._bus.emit(
+            ev.ARENA_STARTED,
+            cells=len(cells),
+            defenses=len(grid.defenses),
+            classifiers=len(grid.classifiers),
+            conditions=len(grid.conditions),
+            seed=grid.seed,
+        )
+        results: dict[str, dict] = {}
+        if spec.resume:
+            for cell in cells:
+                reused = _matching_cell_result(
+                    cells_dir / f"{cell.cell_id}.json", cell, grid
+                )
+                if reused is not None:
+                    results[cell.cell_id] = reused
+        pending = [cell for cell in cells if cell.cell_id not in results]
+        reused_count = len(results)
+
+        def cell_kwargs(cell: object) -> dict[str, object]:
+            return dict(
+                cell_id=cell.cell_id,
+                condition=cell.condition,
+                defense=cell.defense,
+                classifier=cell.classifier,
+                train_count=grid.train_count,
+                test_count=grid.test_count,
+                seed=grid.seed,
+            )
+
+        # Futures are consumed in submission (= grid) order, so the event
+        # stream is deterministic even though cells complete out of order.
+        futures: dict[str, object] = {}
+        executor: ProcessPoolExecutor | None = None
+        if spec.shard_workers is not None and pending:
+            executor = ProcessPoolExecutor(max_workers=spec.shard_workers)
+            futures = {
+                cell.cell_id: executor.submit(run_cell, **cell_kwargs(cell))
+                for cell in pending
+            }
+        try:
+            for cell in cells:
+                if cell.cell_id in results:
+                    result = results[cell.cell_id]
+                    state = "reused"
+                else:
+                    if futures:
+                        result = futures[cell.cell_id].result()
+                    else:
+                        result = run_cell(**cell_kwargs(cell))
+                    _write_text_atomic(
+                        cells_dir / f"{cell.cell_id}.json", cell_to_json(result)
+                    )
+                    results[cell.cell_id] = result
+                    state = "scored"
+                self._bus.emit(
+                    ev.CELL_COMPLETE,
+                    cell=cell.cell_id,
+                    defense=result["defense_name"],
+                    classifier=result["classifier_name"],
+                    choice_accuracy=result["metrics"]["choice_accuracy"],
+                    overhead_bytes=result["metrics"][
+                        "overhead_bytes_per_session"
+                    ],
+                    state=state,
+                )
+        finally:
+            if executor is not None:
+                executor.shutdown()
+        report = ArenaReport([results[cell.cell_id] for cell in cells])
+        self._bus.emit(
+            ev.TABLE,
+            title="Arena — defense × classifier sweep",
+            rows=report.rows(),
+            blank_after=True,
+        )
+        report_display = spec.report or str(Path(spec.output) / "report.json")
+        report.save(self._resolve(report_display))
+        self._bus.emit(
+            ev.ARTIFACT_WRITTEN, path=report_display, label="arena-report"
+        )
+        return JobResult(
+            job=spec.KIND,
+            artifacts=(
+                self._workspace.artifact("arena-report", report_display),
+            ),
+            summary={
+                "cells": len(cells),
+                "reused": reused_count,
+                "frontier": len(report.frontier),
+            },
+        )
+
+    def _run_arena_cell(self, spec: ArenaCellJob) -> JobResult:
+        """Score one leased arena cell and write its canonical JSON bytes."""
+        from repro.arena.cell import cell_to_json, run_cell
+
+        result = run_cell(
+            cell_id=spec.cell,
+            condition=spec.condition,
+            defense=dict(spec.defense) if spec.defense is not None else None,
+            classifier=dict(spec.classifier),
+            train_count=spec.train_count,
+            test_count=spec.test_count,
+            seed=spec.seed,
+        )
+        path = Path(self._resolve(spec.output))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _write_text_atomic(path, cell_to_json(result))
+        self._bus.emit(
+            ev.CELL_COMPLETE,
+            cell=spec.cell,
+            defense=result["defense_name"],
+            classifier=result["classifier_name"],
+            choice_accuracy=result["metrics"]["choice_accuracy"],
+            overhead_bytes=result["metrics"]["overhead_bytes_per_session"],
+            state="scored",
+        )
+        return JobResult(
+            job=spec.KIND,
+            artifacts=(self._workspace.artifact("arena-cell", spec.output),),
+            summary={
+                "cell": spec.cell,
+                "choice_accuracy": result["metrics"]["choice_accuracy"],
+            },
+        )
+
     # -- fleet coordination ------------------------------------------------
 
     def _run_serve(self, spec: ServeJob) -> JobResult:
@@ -810,17 +974,27 @@ class JobRunner:
         imports this runner — the same seam that keeps the experiments
         package out of every non-``reproduce`` invocation.
         """
-        from repro.coordinator.plan import FleetPlan
+        from repro.coordinator.plan import ArenaPlan, FleetPlan
         from repro.coordinator.service import Coordinator
 
-        plan = FleetPlan(
-            viewers=spec.viewers,
-            shards=spec.shards,
-            seed=spec.seed,
-            margin=spec.margin,
-            cross_traffic=spec.cross_traffic,
-            write_pcaps=spec.write_pcaps,
-        )
+        if spec.arena:
+            plan: ArenaPlan | FleetPlan = ArenaPlan(
+                defenses=spec.defenses,
+                classifiers=spec.classifiers,
+                conditions=spec.conditions,
+                train_count=spec.train_count,
+                test_count=spec.test_count,
+                seed=spec.seed,
+            )
+        else:
+            plan = FleetPlan(
+                viewers=spec.viewers,
+                shards=spec.shards,
+                seed=spec.seed,
+                margin=spec.margin,
+                cross_traffic=spec.cross_traffic,
+                write_pcaps=spec.write_pcaps,
+            )
         coordinator = Coordinator(
             plan,
             self._bus,
@@ -836,12 +1010,19 @@ class JobRunner:
             coordinator.close()
             self._bus.emit(ev.STOPPED)
             return JobResult(job=spec.KIND, summary={"stopped": True})
-        return JobResult(
-            job=spec.KIND,
-            artifacts=(
+        if spec.arena:
+            artifacts = (
+                self._workspace.artifact("arena-cells", spec.output),
+                self._workspace.artifact("arena-report", spec.library),
+            )
+        else:
+            artifacts = (
                 self._workspace.artifact("dataset", spec.output),
                 self._workspace.artifact("library", spec.library),
-            ),
+            )
+        return JobResult(
+            job=spec.KIND,
+            artifacts=artifacts,
             summary=dict(summary),
         )
 
@@ -1014,6 +1195,54 @@ def fingerprint_rows(library: FingerprintLibrary) -> list[dict[str, object]]:
         }
         for key in sorted(library.condition_keys)
     ]
+
+
+def _write_text_atomic(path: Path, payload: str) -> None:
+    """Write ``payload`` via temp-file + rename, so readers (a resumed
+    sweep, the coordinator's publisher) never see a torn cell file."""
+    with tempfile.NamedTemporaryFile(
+        "w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=path.name + ".",
+        suffix=".tmp",
+        delete=False,
+    ) as handle:
+        handle.write(payload)
+    os.replace(handle.name, path)
+
+
+def _matching_cell_result(path: Path, cell, grid) -> dict | None:
+    """A previously written cell result, iff it matches the current grid.
+
+    Resume must never trust a stale file: the result is reused only when
+    its identity fields (cell id, condition, component specs, counts,
+    seed, schema) all equal what the grid would run now.  Anything else —
+    unreadable, truncated by SIGKILL mid-write, or from a different sweep
+    — is silently re-scored.
+    """
+    from repro.arena.cell import ARENA_SCHEMA_VERSION
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or not isinstance(data.get("metrics"), dict):
+        return None
+    expected = {
+        "cell": cell.cell_id,
+        "condition": cell.condition,
+        "defense": cell.defense,
+        "classifier": cell.classifier,
+        "seed": grid.seed,
+        "sessions": {"test": grid.test_count, "train": grid.train_count},
+        "schema": ARENA_SCHEMA_VERSION,
+    }
+    for key, value in expected.items():
+        if data.get(key) != value:
+            return None
+    return data
 
 
 def _dataset_seed_from_metadata(metadata: dict) -> int:

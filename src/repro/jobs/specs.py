@@ -243,6 +243,80 @@ class ReproduceJob(JobSpec):
 
 
 @dataclass(frozen=True)
+class ArenaJob(JobSpec):
+    """``repro arena``: sweep defense × classifier × condition cells.
+
+    The sweep axes are declarative component-spec entries
+    (``name[:key=value,...]``, see :mod:`repro.arena.grid`): every defense
+    and classifier in the grid is constructed exclusively through the
+    component registries, so a typo fails at validation naming the bad
+    entry.  Cells are scored independently (optionally fanned out across
+    ``--shard-workers`` processes), each written atomically to
+    ``<output>/cells/<cell>.json``; ``--resume`` reuses cells whose files
+    match the current grid.  The published report is byte-identical no
+    matter how the cells were executed.
+    """
+
+    KIND: ClassVar[str] = "arena"
+
+    output: str = ""
+    report: str = ""
+    defenses: tuple[str, ...] = ()
+    classifiers: tuple[str, ...] = ()
+    conditions: tuple[str, ...] = ()
+    train_count: int = 2
+    test_count: int = 2
+    seed: int = 0
+    shard_workers: int | None = None
+    resume: bool = False
+
+    def validate(self) -> None:
+        if not self.output:
+            raise ReproError(
+                "arena needs --output (the directory cell results land in)"
+            )
+        if self.train_count < 1 or self.test_count < 1:
+            raise ReproError(
+                "--train-count and --test-count must be at least 1 "
+                f"(got train={self.train_count}, test={self.test_count})"
+            )
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ReproError("--shard-workers must be at least 1")
+
+
+@dataclass(frozen=True)
+class ArenaCellJob(JobSpec):
+    """One arena cell as a leasable unit of work.
+
+    This is what the coordinator hands ``repro work`` pull loops: the
+    defense and classifier travel as canonical component specs (already
+    validated by the grid), the worker rebuilds them through the
+    registries, scores the cell, and uploads the canonical JSON bytes.
+    """
+
+    KIND: ClassVar[str] = "arena-cell"
+
+    output: str = ""
+    cell: str = ""
+    condition: str = ""
+    defense: dict | None = None
+    classifier: dict | None = None
+    train_count: int = 2
+    test_count: int = 2
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not self.cell:
+            raise ReproError("an arena cell spec needs its cell id")
+        if not self.condition:
+            raise ReproError("an arena cell spec needs its condition key")
+        if self.classifier is None:
+            raise ReproError(
+                "an arena cell spec needs a classifier component spec"
+            )
+
+
+@dataclass(frozen=True)
 class ServeJob(JobSpec):
     """``repro serve``: coordinate a sharded plan across pull workers.
 
@@ -268,8 +342,31 @@ class ServeJob(JobSpec):
     host: str = "127.0.0.1"
     port: int = 0
     lease_ttl: float = 60.0
+    arena: bool = False
+    defenses: tuple[str, ...] = ()
+    classifiers: tuple[str, ...] = ()
+    conditions: tuple[str, ...] = ()
+    train_count: int = 2
+    test_count: int = 2
 
     def validate(self) -> None:
+        if self.arena:
+            if self.train_count < 1 or self.test_count < 1:
+                raise ReproError(
+                    "--train-count and --test-count must be at least 1 "
+                    f"(got train={self.train_count}, test={self.test_count})"
+                )
+            if self.lease_ttl <= 0:
+                raise ReproError(
+                    "--lease-ttl must be positive (seconds before a silent "
+                    "worker's unit is reassigned)"
+                )
+            return
+        if self.defenses or self.classifiers or self.conditions:
+            raise ReproError(
+                "--defenses/--classifiers/--conditions describe an arena "
+                "sweep; combine them with --arena"
+            )
         if self.shards < 1:
             raise ReproError(
                 "--shards must be at least 1 (the plan leases whole shards)"
@@ -322,6 +419,8 @@ SPEC_CLASSES: tuple[type[JobSpec], ...] = (
     WatchJob,
     ReproduceJob,
     InspectJob,
+    ArenaJob,
+    ArenaCellJob,
     ServeJob,
     WorkJob,
 )

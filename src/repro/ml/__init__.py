@@ -27,21 +27,33 @@ from repro.ml.knn import KNearestNeighbors
 from repro.ml.naive_bayes import GaussianNaiveBayes
 from repro.ml.tree import DecisionTreeClassifier
 from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.registry import (
+    CLASSIFIER_REGISTRY,
+    build_classifier,
+    classifier_from_spec,
+    classifier_names,
+    classifier_spec,
+)
 
 __all__ = [
-    "StratifiedSplit",
-    "kfold_indices",
-    "train_test_split",
-    "ConfusionMatrix",
-    "accuracy_score",
-    "classification_report",
-    "f1_score",
-    "precision_score",
-    "recall_score",
+    "CLASSIFIER_REGISTRY",
     "Classifier",
+    "ConfusionMatrix",
+    "DecisionTreeClassifier",
+    "GaussianNaiveBayes",
     "IntervalClassifier",
     "KNearestNeighbors",
-    "GaussianNaiveBayes",
-    "DecisionTreeClassifier",
     "LogisticRegressionClassifier",
+    "StratifiedSplit",
+    "accuracy_score",
+    "build_classifier",
+    "classification_report",
+    "classifier_from_spec",
+    "classifier_names",
+    "classifier_spec",
+    "f1_score",
+    "kfold_indices",
+    "precision_score",
+    "recall_score",
+    "train_test_split",
 ]

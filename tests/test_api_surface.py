@@ -12,12 +12,23 @@ from __future__ import annotations
 import pytest
 
 import repro
+import repro.arena
 import repro.coordinator
+import repro.defenses
 import repro.ingest
 import repro.jobs
+import repro.ml
 
 
-AUDITED_PACKAGES = [repro, repro.coordinator, repro.ingest, repro.jobs]
+AUDITED_PACKAGES = [
+    repro,
+    repro.arena,
+    repro.coordinator,
+    repro.defenses,
+    repro.ingest,
+    repro.jobs,
+    repro.ml,
+]
 
 
 @pytest.mark.parametrize(
@@ -59,6 +70,27 @@ def test_jobs_layer_is_importable_from_the_top_level_package():
     assert JobResult is repro.jobs.JobResult
     for name in ("JobResult", "JobRunner", "Workspace", "job_from_dict"):
         assert name in repro.__all__
+
+
+def test_component_registries_are_importable_from_their_packages():
+    # The component-spec layer the docstring's "Import contract" promises.
+    from repro.defenses import DEFENSE_REGISTRY, build_defense, defense_spec
+    from repro.ml import CLASSIFIER_REGISTRY, build_classifier, classifier_spec
+
+    defense = build_defense("pad-to-multiple", {"block_bytes": 64})
+    spec = defense_spec(defense)
+    assert spec["component"] == "defense"
+    assert DEFENSE_REGISTRY.names() == (
+        "compress-state-reports",
+        "pad-to-constant",
+        "pad-to-multiple",
+        "split-records",
+    )
+    classifier = build_classifier("knn", {"k": 7})
+    assert classifier_spec(classifier)["component"] == "classifier"
+    assert "knn" in CLASSIFIER_REGISTRY.names()
+    assert "DEFENSE_REGISTRY" in repro.defenses.__all__
+    assert "CLASSIFIER_REGISTRY" in repro.ml.__all__
 
 
 def test_version_stamps_are_integers_and_documented():

@@ -130,9 +130,9 @@ class TestAblations:
         assert result.baselines_near_chance or result.comparison.advantage >= 0.25
 
     def test_defense_suite_contents(self):
-        names = {defense.name for defense in standard_defense_suite()}
-        assert "pad-to-constant-4096" in names
-        assert "split-into-3" in names
+        names = {defense.instance_name for defense in standard_defense_suite()}
+        assert "pad-to-constant(target_bytes=4096)" in names
+        assert "split-records(parts=3)" in names
         assert any(name.startswith("compress") for name in names)
 
     def test_defense_ablation_degrades_attack(self):
