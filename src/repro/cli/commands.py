@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.ingest.fleet import DEFAULT_QUEUE_HIGH  # noqa: F401 - CLI help text
 from repro.ingest.tasks import DEFAULT_CLIENT_IP  # noqa: F401 - CLI help text
 from repro.jobs import (
     ArenaJob,
@@ -122,6 +123,12 @@ def cmd_watch(arguments: argparse.Namespace) -> int:
             client_ip=arguments.client_ip,
             server_ip=arguments.server_ip,
             workers=arguments.workers,
+            sources=tuple(arguments.source or ()),
+            recursive=arguments.recursive,
+            queue_high=arguments.queue_high,
+            queue_low=arguments.queue_low,
+            reload_library=arguments.reload_library,
+            metrics_port=arguments.metrics_port,
         ),
     )
 

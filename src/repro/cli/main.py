@@ -121,7 +121,18 @@ def build_parser() -> argparse.ArgumentParser:
             "  resumes from the log, skipping captures already attacked "
             "(by content\n"
             "  fingerprint), so kill-and-restart never duplicates or "
-            "drops a verdict\n"
+            "drops a verdict.\n"
+            "  repeat --source to watch a fleet of capture directories "
+            "through one\n"
+            "  bounded queue (--queue-high/--queue-low watermarks park "
+            "overflow per\n"
+            "  source), with per-source verdict attribution, hot library "
+            "reload\n"
+            "  (--reload-library, swapped between captures) and a "
+            "--metrics-port\n"
+            "  /metrics JSON endpoint; a fleet --once log is "
+            "byte-identical to the\n"
+            "  single-source runs concatenated in sorted source order\n"
             "\n"
             "performance:\n"
             "  generated shards carry a columnar sidecar "
@@ -393,16 +404,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     watch.add_argument(
         "directory",
+        nargs="?",
+        default="",
         help=(
             "capture drop directory to watch; a capture counts as finished "
             "once its .inprogress marker is renamed away, or once its size "
-            "and mtime hold still across two polls"
+            "and mtime hold still across two polls and a quiet window; "
+            "omit it and repeat --source to watch a fleet instead"
         ),
     )
     watch.add_argument(
         "--library",
         required=True,
         help="fingerprint library JSON written by 'train'",
+    )
+    watch.add_argument(
+        "--source",
+        action="append",
+        default=None,
+        metavar="DIR",
+        help=(
+            "fleet mode: a capture source directory (repeatable, replaces "
+            "the positional directory); every verdict is stamped with the "
+            "source that produced it, and sources are processed in sorted "
+            "label order so --once output is reproducible"
+        ),
+    )
+    watch.add_argument(
+        "--recursive",
+        action="store_true",
+        default=False,
+        help=(
+            "fleet mode: watch each --source directory recursively, keying "
+            "captures by their relative path"
+        ),
+    )
+    watch.add_argument(
+        "--queue-high",
+        type=int,
+        default=commands.DEFAULT_QUEUE_HIGH,
+        metavar="N",
+        help=(
+            "fleet mode: high watermark of the bounded ingest queue — at "
+            f"most N captures pending at once (default "
+            f"{commands.DEFAULT_QUEUE_HIGH}); overflow parks per source "
+            "and a queue-saturated event is emitted"
+        ),
+    )
+    watch.add_argument(
+        "--queue-low",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fleet mode: low watermark — parked captures are promoted once "
+            "the queue drains to N (default: half of --queue-high)"
+        ),
+    )
+    watch.add_argument(
+        "--reload-library",
+        default=None,
+        metavar="PATH",
+        help=(
+            "fleet mode: hot-reload staging path for the fingerprint "
+            "library; when its content changes the new library is swapped "
+            "in between captures (never mid-attack), and a corrupt stage "
+            "is reported and ignored"
+        ),
+    )
+    watch.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "fleet mode: serve GET /metrics JSON (arrival-to-verdict "
+            "latency percentiles, queue depth, per-source accuracy) on "
+            "127.0.0.1:PORT; 0 picks a free port"
+        ),
     )
     mode = watch.add_mutually_exclusive_group()
     mode.add_argument(

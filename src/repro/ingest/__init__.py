@@ -1,4 +1,4 @@
-"""Live capture ingest: tail a pcap drop directory and attack as captures land.
+"""Live capture ingest: tail pcap drop directories and attack as captures land.
 
 The online front end the paper's threat model implies — an eavesdropper
 classifies a viewer's choices as the encrypted traffic arrives, not from an
@@ -6,15 +6,35 @@ archived corpus.  :class:`CaptureWatcher` detects *finished* captures,
 :class:`IngestQueue` deduplicates and orders arrivals,
 :class:`StreamingAttackService` attacks them through the engine's streaming
 fan-out and appends durable verdicts to a resumable :class:`ResultsLog`.
-Surfaced on the command line as ``repro watch``.
+
+The fleet layer scales that to many capture boxes at once:
+:class:`FleetWatchService` multiplexes N sources (validated and canonically
+ordered by :func:`validate_sources`) through a :class:`BoundedIngestQueue`
+with explicit backpressure, hot-reloads the fingerprint library via
+:class:`LibraryReloadWatcher`, and publishes :class:`IngestMetrics` over a
+:class:`MetricsServer` ``/metrics`` endpoint.  Surfaced on the command line
+as ``repro watch`` (one positional directory, or ``--source`` repeated).
 """
 
+from repro.ingest.fleet import (
+    DEFAULT_QUEUE_HIGH,
+    DEFAULT_QUEUE_LOW,
+    BoundedIngestQueue,
+    FleetSource,
+    FleetWatchService,
+    LibraryReloadWatcher,
+    validate_sources,
+    validate_watermarks,
+)
 from repro.ingest.log import (
     RESULTS_LOG_VERSION,
     CaptureVerdict,
     ResultsLog,
+    canonical_log_bytes,
     capture_fingerprint,
+    merge_results_logs,
 )
+from repro.ingest.metrics import METRICS_PATH, IngestMetrics, MetricsServer
 from repro.ingest.service import (
     SKIP_ALREADY_ATTACKED,
     SKIP_UNREADABLE,
@@ -29,26 +49,41 @@ from repro.ingest.tasks import (
 )
 from repro.ingest.watcher import (
     CAPTURE_PATTERN,
+    DEFAULT_QUIET_SECONDS,
     INPROGRESS_SUFFIX,
     CaptureWatcher,
     IngestQueue,
 )
 
 __all__ = [
+    "BoundedIngestQueue",
     "CAPTURE_PATTERN",
     "CaptureVerdict",
     "CaptureWatcher",
     "DEFAULT_CLIENT_IP",
+    "DEFAULT_QUEUE_HIGH",
+    "DEFAULT_QUEUE_LOW",
+    "DEFAULT_QUIET_SECONDS",
+    "FleetSource",
+    "FleetWatchService",
     "INPROGRESS_SUFFIX",
+    "IngestMetrics",
     "IngestQueue",
+    "LibraryReloadWatcher",
+    "METRICS_PATH",
+    "MetricsServer",
     "RESULTS_LOG_VERSION",
     "ResultsLog",
     "SKIP_ALREADY_ATTACKED",
     "SKIP_UNREADABLE",
     "StreamingAttackService",
     "build_pcap_task",
+    "canonical_log_bytes",
     "capture_fingerprint",
     "entry_environment",
     "entry_truth",
+    "merge_results_logs",
     "metadata_entries_near",
+    "validate_sources",
+    "validate_watermarks",
 ]

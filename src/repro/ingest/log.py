@@ -28,7 +28,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.exceptions import IngestError
 
@@ -64,6 +64,10 @@ class CaptureVerdict:
     server_ip: str | None
     pattern: tuple[bool, ...]
     truth: tuple[bool, ...] | None
+    #: Which capture source produced this verdict (multi-source fleet mode);
+    #: ``None`` for single-directory runs, whose log lines must stay
+    #: byte-identical to the pre-fleet format.
+    source: str | None = None
 
     @property
     def choice_count(self) -> int:
@@ -87,8 +91,13 @@ class CaptureVerdict:
         )
 
     def as_record(self) -> dict[str, object]:
-        """JSON-friendly form (the log line's payload)."""
-        return {
+        """JSON-friendly form (the log line's payload).
+
+        The ``source`` key appears only when attribution is set: a
+        single-directory run's lines carry exactly the historical fields, so
+        the pre-fleet byte-identity contracts survive unchanged.
+        """
+        record: dict[str, object] = {
             "version": RESULTS_LOG_VERSION,
             "capture": self.capture,
             "fingerprint": self.fingerprint,
@@ -98,6 +107,9 @@ class CaptureVerdict:
             "pattern": list(self.pattern),
             "truth": None if self.truth is None else list(self.truth),
         }
+        if self.source is not None:
+            record["source"] = self.source
+        return record
 
     @classmethod
     def from_record(cls, record: Mapping[str, object]) -> "CaptureVerdict":
@@ -128,6 +140,9 @@ class CaptureVerdict:
             pattern=tuple(bool(choice) for choice in record["pattern"]),  # type: ignore[union-attr]
             truth=(
                 None if truth is None else tuple(bool(choice) for choice in truth)  # type: ignore[union-attr]
+            ),
+            source=(
+                None if record.get("source") is None else str(record["source"])
             ),
         )
 
@@ -166,24 +181,7 @@ class ResultsLog:
             return []
         except OSError as error:
             raise IngestError(f"cannot read results log: {error}") from error
-        verdicts: list[CaptureVerdict] = []
-        consumed = 0
-        offset = 0
-        while offset < len(raw):
-            newline = raw.find(b"\n", offset)
-            if newline == -1:
-                break  # trailing partial line: no terminator made it to disk
-            line = raw[offset:newline]
-            try:
-                verdicts.append(CaptureVerdict.from_record(json.loads(line)))
-            except (json.JSONDecodeError, IngestError) as error:
-                raise IngestError(
-                    f"results log {self._path} is corrupt at byte {offset} "
-                    f"(not crash debris — a crash can only leave an "
-                    f"*unterminated* final line): {error}"
-                ) from error
-            offset = newline + 1
-            consumed = offset
+        verdicts, consumed = parse_results_log_bytes(raw, self._path)
         if consumed < len(raw):
             if not repair:
                 raise IngestError(
@@ -204,10 +202,7 @@ class ResultsLog:
         is fsynced before returning, so the log on disk is always a sequence
         of complete lines plus at most one truncated tail.
         """
-        line = (
-            json.dumps(verdict.as_record(), sort_keys=True, separators=(",", ":"))
-            + "\n"
-        )
+        line = verdict_line(verdict)
         try:
             with open(self._path, "a", encoding="utf-8") as handle:
                 handle.write(line)
@@ -217,3 +212,111 @@ class ResultsLog:
             raise IngestError(
                 f"cannot append to results log {self._path}: {error}"
             ) from error
+
+
+def verdict_line(verdict: CaptureVerdict) -> str:
+    """The exact bytes (as text) one verdict occupies in a results log."""
+    return (
+        json.dumps(verdict.as_record(), sort_keys=True, separators=(",", ":"))
+        + "\n"
+    )
+
+
+def parse_results_log_bytes(
+    raw: bytes, path: str | Path = "<bytes>"
+) -> tuple[list[CaptureVerdict], int]:
+    """Parse results-log bytes with the crash-repair semantics of ``load``.
+
+    Returns ``(verdicts, consumed)`` where ``consumed`` is the byte offset
+    of the last complete line's terminator — anything beyond it is an
+    unterminated trailing partial line (crash debris).  A *terminated* line
+    that fails to parse raises, exactly as :meth:`ResultsLog.load` does,
+    because the append-only writer cannot produce one.
+    """
+    verdicts: list[CaptureVerdict] = []
+    consumed = 0
+    offset = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline == -1:
+            break  # trailing partial line: no terminator made it to disk
+        line = raw[offset:newline]
+        try:
+            verdicts.append(CaptureVerdict.from_record(json.loads(line)))
+        except (json.JSONDecodeError, IngestError) as error:
+            raise IngestError(
+                f"results log {path} is corrupt at byte {offset} "
+                f"(not crash debris — a crash can only leave an "
+                f"*unterminated* final line): {error}"
+            ) from error
+        offset = newline + 1
+        consumed = offset
+    return verdicts, consumed
+
+
+def canonical_verdict_key(verdict: CaptureVerdict) -> tuple[str, str, str]:
+    """The canonical results-log ordering: source, then capture, then content.
+
+    Sourceless (single-directory) verdicts sort as the empty source.  Within
+    one source a ``--once`` drain attacks captures in name order and logs at
+    most one verdict per content fingerprint, so sorting a source's verdicts
+    by this key reproduces the order a serial single-source run wrote them
+    in — which is what makes merge canonicalization agree with the
+    concatenated serial reference.
+    """
+    return (verdict.source or "", verdict.capture, verdict.fingerprint)
+
+
+def canonical_log_bytes(verdicts: Iterable[CaptureVerdict]) -> bytes:
+    """Canonical serialisation of a verdict set, independent of arrival order.
+
+    Deduplicates on ``(source, fingerprint)`` — the same identity the
+    streaming service resumes on — then sorts by
+    :func:`canonical_verdict_key` and serialises each verdict exactly as
+    :meth:`ResultsLog.append` would.
+    """
+    unique: dict[tuple[str | None, str], CaptureVerdict] = {}
+    for verdict in verdicts:
+        unique.setdefault((verdict.source, verdict.fingerprint), verdict)
+    ordered = sorted(unique.values(), key=canonical_verdict_key)
+    return "".join(verdict_line(verdict) for verdict in ordered).encode("utf-8")
+
+
+def merge_results_logs(
+    segments: Sequence[str | Path], output: str | Path | None = None
+) -> bytes:
+    """Merge per-source results-log segments into one canonical log.
+
+    Each segment is parsed with :func:`parse_results_log_bytes`, so a torn
+    trailing line in any segment — the debris of a killed writer — is
+    dropped exactly as :meth:`ResultsLog.load` would repair it, while
+    terminated garbage anywhere raises.  The merged verdict set is
+    canonicalised with :func:`canonical_log_bytes`; the segments themselves
+    are never modified.  When ``output`` is given the canonical bytes are
+    also written there (atomically, via a temp file and rename).
+    """
+    verdicts: list[CaptureVerdict] = []
+    for segment in segments:
+        segment_path = Path(segment)
+        try:
+            raw = segment_path.read_bytes()
+        except FileNotFoundError:
+            continue  # a source that never produced a verdict has no segment
+        except OSError as error:
+            raise IngestError(
+                f"cannot read results-log segment {segment_path}: {error}"
+            ) from error
+        parsed, _ = parse_results_log_bytes(raw, segment_path)
+        verdicts.extend(parsed)
+    merged = canonical_log_bytes(verdicts)
+    if output is not None:
+        destination = Path(output)
+        staging = destination.with_name(destination.name + ".tmp")
+        try:
+            staging.write_bytes(merged)
+            os.replace(staging, destination)
+        except OSError as error:
+            raise IngestError(
+                f"cannot write merged results log {destination}: {error}"
+            ) from error
+    return merged

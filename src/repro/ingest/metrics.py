@@ -1,0 +1,199 @@
+"""Observability for the watch fleet: latency metrics and ``/metrics``.
+
+:class:`IngestMetrics` is a thread-safe gauge/counter board the fleet loop
+feeds as captures arrive and verdicts land; :class:`MetricsServer` exposes
+its snapshot as JSON over the same stdlib-HTTP idiom
+:mod:`repro.coordinator.service` uses for the fleet coordinator's wire API —
+a ``ThreadingHTTPServer`` with daemon threads, served from a daemon thread,
+so a watch process gains observability without an event loop or a new
+dependency.
+
+The snapshot reports arrival→verdict latency percentiles (p50/p90/p99),
+queue depth/peak/parked gauges with the configured watermarks, saturation
+and reload counters, and the per-source aggregate-accuracy table.  All
+numbers are observational — nothing here participates in the byte-identity
+contract, which is why wall-clock time is allowed in this module and nowhere
+near the results log.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.utils.stats import mean, percentile
+
+#: Path the metrics endpoint answers on.
+METRICS_PATH = "/metrics"
+
+
+class IngestMetrics:
+    """Thread-safe counters and gauges for one fleet run."""
+
+    def __init__(self, clock: Callable[[], float] = time.time) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._arrivals: dict[tuple[str, str], float] = {}
+        self._latencies: list[float] = []
+        self._verdicts = 0
+        self._skips = 0
+        self._saturations = 0
+        self._reloads = 0
+        self._queue_depth = 0
+        self._queue_parked = 0
+        self._queue_peak = 0
+        self._high_watermark: int | None = None
+        self._low_watermark: int | None = None
+        self._source_rows: list[dict[str, object]] = []
+
+    def record_arrival(self, source: str, capture: str) -> None:
+        """A capture entered the fleet queue; the latency clock starts."""
+        with self._lock:
+            self._arrivals[(source, capture)] = self._clock()
+
+    def record_verdict(self, source: str, capture: str) -> None:
+        """A verdict landed; closes the capture's arrival→verdict window."""
+        now = self._clock()
+        with self._lock:
+            self._verdicts += 1
+            arrived = self._arrivals.pop((source, capture), None)
+            if arrived is not None:
+                self._latencies.append(now - arrived)
+
+    def record_skip(self) -> None:
+        with self._lock:
+            self._skips += 1
+
+    def record_saturation(self) -> None:
+        with self._lock:
+            self._saturations += 1
+
+    def record_reload(self) -> None:
+        with self._lock:
+            self._reloads += 1
+
+    def set_queue_gauges(
+        self,
+        depth: int,
+        parked: int,
+        peak: int,
+        high_watermark: int,
+        low_watermark: int,
+    ) -> None:
+        with self._lock:
+            self._queue_depth = depth
+            self._queue_parked = parked
+            self._queue_peak = peak
+            self._high_watermark = high_watermark
+            self._low_watermark = low_watermark
+
+    def set_source_rows(self, rows: list[dict[str, object]]) -> None:
+        """Publish the per-source aggregate-accuracy table."""
+        with self._lock:
+            self._source_rows = [dict(row) for row in rows]
+
+    def snapshot(self) -> dict[str, object]:
+        """One consistent JSON-friendly view of everything above."""
+        with self._lock:
+            latencies = list(self._latencies)
+            payload: dict[str, object] = {
+                "verdicts": self._verdicts,
+                "skips": self._skips,
+                "latency_s": (
+                    {
+                        "count": len(latencies),
+                        "mean": mean(latencies),
+                        "p50": percentile(latencies, 50),
+                        "p90": percentile(latencies, 90),
+                        "p99": percentile(latencies, 99),
+                    }
+                    if latencies
+                    else {"count": 0}
+                ),
+                "queue": {
+                    "depth": self._queue_depth,
+                    "parked": self._queue_parked,
+                    "peak_depth": self._queue_peak,
+                    "high_watermark": self._high_watermark,
+                    "low_watermark": self._low_watermark,
+                    "saturation_events": self._saturations,
+                },
+                "library_reloads": self._reloads,
+                "sources": [dict(row) for row in self._source_rows],
+            }
+        return payload
+
+
+class MetricsServer:
+    """Serves one :class:`IngestMetrics` snapshot as ``GET /metrics`` JSON."""
+
+    def __init__(
+        self,
+        metrics: IngestMetrics,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._metrics = metrics
+        self._host = host
+        self._port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Bind the endpoint and serve it from a daemon thread."""
+        handler = _build_handler(self._metrics)
+        self._server = ThreadingHTTPServer((self._host, self._port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-ingest-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self._host, self._server.server_address[1]
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def _build_handler(metrics: IngestMetrics) -> type[BaseHTTPRequestHandler]:
+    """A request handler bound to one metrics board."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # The event bus is the watch process's narration channel; the
+        # default per-request stderr log would drown it.
+        def log_message(self, *args: object) -> None:
+            pass
+
+        def do_GET(self) -> None:
+            if self.path != METRICS_PATH:
+                body = json.dumps(
+                    {
+                        "error": (
+                            f"unknown metrics endpoint GET {self.path} "
+                            f"(endpoints: GET {METRICS_PATH})"
+                        )
+                    }
+                ).encode("utf-8")
+                self._respond(404, body)
+                return
+            body = json.dumps(metrics.snapshot(), sort_keys=True).encode("utf-8")
+            self._respond(200, body)
+
+        def _respond(self, status: int, body: bytes) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+    return Handler

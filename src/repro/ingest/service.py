@@ -89,9 +89,8 @@ class StreamingAttackService:
         client_ip: str | None = None,
         server_ip: str | None = None,
     ) -> None:
-        self._attack = WhiteMirrorAttack(
-            graph=graph or default_study_script(), library=library
-        )
+        self._graph = graph or default_study_script()
+        self._attack = WhiteMirrorAttack(graph=self._graph, library=library)
         self._workers = workers
         self._environment = environment
         self._client_ip = client_ip
@@ -101,8 +100,13 @@ class StreamingAttackService:
         self._verdicts: list[CaptureVerdict] = (
             self._log.load() if self._log is not None else []
         )
-        self._attacked: set[str] = {
-            verdict.fingerprint for verdict in self._verdicts
+        #: Resume identity: dedup is per (source, content fingerprint), so a
+        #: fleet watching two sources that happen to hold identical bytes
+        #: attacks the content once *per source* — exactly what N serial
+        #: single-source runs would do, preserving the concatenation
+        #: contract.  Single-directory runs use ``source=None``.
+        self._attacked: set[tuple[str | None, str]] = {
+            (verdict.source, verdict.fingerprint) for verdict in self._verdicts
         }
         #: Metadata entries per capture directory, keyed by the mtimes of the
         #: candidate metadata.json files so a follow-mode service does not
@@ -115,6 +119,17 @@ class StreamingAttackService:
     def library(self) -> FingerprintLibrary:
         """The fingerprint library the service classifies with."""
         return self._attack.library
+
+    def replace_library(self, library: FingerprintLibrary) -> None:
+        """Swap in a new fingerprint library between batches (hot reload).
+
+        The caller (the fleet's reload watcher) guarantees the swap happens
+        only between :meth:`process` calls, never mid-attack; nothing else
+        about the service — verdicts, resume state, metadata caches — is
+        touched, so captures in flight before and after the swap keep their
+        exactly-once guarantee.
+        """
+        self._attack = WhiteMirrorAttack(graph=self._graph, library=library)
 
     @property
     def log_path(self) -> Path | None:
@@ -149,6 +164,7 @@ class StreamingAttackService:
         paths: Iterable[str | Path],
         on_verdict: VerdictCallback | None = None,
         on_skip: SkipCallback | None = None,
+        source: str | None = None,
     ) -> list[CaptureVerdict]:
         """Attack a batch of captures; returns the fresh verdicts in order.
 
@@ -167,6 +183,10 @@ class StreamingAttackService:
         restart.  Content dedup applies only when a results log is
         configured: without one there is no resume state to protect, and a
         batch caller expects every named capture attacked.
+
+        ``source`` stamps per-source attribution into every verdict (fleet
+        mode) and scopes the content dedup to that source; ``None`` keeps
+        the historical single-directory behaviour and log bytes.
         """
         # Hashing is cheap against attacking, so the resume skips are settled
         # up front: a follow-mode poll that re-reports N attacked captures
@@ -183,7 +203,7 @@ class StreamingAttackService:
                 if on_skip is not None:
                     on_skip(path, SKIP_UNREADABLE)
                 continue
-            if self._log is not None and fingerprint in self._attacked:
+            if self._log is not None and (source, fingerprint) in self._attacked:
                 if on_skip is not None:
                     on_skip(path, SKIP_ALREADY_ATTACKED)
                 continue
@@ -244,10 +264,11 @@ class StreamingAttackService:
                 server_ip=task.server_ip,
                 pattern=result.recovered_pattern,
                 truth=truth,
+                source=source,
             )
             if self._log is not None:
                 self._log.append(verdict)
-            self._attacked.add(fingerprint)
+            self._attacked.add((source, fingerprint))
             self._verdicts.append(verdict)
             fresh.append(verdict)
             if on_verdict is not None:
@@ -325,6 +346,24 @@ class StreamingAttackService:
             rows.append(self._aggregate_row(key, per_environment[key]))
         if len(rows) != 1:
             rows.append(self._aggregate_row("total", self._verdicts))
+        return rows
+
+    def aggregate_rows_by_source(self) -> list[dict[str, object]]:
+        """Per-source aggregate accuracy, for the fleet's ``/metrics`` view.
+
+        One row per attributed source (sorted), with sourceless verdicts —
+        a resumed single-directory log, say — grouped under ``"(unsourced)"``
+        so no verdict silently drops out of the table.
+        """
+        per_source: dict[str, list[CaptureVerdict]] = {}
+        for verdict in self._verdicts:
+            label = verdict.source if verdict.source is not None else "(unsourced)"
+            per_source.setdefault(label, []).append(verdict)
+        rows = []
+        for label in sorted(per_source):
+            row = self._aggregate_row(label, per_source[label])
+            row["source"] = row.pop("environment")
+            rows.append(row)
         return rows
 
     @staticmethod

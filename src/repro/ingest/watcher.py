@@ -17,7 +17,10 @@ Two finish signals are understood:
 * **The stable-stat fallback** for foreign writers (``tcpdump -w``, an rsync
   without ``--delay-updates``) that grow the final name in place: a capture
   only counts as finished once its size and mtime are unchanged between two
-  consecutive scans.
+  consecutive scans **and** its mtime is at least ``quiet_seconds`` old.
+  The age requirement closes the burst-writer race: ``tcpdump -w`` flushes
+  in buffered bursts, so a capture can look stable across two fast polls and
+  then grow again — two matching stats alone are not a completion signal.
 
 :class:`IngestQueue` sits behind the watcher and gives the attack service a
 deduplicated, deterministically-ordered stream of arrivals: a capture is
@@ -27,9 +30,10 @@ first-seen order with name ties broken alphabetically inside a scan batch.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.dataset.format import INPROGRESS_FILENAME
 from repro.exceptions import IngestError
@@ -41,6 +45,12 @@ INPROGRESS_SUFFIX = INPROGRESS_FILENAME
 
 #: Default filename pattern the watcher considers a capture.
 CAPTURE_PATTERN = "*.pcap"
+
+#: How old (seconds since mtime) an unmarked capture must be before the
+#: stable-stat fallback trusts it.  One second comfortably outlasts the
+#: buffered flush cadence of ``tcpdump -w`` while keeping follow-mode
+#: latency interactive.
+DEFAULT_QUIET_SECONDS = 1.0
 
 
 class CaptureWatcher:
@@ -54,7 +64,14 @@ class CaptureWatcher:
     ``stat()`` per unfinished candidate.
     """
 
-    def __init__(self, directory: str | Path, pattern: str = CAPTURE_PATTERN) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        pattern: str = CAPTURE_PATTERN,
+        recursive: bool = False,
+        quiet_seconds: float = DEFAULT_QUIET_SECONDS,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         self._directory = Path(directory)
         if not self._directory.is_dir():
             raise IngestError(
@@ -62,11 +79,14 @@ class CaptureWatcher:
                 "(create it before watching, or point at a dataset's traces/)"
             )
         self._pattern = pattern
-        #: Captures already reported as finished (by name).
+        self._recursive = recursive
+        self._quiet_seconds = quiet_seconds
+        self._clock = clock
+        #: Captures already reported as finished (by directory-relative key).
         self._reported: set[str] = set()
         #: Last-seen (size, mtime_ns) of not-yet-finished candidates.
         self._stats: dict[str, tuple[int, int]] = {}
-        #: Capture names whose ``.inprogress`` marker has been observed —
+        #: Capture keys whose ``.inprogress`` marker has been observed —
         #: when the marker disappears the rename convention vouches for the
         #: capture and the stability wait is skipped.
         self._marked: set[str] = set()
@@ -76,8 +96,15 @@ class CaptureWatcher:
         """The drop directory being watched."""
         return self._directory
 
-    def _marker_path(self, capture: Path) -> Path:
-        return capture.with_name(capture.name + INPROGRESS_SUFFIX)
+    def _key(self, path: Path) -> str:
+        # Relative-to-the-root keys so recursive watching distinguishes
+        # ``a/x.pcap`` from ``b/x.pcap``; in flat mode the key is the name.
+        return path.relative_to(self._directory).as_posix()
+
+    def _glob(self, pattern: str) -> Iterable[Path]:
+        if self._recursive:
+            return self._directory.glob(f"**/{pattern}")
+        return self._directory.glob(pattern)
 
     def scan(self, assume_quiescent: bool = False) -> list[Path]:
         """One poll of the drop directory; returns newly finished captures.
@@ -86,16 +113,19 @@ class CaptureWatcher:
         one-shot drain mode (``repro watch --once``) where the caller asserts
         nothing is still being written.  Without it, an unmarked capture must
         either complete the marker/rename protocol or hold a stable size and
-        mtime across two scans before it is reported.
+        mtime across two scans *and* carry an mtime at least
+        ``quiet_seconds`` old before it is reported — a foreign writer that
+        flushes in bursts can look stable between two fast polls and then
+        grow again, so recent modification alone vetoes the report.
         """
         finished: list[Path] = []
         present_markers: set[str] = set()
-        for marker in sorted(self._directory.glob(self._pattern + INPROGRESS_SUFFIX)):
-            name = marker.name[: -len(INPROGRESS_SUFFIX)]
+        for marker in sorted(self._glob(self._pattern + INPROGRESS_SUFFIX)):
+            name = self._key(marker)[: -len(INPROGRESS_SUFFIX)]
             present_markers.add(name)
             self._marked.add(name)
-        for path in sorted(self._directory.glob(self._pattern)):
-            name = path.name
+        for path in sorted(self._glob(self._pattern)):
+            name = self._key(path)
             if name in self._reported or not path.is_file():
                 continue
             if name in present_markers:
@@ -111,7 +141,10 @@ class CaptureWatcher:
             except OSError:
                 continue  # raced a writer's rename/delete; next scan decides
             signature = (stat.st_size, stat.st_mtime_ns)
-            if self._stats.get(name) == signature:
+            quiet = (
+                self._clock() - stat.st_mtime_ns / 1e9 >= self._quiet_seconds
+            )
+            if self._stats.get(name) == signature and quiet:
                 self._report(name, finished, path)
             else:
                 self._stats[name] = signature

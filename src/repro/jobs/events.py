@@ -51,6 +51,9 @@ RESUMED = "resumed"
 WARNING = "warning"
 STOPPED = "stopped"
 RESULTS_LOG = "results-log"
+QUEUE_SATURATED = "queue-saturated"
+LIBRARY_RELOADED = "library-reloaded"
+METRICS_SERVING = "metrics-serving"
 FLOWS = "flows"
 RECORD_STATS = "record-stats"
 TABLE = "table"

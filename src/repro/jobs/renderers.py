@@ -74,6 +74,9 @@ class ConsoleRenderer:
             ev.WARNING: self._warning,
             ev.STOPPED: self._stopped,
             ev.RESULTS_LOG: self._results_log,
+            ev.QUEUE_SATURATED: self._queue_saturated,
+            ev.LIBRARY_RELOADED: self._library_reloaded,
+            ev.METRICS_SERVING: self._metrics_serving,
             ev.FLOWS: self._flows,
             ev.RECORD_STATS: self._record_stats,
             ev.TABLE: self._table,
@@ -230,8 +233,11 @@ class ConsoleRenderer:
             if data.get("truth") is not None
             else ""
         )
+        # Fleet verdicts carry a source label; single-directory verdicts
+        # omit the key entirely so the legacy line stays golden-pinned.
+        attribution = f"[{data['source']}] " if "source" in data else ""
         self._print(
-            f"verdict: {data['capture']} ({data['condition_key']}) "
+            f"verdict: {attribution}{data['capture']} ({data['condition_key']}) "
             f"pattern={pattern or '-'}{scored}"
         )
 
@@ -270,6 +276,25 @@ class ConsoleRenderer:
         self._print(
             f"results log: {data['path']} "
             f"({data['total']} verdict(s) total)"
+        )
+
+    def _queue_saturated(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"queue saturated at {data['depth']} capture(s) "
+            f"(high watermark {data['high_watermark']}); parking new "
+            f"arrivals from {data['source']} until it drains below "
+            f"{data['low_watermark']}"
+        )
+
+    def _library_reloaded(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"reloaded fingerprint library from {data['path']} "
+            f"[{data['fingerprint'][:12]}]"
+        )
+
+    def _metrics_serving(self, data: Mapping[str, object]) -> None:
+        self._print(
+            f"metrics: http://{data['host']}:{data['port']}{data['path']}"
         )
 
     def _flows(self, data: Mapping[str, object]) -> None:

@@ -51,6 +51,12 @@ from repro.dataset.shards import (
 from repro.dataset.sidecar import fold_shard_sidecar
 from repro.engine.executor import ProgressCallback
 from repro.exceptions import DatasetError, JobError, ReproError
+from repro.ingest.fleet import (
+    FleetWatchService,
+    LibraryReloadWatcher,
+    validate_sources,
+)
+from repro.ingest.metrics import METRICS_PATH, IngestMetrics, MetricsServer
 from repro.ingest.service import (
     SKIP_ALREADY_ATTACKED,
     SKIP_UNREADABLE,
@@ -718,7 +724,13 @@ class JobRunner:
         attack --results-log`` on the same pcaps.  A restarted watch
         resumes from the log, skipping captures already attacked (by
         content fingerprint).
+
+        With ``--source`` directories the spec routes to the fleet branch
+        instead: N watched sources through one bounded queue, one shared
+        results log, every verdict stamped with its source.
         """
+        if spec.sources:
+            return self._run_watch_fleet(spec)
         directory = self._workspace.resolve(spec.directory)
         if not directory.is_dir():
             # Checked before the service builds its results log (which
@@ -771,6 +783,141 @@ class JobRunner:
             job=spec.KIND,
             artifacts=(self._workspace.artifact("results-log", log_path),),
             summary={"verdicts": len(service.verdicts)},
+        )
+
+    def _run_watch_fleet(self, spec: WatchJob) -> JobResult:
+        """Watch a fleet of capture sources through one bounded queue.
+
+        Sources are validated and canonically ordered up front; every
+        verdict carries its source label, and the running aggregate table
+        is broken down per source.  ``--once`` drains every source and
+        exits with a results log byte-identical to serial single-source
+        fleet runs concatenated in canonical source order — the PR 5
+        watch-vs-attack wall, multiplied across sources.
+        """
+        sources = validate_sources(
+            spec.sources, resolve=self._workspace.resolve
+        )
+        # The reload stage is validated before the main library loads so a
+        # bad --reload-library fails on its own flag, not on a coincidence
+        # of which file was read first.
+        reload_watcher = None
+        if spec.reload_library is not None:
+            reload_watcher = LibraryReloadWatcher(
+                self._resolve(spec.reload_library)
+            )
+        log_path = spec.results_log  # validate() requires it in fleet mode
+        service = self._build_attack_service(spec, log_path)
+        resumed = len(service.verdicts)
+        if resumed:
+            self._bus.emit(ev.RESUMED, count=resumed, path=log_path)
+
+        metrics: IngestMetrics | None = None
+        server: MetricsServer | None = None
+        if spec.metrics_port is not None:
+            metrics = IngestMetrics()
+            server = MetricsServer(metrics, port=spec.metrics_port)
+            host, port = server.start()
+            self._bus.emit(
+                ev.METRICS_SERVING, host=host, port=port, path=METRICS_PATH
+            )
+
+        queue_low = (
+            spec.queue_low
+            if spec.queue_low is not None
+            else spec.queue_high // 2
+        )
+
+        def on_saturated(source: str, depth: int) -> None:
+            self._bus.emit(
+                ev.QUEUE_SATURATED,
+                source=source,
+                depth=depth,
+                high_watermark=spec.queue_high,
+                low_watermark=queue_low,
+            )
+            if metrics is not None:
+                metrics.record_saturation()
+
+        def on_reloaded(path: str, fingerprint: str) -> None:
+            self._bus.emit(
+                ev.LIBRARY_RELOADED, path=path, fingerprint=fingerprint
+            )
+            if metrics is not None:
+                metrics.record_reload()
+
+        def on_arrival(source: str, path: Path) -> None:
+            if metrics is not None:
+                metrics.record_arrival(source, path.name)
+
+        def on_skip(path: Path, reason: str) -> None:
+            self._bus.emit(ev.CAPTURE_SKIPPED, capture=path.name, reason=reason)
+            if metrics is not None:
+                metrics.record_skip()
+
+        def on_verdict(verdict, result: AttackResult) -> None:
+            self._bus.emit(
+                ev.VERDICT,
+                source=verdict.source,
+                capture=verdict.capture,
+                fingerprint=verdict.fingerprint,
+                condition_key=verdict.condition_key,
+                pattern=list(verdict.pattern),
+                truth=list(verdict.truth) if verdict.truth is not None else None,
+                correct=verdict.correct_questions,
+                questions=verdict.question_count,
+            )
+            rows = service.aggregate_rows_by_source()
+            self._bus.emit(ev.AGGREGATE, rows=rows)
+            if metrics is not None:
+                metrics.record_verdict(verdict.source or "", verdict.capture)
+                queue = fleet.queue
+                metrics.set_queue_gauges(
+                    depth=len(queue),
+                    parked=queue.parked_count,
+                    peak=queue.peak_depth,
+                    high_watermark=queue.high_watermark,
+                    low_watermark=queue.low_watermark,
+                )
+                metrics.set_source_rows(rows)
+
+        fleet = FleetWatchService(
+            service=service,
+            sources=sources,
+            recursive=spec.recursive,
+            queue_high=spec.queue_high,
+            queue_low=queue_low,
+            reload_watcher=reload_watcher,
+            on_saturated=on_saturated,
+            on_reloaded=on_reloaded,
+            on_arrival=on_arrival,
+        )
+        try:
+            fleet.run(
+                follow=spec.follow,
+                poll_interval=spec.poll_interval,
+                on_verdict=on_verdict,
+                on_skip=on_skip,
+                on_error=lambda error: self._bus.emit(
+                    ev.WARNING,
+                    text=f"batch failed, still watching: {error}",
+                ),
+            )
+        except KeyboardInterrupt:
+            self._bus.emit(ev.STOPPED)
+        finally:
+            if server is not None:
+                server.stop()
+        self._bus.emit(
+            ev.RESULTS_LOG, path=log_path, total=len(service.verdicts)
+        )
+        return JobResult(
+            job=spec.KIND,
+            artifacts=(self._workspace.artifact("results-log", log_path),),
+            summary={
+                "verdicts": len(service.verdicts),
+                "sources": len(sources),
+            },
         )
 
     # -- inspect -----------------------------------------------------------

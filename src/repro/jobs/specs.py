@@ -32,8 +32,11 @@ from typing import Any, ClassVar, Mapping
 
 from repro.exceptions import JobError, ReproError
 
-#: Version stamped into every serialised spec.  Bump on any incompatible
-#: field change; ``job_from_dict`` refuses other versions by name.
+#: Default version stamped into serialised specs.  A spec class whose field
+#: set has evolved past the fleet-wide default carries its own ``SCHEMA``
+#: (and the older versions it still accepts in ``ACCEPTS_SCHEMAS``, with
+#: ``from_dict`` migrating old payloads by filling the new fields' defaults);
+#: ``job_from_dict`` refuses anything else by name.
 SCHEMA_VERSION = 1
 
 
@@ -42,13 +45,20 @@ class JobSpec:
     """Base class for all job specifications."""
 
     KIND: ClassVar[str] = ""
+    #: The schema version this class serialises as.
+    SCHEMA: ClassVar[int] = SCHEMA_VERSION
+    #: Every schema version ``from_dict`` can migrate from.  Older versions
+    #: simply lack the newer fields — the dataclass defaults are the
+    #: migration — so accepting one is a statement that those defaults
+    #: reproduce the old behaviour exactly.
+    ACCEPTS_SCHEMAS: ClassVar[tuple[int, ...]] = (SCHEMA_VERSION,)
 
     def validate(self) -> None:
         """Raise :class:`ReproError` on an inconsistent spec; default: ok."""
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly form: kind + schema version + fields, sorted keys."""
-        data: dict[str, Any] = {"job": self.KIND, "schema": SCHEMA_VERSION}
+        data: dict[str, Any] = {"job": self.KIND, "schema": type(self).SCHEMA}
         for spec_field in dataclasses.fields(self):
             value = getattr(self, spec_field.name)
             if isinstance(value, tuple):
@@ -59,18 +69,32 @@ class JobSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
         """Inverse of :meth:`to_dict`; validates version and field set."""
-        _require_schema(data)
+        if not isinstance(data, Mapping):
+            raise JobError(
+                f"a job spec must be a JSON object, got {type(data).__name__}"
+            )
         kind = data.get("job")
         if kind != cls.KIND:
             raise JobError(
                 f"cannot build a {cls.KIND!r} job from a spec of kind {kind!r}"
+            )
+        version = data.get("schema")
+        if version not in cls.ACCEPTS_SCHEMAS:
+            accepted = (
+                ""
+                if len(cls.ACCEPTS_SCHEMAS) == 1
+                else f" and accepts {sorted(cls.ACCEPTS_SCHEMAS)}"
+            )
+            raise JobError(
+                f"unsupported job spec schema version {version!r} "
+                f"(this build speaks schema version {cls.SCHEMA}{accepted})"
             )
         field_names = {spec_field.name for spec_field in dataclasses.fields(cls)}
         unknown = sorted(set(data) - field_names - {"job", "schema"})
         if unknown:
             raise JobError(
                 f"{cls.KIND} job spec has unknown field(s) {unknown} "
-                f"(schema version {SCHEMA_VERSION} fields: "
+                f"(schema version {cls.SCHEMA} fields: "
                 f"{sorted(field_names)})"
             )
         kwargs = {
@@ -82,19 +106,6 @@ class JobSpec:
             return cls(**kwargs)
         except TypeError as error:
             raise JobError(f"incomplete {cls.KIND} job spec: {error}") from error
-
-
-def _require_schema(data: Mapping[str, Any]) -> None:
-    if not isinstance(data, Mapping):
-        raise JobError(
-            f"a job spec must be a JSON object, got {type(data).__name__}"
-        )
-    version = data.get("schema")
-    if version != SCHEMA_VERSION:
-        raise JobError(
-            f"unsupported job spec schema version {version!r} "
-            f"(this build speaks schema version {SCHEMA_VERSION})"
-        )
 
 
 @dataclass(frozen=True)
@@ -208,9 +219,19 @@ class AttackJob(JobSpec):
 
 @dataclass(frozen=True)
 class WatchJob(JobSpec):
-    """``repro watch``: attack captures as they land in a drop directory."""
+    """``repro watch``: attack captures as they land in drop directories.
+
+    Two shapes share the spec.  The historical single-directory mode sets
+    ``directory`` and behaves exactly as before (schema-1 payloads, which
+    lack every fleet field, migrate by default-fill).  Fleet mode sets
+    ``sources`` instead and unlocks the multi-source machinery: recursive
+    watching, the bounded queue's watermarks, hot library reload and the
+    ``/metrics`` endpoint.
+    """
 
     KIND: ClassVar[str] = "watch"
+    SCHEMA: ClassVar[int] = 2
+    ACCEPTS_SCHEMAS: ClassVar[tuple[int, ...]] = (1, 2)
 
     directory: str = ""
     library: str = ""
@@ -221,6 +242,62 @@ class WatchJob(JobSpec):
     client_ip: str | None = None
     server_ip: str | None = None
     workers: int | None = None
+    sources: tuple[str, ...] = ()
+    recursive: bool = False
+    queue_high: int = 256
+    queue_low: int | None = None
+    reload_library: str | None = None
+    metrics_port: int | None = None
+
+    def validate(self) -> None:
+        if self.directory and self.sources:
+            raise ReproError(
+                "give either a positional drop directory or --source "
+                "directories, not both"
+            )
+        if not self.directory and not self.sources:
+            raise ReproError(
+                "watch needs a drop directory: positional for the "
+                "single-source mode, or --source (repeatable) for a fleet"
+            )
+        if not self.sources:
+            for flag, engaged in (
+                ("--recursive", self.recursive),
+                ("--reload-library", self.reload_library is not None),
+                ("--metrics-port", self.metrics_port is not None),
+            ):
+                if engaged:
+                    raise ReproError(
+                        f"{flag} is a fleet-mode flag; it requires --source"
+                    )
+        elif self.results_log is None:
+            raise ReproError(
+                "fleet mode needs --results-log: the sources share one "
+                "results log, and with several drop directories there is "
+                "no single place to default it into"
+            )
+        if self.queue_high < 1:
+            raise ReproError(
+                f"--queue-high must be a positive capture count, got "
+                f"{self.queue_high}"
+            )
+        if self.queue_low is not None:
+            if self.queue_low < 0:
+                raise ReproError(
+                    f"--queue-low must be >= 0, got {self.queue_low}"
+                )
+            if self.queue_high <= self.queue_low:
+                raise ReproError(
+                    f"--queue-high ({self.queue_high}) must be greater than "
+                    f"--queue-low ({self.queue_low}) — the queue must drain "
+                    "below the low watermark before parked captures are "
+                    "promoted"
+                )
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ReproError(
+                f"--metrics-port must be a TCP port (0-65535), got "
+                f"{self.metrics_port}"
+            )
 
 
 @dataclass(frozen=True)
@@ -430,8 +507,16 @@ _SPECS_BY_KIND: dict[str, type[JobSpec]] = {
 
 
 def job_from_dict(data: Mapping[str, Any]) -> JobSpec:
-    """Rebuild any job spec from its ``to_dict`` form (the wire format)."""
-    _require_schema(data)
+    """Rebuild any job spec from its ``to_dict`` form (the wire format).
+
+    Dispatches on kind first and lets the spec class judge the schema
+    version — each class knows which versions it can migrate from (e.g.
+    ``WatchJob`` accepts its pre-fleet schema-1 payloads).
+    """
+    if not isinstance(data, Mapping):
+        raise JobError(
+            f"a job spec must be a JSON object, got {type(data).__name__}"
+        )
     kind = data.get("job")
     spec_class = _SPECS_BY_KIND.get(str(kind))
     if spec_class is None:

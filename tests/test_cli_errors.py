@@ -125,6 +125,79 @@ from repro.cli.main import main
             "error: --max-units must be at least 1",
             id="work-zero-max-units",
         ),
+        pytest.param(
+            ["watch", "--library", "lib.json"],
+            "error: watch needs a drop directory: positional for the "
+            "single-source mode, or --source (repeatable) for a fleet",
+            id="watch-no-directory-no-source",
+        ),
+        pytest.param(
+            ["watch", "{tmp}", "--source", "{tmp}", "--library", "lib.json"],
+            "error: give either a positional drop directory or --source "
+            "directories, not both",
+            id="watch-directory-and-source",
+        ),
+        pytest.param(
+            ["watch", "{tmp}", "--library", "lib.json", "--recursive"],
+            "error: --recursive is a fleet-mode flag; it requires --source",
+            id="watch-recursive-without-source",
+        ),
+        pytest.param(
+            ["watch", "--source", "{tmp}", "--library", "lib.json"],
+            "error: fleet mode needs --results-log: the sources share one "
+            "results log, and with several drop directories there is no "
+            "single place to default it into",
+            id="watch-fleet-without-results-log",
+        ),
+        pytest.param(
+            ["watch", "--source", "{tmp}", "--source", "{tmp}",
+             "--library", "lib.json", "--results-log", "r.jsonl"],
+            "error: duplicate --source directory {tmp}",
+            id="watch-duplicate-source",
+        ),
+        pytest.param(
+            ["watch", "--source", "{tmp}/missing-box",
+             "--library", "lib.json", "--results-log", "r.jsonl"],
+            "error: capture source {tmp}/missing-box does not exist "
+            "(--source must name an existing directory)",
+            id="watch-missing-source",
+        ),
+        pytest.param(
+            ["watch", "--source", "{tmp}", "--library", "lib.json",
+             "--results-log", "r.jsonl", "--queue-high", "0"],
+            "error: --queue-high must be a positive capture count, got 0",
+            id="watch-nonpositive-queue-high",
+        ),
+        pytest.param(
+            ["watch", "--source", "{tmp}", "--library", "lib.json",
+             "--results-log", "r.jsonl", "--queue-low", "-1"],
+            "error: --queue-low must be >= 0, got -1",
+            id="watch-negative-queue-low",
+        ),
+        pytest.param(
+            ["watch", "--source", "{tmp}", "--library", "lib.json",
+             "--results-log", "r.jsonl", "--queue-high", "4",
+             "--queue-low", "4"],
+            "error: --queue-high (4) must be greater than --queue-low (4) "
+            "— the queue must drain below the low watermark before parked "
+            "captures are promoted",
+            id="watch-queue-high-not-above-low",
+        ),
+        pytest.param(
+            ["watch", "--source", "{tmp}", "--library", "lib.json",
+             "--results-log", "r.jsonl", "--metrics-port", "70000"],
+            "error: --metrics-port must be a TCP port (0-65535), got 70000",
+            id="watch-metrics-port-out-of-range",
+        ),
+        pytest.param(
+            ["watch", "--source", "{tmp}", "--library", "lib.json",
+             "--results-log", "r.jsonl",
+             "--reload-library", "{tmp}/missing-stage.json"],
+            "error: cannot read --reload-library {tmp}/missing-stage.json: "
+            "[Errno 2] No such file or directory: "
+            "'{tmp}/missing-stage.json'",
+            id="watch-missing-reload-library",
+        ),
     ],
 )
 def test_bad_input_exit_status_and_first_stderr_line(
@@ -135,6 +208,39 @@ def test_bad_input_exit_status_and_first_stderr_line(
     captured = capsys.readouterr()
     assert exit_code == 1
     assert captured.err.splitlines()[0] == first_stderr_line.format(tmp=tmp)
+
+
+def test_overlapping_watch_sources_name_both_directories(tmp_path, capsys):
+    # Needs a real nested directory, which the templated table can't mkdir.
+    inner = tmp_path / "outer" / "inner"
+    inner.mkdir(parents=True)
+    exit_code = main(
+        ["watch", "--source", str(tmp_path / "outer"), "--source", str(inner),
+         "--library", "lib.json", "--results-log", "r.jsonl"]
+    )
+    assert exit_code == 1
+    assert capsys.readouterr().err.splitlines()[0] == (
+        f"error: --source directories overlap: {inner} is inside "
+        f"{tmp_path / 'outer'} (captures there would be attributed to both "
+        "sources)"
+    )
+
+
+def test_corrupt_reload_library_names_the_flag(tmp_path, capsys):
+    source = tmp_path / "box"
+    source.mkdir()
+    stage = tmp_path / "stage.json"
+    stage.write_text("{not a library")
+    exit_code = main(
+        ["watch", "--source", str(source), "--library", "lib.json",
+         "--results-log", "r.jsonl", "--reload-library", str(stage)]
+    )
+    assert exit_code == 1
+    first = capsys.readouterr().err.splitlines()[0]
+    assert first.startswith(
+        f"error: --reload-library {stage} is not a loadable fingerprint "
+        "library:"
+    )
 
 
 def test_unknown_log_format_rejected_by_argparse(tmp_path, capsys):

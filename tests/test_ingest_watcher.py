@@ -18,6 +18,12 @@ def _drop(directory, name, payload=b"pcap-bytes"):
     return path
 
 
+def _backdate(path):
+    # Push the mtime far into the past so the stable-stat fallback's quiet
+    # window (mtime age) is satisfied and only scan-to-scan stability gates.
+    os.utime(path, ns=(0, 0))
+
+
 class TestCaptureWatcher:
     def test_requires_an_existing_directory(self, tmp_path):
         with pytest.raises(IngestError, match="does not exist"):
@@ -25,7 +31,7 @@ class TestCaptureWatcher:
 
     def test_stable_stat_fallback_needs_two_scans(self, tmp_path):
         watcher = CaptureWatcher(tmp_path)
-        _drop(tmp_path, "a.pcap")
+        _backdate(_drop(tmp_path, "a.pcap"))
         # First sighting records the stat; the capture is not yet trusted.
         assert watcher.scan() == []
         # Unchanged across a second scan: finished.
@@ -44,6 +50,64 @@ class TestCaptureWatcher:
         os.utime(path, ns=(1, 2))  # force a distinct mtime_ns deterministically
         assert watcher.scan() == []
         assert [p.name for p in watcher.scan()] == ["a.pcap"]
+
+    def test_stable_but_recent_capture_waits_for_the_quiet_window(self, tmp_path):
+        """The tcpdump race, pinned: a burst writer flushes, looks stable
+        across two fast polls, then writes again — matching stats alone must
+        not trigger the attack."""
+        clock = {"now": 1000.0}
+        watcher = CaptureWatcher(
+            tmp_path, quiet_seconds=1.0, clock=lambda: clock["now"]
+        )
+        path = _drop(tmp_path, "a.pcap", b"burst-one")
+        os.utime(path, ns=(int(999.95e9), int(999.95e9)))  # 0.05s old
+        # Two scans see identical stats, but the file is too young: held.
+        assert watcher.scan() == []
+        assert watcher.scan() == []
+        # The writer's next burst lands — early trust would have truncated it.
+        with open(path, "ab") as handle:
+            handle.write(b"burst-two")
+        clock["now"] = 1000.5
+        os.utime(path, ns=(int(1000.4e9), int(1000.4e9)))
+        assert watcher.scan() == []  # stat changed: stability restarts
+        clock["now"] = 1000.6
+        assert watcher.scan() == []  # stable again, but still too young
+        clock["now"] = 1002.0  # the capture has now been quiet for 1.6s
+        assert [p.name for p in watcher.scan()] == ["a.pcap"]
+
+    def test_quiet_window_zero_restores_two_scan_behaviour(self, tmp_path):
+        watcher = CaptureWatcher(tmp_path, quiet_seconds=0.0)
+        _drop(tmp_path, "a.pcap")  # fresh mtime, no backdating
+        assert watcher.scan() == []
+        assert [p.name for p in watcher.scan()] == ["a.pcap"]
+
+    def test_recursive_watching_keys_by_relative_path(self, tmp_path):
+        (tmp_path / "box-a").mkdir()
+        (tmp_path / "box-b").mkdir()
+        _backdate(_drop(tmp_path / "box-a", "x.pcap", b"from-a"))
+        _backdate(_drop(tmp_path / "box-b", "x.pcap", b"from-b"))
+        _backdate(_drop(tmp_path, "top.pcap"))
+        flat = CaptureWatcher(tmp_path)
+        assert [p.name for p in flat.scan(assume_quiescent=True)] == ["top.pcap"]
+        deep = CaptureWatcher(tmp_path, recursive=True)
+        found = deep.scan(assume_quiescent=True)
+        # Same basename under two subdirectories: both reported, exactly once.
+        assert [p.relative_to(tmp_path).as_posix() for p in found] == [
+            "box-a/x.pcap",
+            "box-b/x.pcap",
+            "top.pcap",
+        ]
+        assert deep.scan(assume_quiescent=True) == []
+
+    def test_recursive_marker_blocks_its_own_subdirectory_capture(self, tmp_path):
+        nested = tmp_path / "box-a"
+        nested.mkdir()
+        _backdate(_drop(nested, "x.pcap"))
+        _drop(nested, "x.pcap" + INPROGRESS_SUFFIX)
+        watcher = CaptureWatcher(tmp_path, recursive=True)
+        assert watcher.scan(assume_quiescent=True) == []
+        (nested / ("x.pcap" + INPROGRESS_SUFFIX)).unlink()
+        assert [p.name for p in watcher.scan(assume_quiescent=True)] == ["x.pcap"]
 
     def test_inprogress_marker_blocks_then_rename_is_trusted_immediately(
         self, tmp_path
@@ -261,6 +325,7 @@ class TestAtomicPcapPublication:
         assert watcher.scan() == []
         ubuntu_session.trace.to_pcap_atomic(drop / "session.pcap")
         # No marker was ever observed mid-write here, so the stable-stat
-        # fallback applies: two scans, then trusted.
+        # fallback applies: two scans (and the quiet window), then trusted.
+        os.utime(drop / "session.pcap", ns=(0, 0))
         assert watcher.scan() == []
         assert [p.name for p in watcher.scan()] == ["session.pcap"]
